@@ -1,0 +1,43 @@
+"""Shared fixtures for the figure-reproduction benchmarks.
+
+Every benchmark regenerates one of the paper's figures/tables: it runs
+the experiment grid, prints the text figure (also saved under
+``results/``), asserts the paper's qualitative shape, and reports the
+grid's wall-clock runtime through pytest-benchmark.
+
+Run:  pytest benchmarks/ --benchmark-only -s
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.harness import StandardParams
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_params() -> StandardParams:
+    """The paper-shaped parameter set used by every figure benchmark."""
+    return StandardParams(duration_s=3.0, replicates=3)
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    """Print a rendered figure and persist it under results/."""
+
+    def _save(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print(f"\n{text}\n[saved to results/{name}.txt]")
+
+    return _save
+
+
+@pytest.fixture(scope="session")
+def profile_study(bench_params):
+    """The §III study runs once; Figures 3 and 4 both read from it."""
+    from repro.harness import run_profile_study
+
+    return run_profile_study(bench_params)

@@ -1,0 +1,56 @@
+"""Figure 10 — sweeping the number of consumers (2, 5, 10).
+
+Paper shape asserted:
+* power rises with consumer count for every implementation (more work);
+* PBPL's advantage *grows* with the number of consumers — the paper's
+  scalability headline ("it prospers when there are more consumers and
+  more possibilities for latching"): at 2 consumers PBPL may even lose
+  to BP (nothing to latch onto), by 10 it clearly wins;
+* PBPL's wakeups grow sublinearly with consumers while BP's grow
+  roughly linearly.
+
+Known deviation (documented in EXPERIMENTS.md): the paper also reports
+absolute wakeups/s *falling* at higher consumer counts because their
+consumer core saturates; our standard workload keeps the core well
+under saturation, so wakeups rise with load. The saturation ablation
+benchmark reproduces the falling-wakeups effect separately.
+"""
+
+from repro.harness import run_consumer_scaling
+
+
+def test_fig10_consumer_scaling(benchmark, bench_params, save_result):
+    result = benchmark.pedantic(
+        lambda: run_consumer_scaling(bench_params, counts=(2, 5, 10)),
+        rounds=1,
+        iterations=1,
+    )
+    save_result("fig10_consumer_scaling", result.render())
+
+    # Power rises with consumer count for every implementation.
+    for name in ("Mutex", "Sem", "BP", "PBPL"):
+        series = [
+            result.cells[n].summaries[name].mean("power_w") for n in (2, 5, 10)
+        ]
+        assert series[0] < series[1] < series[2], name
+
+    # PBPL's power advantage over BP grows with consumer count.
+    def pbpl_vs_bp(n):
+        c = result.cells[n].summaries
+        return 1 - c["PBPL"].mean("power_w") / c["BP"].mean("power_w")
+
+    gaps = [pbpl_vs_bp(n) for n in (2, 5, 10)]
+    assert gaps[0] < gaps[1] < gaps[2]
+    assert gaps[2] > 0  # clearly ahead at 10 consumers
+
+    # Latching scalability: PBPL wakeups grow far slower than BP's.
+    def growth(name):
+        c2 = result.cells[2].summaries[name].mean("core_wakeups_per_s")
+        c10 = result.cells[10].summaries[name].mean("core_wakeups_per_s")
+        return c10 / c2
+
+    assert growth("PBPL") < 0.6 * growth("BP")
+
+    # And the improvement over Mutex is large at scale (paper: 30% at 10;
+    # our wakeup-dominated model gives more).
+    assert result.improvement_over_mutex(10) > 30

@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Resource-aware tuning: the paper's §VIII extension, hands-on.
+
+The paper's closing research ask — "a generic resource-aware
+producer-consumer algorithm, where power, memory, CPU overhead,
+throughput, timing, constraints, etc., need to be taken into account
+simultaneously" — is implemented in ``repro.core.resource_aware``: the
+slot-choice cost generalises from energy-per-item (Eq. 8) to a weighted
+sum of normalised resource costs with a closed-form optimal drain gap.
+
+This example plays SRE for an event pipeline with three different
+deployment profiles and shows how one weight vector reshapes the same
+system:
+
+* ``datacenter``  — power is the bill; latency has slack
+* ``interactive`` — tail latency rules; power is secondary
+* ``embedded``    — RAM is scarce; keep buffers tiny, power still counts
+
+Run:  python examples/resource_aware_tuning.py
+"""
+
+from repro.core import ResourceAwareConfig, ResourceAwareSystem, ResourceWeights
+from repro.cpu import Machine
+from repro.impls import phase_shifted_traces
+from repro.power import EnergyLedger, PowerModel
+from repro.sim import Environment, RandomStreams
+from repro.workloads import worldcup_like_trace
+
+DURATION_S = 3.0
+N_PAIRS = 5
+
+PROFILES = {
+    "datacenter": ResourceWeights(power=1.0, latency=0.1, memory=0.0, cpu=0.2),
+    "interactive": ResourceWeights(power=0.2, latency=5.0, memory=0.0, cpu=0.1),
+    "embedded": ResourceWeights(power=1.0, latency=0.5, memory=6.0, cpu=0.5),
+}
+
+
+def run(profile: str):
+    env = Environment()
+    streams = RandomStreams(seed=21)
+    machine = Machine(env, n_cores=2, streams=streams)
+    model = PowerModel()
+    ledger = EnergyLedger(env, model)
+    machine.add_listener(ledger)
+    for core in machine.cores:
+        ledger.watch(core)
+
+    base = worldcup_like_trace(2200.0, DURATION_S, streams.stream("events"))
+    traces = phase_shifted_traces(base, N_PAIRS)
+    config = ResourceAwareConfig(
+        buffer_size=25,
+        slot_size_s=2.5e-3,
+        max_response_latency_s=40e-3,
+        weights=PROFILES[profile],
+    )
+    system = ResourceAwareSystem(env, machine, traces, config).start()
+    env.run(until=DURATION_S)
+    ledger.settle()
+    agg = system.aggregate_stats()
+    return {
+        "power_mw": ledger.average_power_w(DURATION_S) * 1000,
+        "mean_ms": agg.mean_latency_s * 1000,
+        "p99_ms": agg.latency_percentile(99) * 1000,
+        "avg_buffer": system.average_buffer_capacity(),
+        "wakeups": machine.core(0).total_wakeups / DURATION_S,
+    }
+
+
+def main() -> None:
+    print(
+        f"one pipeline ({N_PAIRS} event streams), three deployment "
+        "profiles — same code,\ndifferent ResourceWeights:\n"
+    )
+    header = (
+        f"{'profile':<13}{'power mW':>10}{'mean lat ms':>13}{'p99 ms':>8}"
+        f"{'avg buffer':>12}{'wakeups/s':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    results = {}
+    for profile in PROFILES:
+        r = run(profile)
+        results[profile] = r
+        print(
+            f"{profile:<13}{r['power_mw']:>10.1f}{r['mean_ms']:>13.2f}"
+            f"{r['p99_ms']:>8.2f}{r['avg_buffer']:>12.1f}{r['wakeups']:>11.0f}"
+        )
+    print()
+    dc, ia, em = results["datacenter"], results["interactive"], results["embedded"]
+    print(
+        f"interactive cuts mean latency {dc['mean_ms'] / ia['mean_ms']:.1f}x "
+        f"vs datacenter at +{ia['power_mw'] - dc['power_mw']:.0f} mW;"
+    )
+    print(
+        f"embedded holds buffers to {em['avg_buffer']:.1f} slots on average "
+        f"(datacenter: {dc['avg_buffer']:.1f})."
+    )
+
+
+if __name__ == "__main__":
+    main()

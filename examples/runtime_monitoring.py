@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Runtime-monitoring scenario: heterogeneous event streams, one budget.
+
+The paper's second motivating case (§I): "events produced by the
+environment or internal system processes are consumed and processed by
+a runtime monitor". Monitors watch wildly different sources — a syscall
+tracer sees thousands of events per second, a watchdog sees a few — and
+this is where PBPL's *dynamic buffer resizing* earns its keep: the hot
+monitor borrows buffer space that the cold monitors are not using, so
+it can keep latching onto shared wakeups instead of overflowing.
+
+This example runs four monitors (syscall tracer, network auditor, GC
+profiler, hardware watchdog) and shows each monitor's buffer allocation
+breathing over time, plus what resizing buys in wakeups.
+
+Run:  python examples/runtime_monitoring.py
+"""
+
+import numpy as np
+
+from repro.core import PBPLConfig, PBPLSystem
+from repro.cpu import Machine
+from repro.power import EnergyLedger, PowerModel
+from repro.sim import Environment, RandomStreams
+from repro.workloads import Trace, mmpp_trace, poisson_trace
+
+DURATION_S = 4.0
+B0 = 25  # base buffer slots per monitor
+
+MONITORS = ("syscall-tracer", "net-auditor", "gc-profiler", "hw-watchdog")
+
+
+def build_event_streams(streams: RandomStreams) -> list[Trace]:
+    """Four sources with very different rates and burst profiles."""
+    return [
+        # Syscall tracing: heavy and bursty (app phases).
+        mmpp_trace(
+            [1500.0, 9000.0], [0.4, 0.15], DURATION_S, streams.stream("syscalls")
+        ),
+        # Network audit events: moderate, bursty on connection storms.
+        mmpp_trace([300.0, 2500.0], [0.6, 0.1], DURATION_S, streams.stream("net")),
+        # GC profiler: periodic-ish moderate load.
+        poisson_trace(400.0, DURATION_S, streams.stream("gc")),
+        # Hardware watchdog: nearly silent.
+        poisson_trace(20.0, DURATION_S, streams.stream("watchdog")),
+    ]
+
+
+def run(enable_resizing: bool):
+    env = Environment()
+    streams = RandomStreams(seed=11)
+    machine = Machine(env, n_cores=2, streams=streams)
+    model = PowerModel()
+    ledger = EnergyLedger(env, model)
+    machine.add_listener(ledger)
+    for core in machine.cores:
+        ledger.watch(core)
+
+    system = PBPLSystem(
+        env,
+        machine,
+        build_event_streams(streams),
+        PBPLConfig(
+            buffer_size=B0,
+            slot_size_s=5e-3,
+            max_response_latency_s=40e-3,
+            enable_resizing=enable_resizing,
+        ),
+    ).start()
+
+    # Sample each monitor's buffer entitlement over time.
+    samples = {name: [] for name in MONITORS}
+    for t in np.arange(0.25, DURATION_S + 1e-9, 0.25):
+        env.run(until=float(t))
+        for name, consumer in zip(MONITORS, system.consumers):
+            samples[name].append(consumer.buffer.capacity)
+    ledger.settle()
+    agg = system.aggregate_stats()
+    return system, samples, agg, ledger.average_power_w(DURATION_S)
+
+
+def main() -> None:
+    print(f"runtime monitoring: 4 monitors, shared pool of {B0 * 4} slots\n")
+
+    system, samples, agg, power = run(enable_resizing=True)
+    print("buffer entitlement per monitor, sampled every 250 ms:")
+    for name in MONITORS:
+        spark = " ".join(f"{c:3d}" for c in samples[name])
+        print(f"  {name:<15} {spark}")
+    print(
+        f"\npool invariant holds: "
+        f"{system.pool.allocated_slots} allocated ≤ {system.pool.total_slots} total; "
+        f"{system.pool.slots_lent} slots were lent overall"
+    )
+    print(
+        f"with resizing:    {agg.scheduled_wakeups} scheduled + "
+        f"{agg.overflow_wakeups} overflow wakeups, "
+        f"{agg.consumed} events handled, {power * 1000:.0f} mW"
+    )
+
+    _, _, agg_frozen, power_frozen = run(enable_resizing=False)
+    print(
+        f"without resizing: {agg_frozen.scheduled_wakeups} scheduled + "
+        f"{agg_frozen.overflow_wakeups} overflow wakeups, "
+        f"{agg_frozen.consumed} events handled, {power_frozen * 1000:.0f} mW"
+    )
+
+    saved = agg_frozen.overflow_wakeups - agg.overflow_wakeups
+    print(
+        f"\nelastic buffers absorbed bursts worth {saved} overflow wakeups "
+        "that frozen\nbuffers paid for — the hot tracer borrowed what the "
+        "watchdog never used."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Web-server scenario: worker threads consuming HTTP request queues.
+
+The paper's motivating case (§I): "HTTP requests produced by web
+browsers are stored in buffers that are consumed and processed by
+multiple threads in a web server", with the Google observation that
+servers live at 10–50 % utilisation — the regime where wakeup costs
+dominate. This example:
+
+1. synthesises a day-compressed request log with two traffic spikes
+   (think: two World Cup kick-offs);
+2. runs eight worker queues under Mutex, BP and PBPL;
+3. reports power, wakeups, utilisation and request latency percentiles
+   — the operator's actual dashboard.
+
+Run:  python examples/webserver_scenario.py
+"""
+
+from repro.core import PBPLConfig, PBPLSystem
+from repro.cpu import Machine
+from repro.impls import MultiPairSystem, PCConfig, phase_shifted_traces
+from repro.power import EnergyLedger, PowerModel
+from repro.sim import Environment, RandomStreams
+from repro.workloads import worldcup_like_trace
+
+DURATION_S = 4.0
+N_WORKERS = 8
+MEAN_RPS = 1500.0  # mean requests/s per worker queue
+
+
+def build_workload(streams: RandomStreams):
+    log = worldcup_like_trace(
+        MEAN_RPS,
+        DURATION_S,
+        streams.stream("http-log"),
+        n_flash_crowds=2,
+        flash_magnitude=5.0,
+        diurnal_depth=0.5,
+    )
+    # Each worker's queue sees the log phase-shifted, as if requests were
+    # hash-balanced across workers with time-varying skew.
+    return phase_shifted_traces(log, N_WORKERS)
+
+
+def run(kind: str):
+    env = Environment()
+    streams = RandomStreams(seed=7)
+    machine = Machine(env, n_cores=2, streams=streams)
+    model = PowerModel()
+    ledger = EnergyLedger(env, model)
+    machine.add_listener(ledger)
+    for core in machine.cores:
+        ledger.watch(core)
+    traces = build_workload(streams)
+
+    common = dict(
+        buffer_size=32,
+        service_time_s=8e-6,
+        max_response_latency_s=50e-3,  # a 50 ms SLA on queueing delay
+    )
+    if kind == "PBPL":
+        system = PBPLSystem(
+            env, machine, traces, PBPLConfig(slot_size_s=5e-3, **common)
+        ).start()
+    else:
+        system = MultiPairSystem(
+            env, machine, kind, traces, PCConfig(**common)
+        ).start()
+
+    env.run(until=DURATION_S)
+    ledger.settle()
+    agg = system.aggregate_stats()
+    return {
+        "power_mw": ledger.average_power_w(DURATION_S) * 1000,
+        "wakeups": machine.core(0).total_wakeups / DURATION_S,
+        "util_pct": machine.core(0).total_busy_s / DURATION_S * 100,
+        "served": agg.consumed,
+        "p99_ms": agg.latency_percentile(99) * 1000,
+        "max_ms": agg.max_latency_s * 1000,
+        "sla_misses": agg.deadline_misses,
+    }
+
+
+def main() -> None:
+    print(
+        f"web server: {N_WORKERS} worker queues, "
+        f"~{MEAN_RPS * N_WORKERS:.0f} req/s aggregate, "
+        f"{DURATION_S:g}s compressed trace\n"
+    )
+    header = (
+        f"{'impl':<7}{'power mW':>10}{'wakeups/s':>11}{'util %':>8}"
+        f"{'served':>9}{'p99 ms':>8}{'max ms':>8}{'SLA miss':>10}"
+    )
+    print(header)
+    print("-" * len(header))
+    rows = {}
+    for kind in ("Mutex", "BP", "PBPL"):
+        r = run(kind)
+        rows[kind] = r
+        print(
+            f"{kind:<7}{r['power_mw']:>10.1f}{r['wakeups']:>11.0f}"
+            f"{r['util_pct']:>8.1f}{r['served']:>9d}{r['p99_ms']:>8.2f}"
+            f"{r['max_ms']:>8.1f}{r['sla_misses']:>10d}"
+        )
+    print()
+    saving = 1 - rows["PBPL"]["power_mw"] / rows["Mutex"]["power_mw"]
+    print(
+        f"PBPL serves the same load with {saving * 100:.0f}% less power than "
+        "Mutex,\nwhile keeping p99 queueing delay at "
+        f"{rows['PBPL']['p99_ms']:.1f} ms (SLA: 50 ms)."
+    )
+    print(
+        "Note the utilisation column: all implementations do the same work —\n"
+        "the power gap is purely *how* the CPU sleeps between requests."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,25 @@
+"""Buffer substrates for every producer-consumer implementation.
+
+* :class:`RingBuffer` — the classic circular buffer (BW/Yield/Sem/BP/
+  PBP/SPBP, paper §III-A);
+* :class:`BoundedBuffer` — the counted non-circular buffer of the Mutex
+  implementation;
+* :class:`SegmentedBuffer` — linked-segment FIFO with O(1) capacity
+  adjustment (PBPL's resizable per-consumer buffer, §V-C);
+* :class:`GlobalBufferPool` — the elastic global preallocation that
+  lends slots between consumers (paper Fig. 8).
+"""
+
+from repro.buffers.bounded import BoundedBuffer
+from repro.buffers.pool import GlobalBufferPool
+from repro.buffers.ring import BufferOverflow, BufferUnderflow, RingBuffer
+from repro.buffers.segmented import SegmentedBuffer
+
+__all__ = [
+    "BoundedBuffer",
+    "BufferOverflow",
+    "BufferUnderflow",
+    "GlobalBufferPool",
+    "RingBuffer",
+    "SegmentedBuffer",
+]

@@ -1,0 +1,89 @@
+"""Counted (non-circular) bounded buffer.
+
+The paper's Mutex implementation "uses a mutex to ensure mutually
+exclusive concurrent access to a *non-circular* buffer … reading and
+writing from it requires atomicity to be able to track the number of
+items inside" (§III-A). This class is that buffer: a plain FIFO with an
+explicit item count, no head/tail arithmetic.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Iterator, List, Optional
+
+from repro.buffers.ring import BufferOverflow, BufferUnderflow
+
+
+class BoundedBuffer:
+    """A FIFO with an explicit count and a capacity bound."""
+
+    __slots__ = ("_items", "_capacity", "pushes", "pops", "overflows")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._items: Deque[Any] = deque()
+        self._capacity = capacity
+        self.pushes = 0
+        self.pops = 0
+        self.overflows = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def count(self) -> int:
+        """The tracked number of items (the Mutex-guarded counter)."""
+        return len(self._items)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._items
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._items) >= self._capacity
+
+    @property
+    def free(self) -> int:
+        return self._capacity - len(self._items)
+
+    def push(self, item: Any) -> None:
+        if self.is_full:
+            self.overflows += 1
+            raise BufferOverflow(f"bounded buffer full (capacity {self._capacity})")
+        self._items.append(item)
+        self.pushes += 1
+
+    def try_push(self, item: Any) -> bool:
+        if self.is_full:
+            self.overflows += 1
+            return False
+        self.push(item)
+        return True
+
+    def pop(self) -> Any:
+        if not self._items:
+            raise BufferUnderflow("pop from an empty bounded buffer")
+        self.pops += 1
+        return self._items.popleft()
+
+    def peek(self) -> Any:
+        if not self._items:
+            raise BufferUnderflow("peek at an empty bounded buffer")
+        return self._items[0]
+
+    def drain(self, limit: Optional[int] = None) -> List[Any]:
+        n = len(self._items) if limit is None else min(limit, len(self._items))
+        return [self.pop() for _ in range(n)]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items)
+
+    def __repr__(self) -> str:
+        return f"<BoundedBuffer {len(self._items)}/{self._capacity}>"

@@ -1,0 +1,130 @@
+"""The global buffer pool behind dynamic buffer resizing (paper §V-C).
+
+Every consumer starts with a preallocated slice ``B0`` of a global
+buffer of size ``Bg = B0 × M``. Consumers *downsize* to exactly what
+their rate prediction needs (returning slack to the pool) and *upsize*
+when a predicted burst would overflow before their reserved slot,
+taking at most what the pool has free:
+
+    Bi = min( Bg − Σq Bq ,  r̂·(τ_{j+1} − τ_j) )
+
+The pool tracks entitlements (who may hold how many slots); the items
+themselves live in each consumer's :class:`SegmentedBuffer`, whose
+capacity the pool adjusts — the "elastic walls" of the paper's Fig. 8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.buffers.segmented import SegmentedBuffer
+
+
+class GlobalBufferPool:
+    """Entitlement manager over ``Bg = base_allocation × n_consumers`` slots.
+
+    Parameters
+    ----------
+    base_allocation:
+        B0 — every registered consumer's initial (and guaranteed
+        reclaimable) share.
+    n_consumers:
+        M — number of consumers the pool is sized for.
+    """
+
+    def __init__(self, base_allocation: int, n_consumers: int) -> None:
+        if base_allocation < 1:
+            raise ValueError("base allocation must be >= 1")
+        if n_consumers < 1:
+            raise ValueError("pool needs at least one consumer")
+        self.base_allocation = base_allocation
+        self.n_consumers = n_consumers
+        self.total_slots = base_allocation * n_consumers
+        self._buffers: Dict[str, SegmentedBuffer] = {}
+        #: Lifetime grants / denials, for the evaluation metrics.
+        self.upsize_requests = 0
+        self.upsize_grants = 0
+        self.slots_lent = 0
+
+    # -- registration ------------------------------------------------------
+    def register(self, consumer_id: str, segment_size: int = 16) -> SegmentedBuffer:
+        """Create (and entitle B0 slots to) a consumer's buffer."""
+        if consumer_id in self._buffers:
+            raise ValueError(f"consumer {consumer_id!r} already registered")
+        if len(self._buffers) >= self.n_consumers:
+            raise ValueError(f"pool sized for {self.n_consumers} consumers")
+        buffer = SegmentedBuffer(self.base_allocation, segment_size=segment_size)
+        self._buffers[consumer_id] = buffer
+        return buffer
+
+    def buffer(self, consumer_id: str) -> SegmentedBuffer:
+        return self._buffers[consumer_id]
+
+    # -- accounting -------------------------------------------------------------
+    @property
+    def allocated_slots(self) -> int:
+        """Σq Bq — slots currently entitled across all consumers."""
+        return sum(b.capacity for b in self._buffers.values())
+
+    @property
+    def free_slots(self) -> int:
+        """Bg − Σq Bq, minus the reserve backing unregistered consumers."""
+        reserve = (self.n_consumers - len(self._buffers)) * self.base_allocation
+        return self.total_slots - reserve - self.allocated_slots
+
+    def average_capacity(self) -> float:
+        """Mean per-consumer entitlement right now."""
+        if not self._buffers:
+            return 0.0
+        return self.allocated_slots / len(self._buffers)
+
+    # -- resizing ----------------------------------------------------------------
+    def downsize(self, consumer_id: str, target_capacity: int) -> int:
+        """Shrink a consumer's entitlement toward ``target_capacity``.
+
+        The effective floor is the buffer's current occupancy (items are
+        never discarded) and 1 slot. Returns the new capacity.
+        """
+        buffer = self._buffers[consumer_id]
+        target = max(1, target_capacity)
+        if target >= buffer.capacity:
+            return buffer.capacity  # downsize never grows
+        return buffer.set_capacity(target)
+
+    def upsize(self, consumer_id: str, desired_capacity: int) -> int:
+        """Grow a consumer's entitlement toward ``desired_capacity``.
+
+        Grants ``min(free pool space, desired)`` extra slots — the
+        paper's upsizing rule. Returns the new capacity (which may be
+        unchanged if the pool is exhausted).
+        """
+        buffer = self._buffers[consumer_id]
+        self.upsize_requests += 1
+        if desired_capacity <= buffer.capacity:
+            return buffer.capacity
+        extra_wanted = desired_capacity - buffer.capacity
+        extra_granted = min(extra_wanted, max(0, self.free_slots))
+        if extra_granted <= 0:
+            return buffer.capacity
+        self.upsize_grants += 1
+        self.slots_lent += extra_granted
+        return buffer.set_capacity(buffer.capacity + extra_granted)
+
+    def release_to_base(self, consumer_id: str) -> int:
+        """Return any borrowed slots (down to B0) when no longer needed."""
+        return self.downsize(consumer_id, self.base_allocation)
+
+    def check_invariant(self) -> None:
+        """Entitlements never exceed the global preallocation."""
+        reserve = (self.n_consumers - len(self._buffers)) * self.base_allocation
+        if self.allocated_slots + reserve > self.total_slots:
+            raise AssertionError(
+                f"pool over-committed: {self.allocated_slots} allocated "
+                f"+ {reserve} reserved > {self.total_slots} total"
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"<GlobalBufferPool {self.allocated_slots}/{self.total_slots} "
+            f"consumers={len(self._buffers)}>"
+        )

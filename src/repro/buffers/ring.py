@@ -1,0 +1,114 @@
+"""Fixed-capacity circular buffer.
+
+The paper's BW, Yield, Sem, BP, PBP and SPBP implementations all share
+"a common bounded-size memory buffer as a queue" implemented as a
+circular buffer (§III-A). This one is deliberately faithful to the
+classic head/tail formulation — including the property the busy-wait
+consumer polls (``tail != head`` ⇔ non-empty).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional
+
+
+class BufferOverflow(Exception):
+    """Raised by :meth:`RingBuffer.push` when the buffer is full."""
+
+
+class BufferUnderflow(Exception):
+    """Raised by :meth:`RingBuffer.pop` when the buffer is empty."""
+
+
+class RingBuffer:
+    """A bounded FIFO over a preallocated slot array.
+
+    One slot is *not* sacrificed (an explicit count disambiguates full
+    from empty), so a buffer of capacity ``n`` really holds ``n`` items
+    — matching the paper's buffer-size parameters (25/50/100).
+    """
+
+    __slots__ = ("_slots", "_head", "_tail", "_count", "pushes", "pops", "overflows")
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._slots: List[Any] = [None] * capacity
+        self._head = 0  # next slot to pop
+        self._tail = 0  # next slot to push
+        self._count = 0
+        #: Lifetime operation counters (used by experiment metrics).
+        self.pushes = 0
+        self.pops = 0
+        self.overflows = 0
+
+    # -- state -------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return len(self._slots)
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def is_empty(self) -> bool:
+        return self._count == 0
+
+    @property
+    def is_full(self) -> bool:
+        return self._count == len(self._slots)
+
+    @property
+    def free(self) -> int:
+        """Unoccupied slots."""
+        return len(self._slots) - self._count
+
+    # -- operations -----------------------------------------------------------
+    def push(self, item: Any) -> None:
+        """Append ``item``; raises :class:`BufferOverflow` when full."""
+        if self.is_full:
+            self.overflows += 1
+            raise BufferOverflow(f"ring buffer full (capacity {self.capacity})")
+        self._slots[self._tail] = item
+        self._tail = (self._tail + 1) % len(self._slots)
+        self._count += 1
+        self.pushes += 1
+
+    def try_push(self, item: Any) -> bool:
+        """Append ``item`` if space allows; returns success."""
+        if self.is_full:
+            self.overflows += 1
+            return False
+        self.push(item)
+        return True
+
+    def pop(self) -> Any:
+        """Remove and return the oldest item; raises on empty."""
+        if self.is_empty:
+            raise BufferUnderflow("pop from an empty ring buffer")
+        item = self._slots[self._head]
+        self._slots[self._head] = None
+        self._head = (self._head + 1) % len(self._slots)
+        self._count -= 1
+        self.pops += 1
+        return item
+
+    def peek(self) -> Any:
+        """The oldest item without removing it; raises on empty."""
+        if self.is_empty:
+            raise BufferUnderflow("peek at an empty ring buffer")
+        return self._slots[self._head]
+
+    def drain(self, limit: Optional[int] = None) -> List[Any]:
+        """Pop up to ``limit`` items (all, if None) — the batch-processing
+        primitive: one invocation empties the buffer in one sweep."""
+        n = self._count if limit is None else min(limit, self._count)
+        return [self.pop() for _ in range(n)]
+
+    def __iter__(self) -> Iterator[Any]:
+        """Iterate oldest → newest without consuming."""
+        for i in range(self._count):
+            yield self._slots[(self._head + i) % len(self._slots)]
+
+    def __repr__(self) -> str:
+        return f"<RingBuffer {self._count}/{self.capacity}>"

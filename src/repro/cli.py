@@ -1,0 +1,330 @@
+"""Command-line interface: regenerate the paper's figures from a shell.
+
+Installed as the ``repro`` console script (also ``python -m repro``)::
+
+    repro fig9                      # Figure 9 (5 consumers, buffer 25)
+    repro fig10 --counts 2,5,10    # Figure 10 (consumer scaling)
+    repro fig11 --sizes 25,50,100  # Figure 11 (buffer sweep)
+    repro profile                   # Figures 3 & 4 (the §III study)
+    repro accounting                # §VI-C wakeup accounting scalars
+    repro sanity                    # the paper's §III-C1 rig checks
+    repro trace generate -o t.npz   # synthesise & archive a workload
+    repro trace inspect t.npz       # summarise a workload's character
+
+Common options (figures): ``--duration``, ``--replicates``, ``--seed``,
+``--csv FILE`` (raw per-run metrics), ``--out FILE`` (the text figure).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.harness import (
+    StandardParams,
+    run_buffer_sweep,
+    run_consumer_scaling,
+    run_multi_comparison,
+    run_profile_study,
+    run_sanity_checks,
+    run_single_pair,
+    run_wakeup_accounting,
+    runs_to_csv,
+)
+from repro.sim.rng import RandomStreams
+from repro.workloads import (
+    load_trace,
+    mmpp_trace,
+    poisson_trace,
+    save_trace,
+    summarise_trace,
+    trace_from_clf,
+    worldcup_like_trace,
+)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--duration", type=float, default=3.0, help="simulated seconds per run"
+    )
+    parser.add_argument(
+        "--replicates", type=int, default=3, help="replicates per cell"
+    )
+    parser.add_argument("--seed", type=int, default=2014, help="experiment seed")
+    parser.add_argument(
+        "--rate", type=float, default=2200.0, help="mean items/s per producer"
+    )
+    parser.add_argument(
+        "--out", type=Path, default=None, help="also write the text figure here"
+    )
+    parser.add_argument(
+        "--csv", type=Path, default=None, help="export raw per-run metrics as CSV"
+    )
+
+
+def _params(args: argparse.Namespace) -> StandardParams:
+    return StandardParams(
+        duration_s=args.duration,
+        replicates=args.replicates,
+        seed=args.seed,
+        mean_rate_per_s=args.rate,
+    )
+
+
+def _ints(text: str) -> List[int]:
+    try:
+        return [int(x) for x in text.split(",") if x.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected comma-separated ints: {text!r}")
+
+
+def _emit(args: argparse.Namespace, text: str, runs=None) -> None:
+    print(text)
+    if args.out is not None:
+        args.out.write_text(text + "\n", encoding="utf-8")
+    if args.csv is not None and runs is not None:
+        runs_to_csv(runs, args.csv)
+
+
+# -- figure commands -------------------------------------------------------------
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    result = run_profile_study(_params(args))
+    _emit(args, result.render(), result.runs)
+    return 0
+
+
+def cmd_fig9(args: argparse.Namespace) -> int:
+    result = run_multi_comparison(
+        _params(args), n_consumers=args.consumers, buffer_size=args.buffer
+    )
+    _emit(args, result.render(), result.runs)
+    return 0
+
+
+def cmd_fig10(args: argparse.Namespace) -> int:
+    result = run_consumer_scaling(_params(args), counts=args.counts)
+    runs = [r for cell in result.cells.values() for r in cell.runs]
+    _emit(args, result.render(), runs)
+    return 0
+
+
+def cmd_fig11(args: argparse.Namespace) -> int:
+    result = run_buffer_sweep(_params(args), sizes=args.sizes)
+    runs = [r for cell in result.cells.values() for r in cell.runs]
+    _emit(args, result.render(), runs)
+    return 0
+
+
+def cmd_accounting(args: argparse.Namespace) -> int:
+    result = run_wakeup_accounting(_params(args), buffer_size=args.buffer)
+    _emit(args, result.render())
+    return 0
+
+
+def cmd_sanity(args: argparse.Namespace) -> int:
+    params = _params(args)
+    runs = [
+        run_single_pair(name, params, rep)
+        for name in ("Mutex", "BP", "SPBP")
+        for rep in range(params.replicates)
+    ]
+    report = run_sanity_checks(runs, params)
+    _emit(args, report.render(), runs)
+    return 0 if report.all_passed else 1
+
+
+def cmd_all(args: argparse.Namespace) -> int:
+    """Regenerate the whole evaluation as one markdown report."""
+    from repro.harness.report import build_full_report
+
+    report = build_full_report(_params(args), progress=lambda m: print(m, flush=True))
+    text = report.render()
+    out = args.out or Path("REPORT.md")
+    out.write_text(text + "\n", encoding="utf-8")
+    print(f"\nwrote {out} ({report.total_runtime_s:.0f}s of experiments)")
+    return 0
+
+
+def cmd_tune(args: argparse.Namespace) -> int:
+    """Probe slot sizes against these parameters and report the knee."""
+    from repro.harness.tuning import suggest_slot_size
+
+    result = suggest_slot_size(
+        _params(args),
+        candidates_s=[c * 1e-3 for c in args.candidates_ms]
+        if args.candidates_ms
+        else None,
+        n_consumers=args.consumers,
+        probe_replicates=args.replicates,
+    )
+    text = result.render() + (
+        f"\n\nsuggested Δ = {result.best_slot_size_s * 1000:g} ms"
+    )
+    _emit(args, text)
+    return 0
+
+
+def cmd_waveform(args: argparse.Namespace) -> int:
+    """Render the machine's power waveform for one implementation —
+    the paper's Figure 1 intuition, live."""
+    from repro.core import PBPLSystem
+    from repro.harness.runner import CONSUMER_CORE, Rig
+    from repro.impls import MultiPairSystem, phase_shifted_traces
+    from repro.power import PowerTimeline
+
+    params = _params(args)
+    rig = Rig.build(params, 0)
+    timeline = PowerTimeline(rig.env, rig.model, [rig.machine.core(CONSUMER_CORE)])
+    rig.machine.core(CONSUMER_CORE).add_listener(timeline)
+    traces = phase_shifted_traces(params.trace(rig.streams), args.consumers)
+    if args.impl == "PBPL":
+        PBPLSystem(
+            rig.env, rig.machine, traces, params.pbpl_config(),
+            consumer_cores=[CONSUMER_CORE],
+        ).start()
+    else:
+        MultiPairSystem(
+            rig.env, rig.machine, args.impl, traces, params.pc_config(),
+            consumer_cores=[CONSUMER_CORE],
+        ).start()
+    rig.env.run(until=params.duration_s)
+    t1 = min(args.window_s, params.duration_s)
+    text = (
+        f"{args.impl}, {args.consumers} consumers — consumer-core power "
+        f"waveform (first {t1:g}s)\n"
+        + timeline.render(0.0, t1, width=args.width)
+        + f"\n{len(timeline.impulses)} wakeup impulses in the whole run"
+    )
+    _emit(args, text)
+    return 0
+
+
+# -- trace commands ----------------------------------------------------------------
+
+
+def cmd_trace_generate(args: argparse.Namespace) -> int:
+    rng = RandomStreams(seed=args.seed).stream("cli-trace")
+    if args.kind == "worldcup":
+        trace = worldcup_like_trace(args.rate, args.duration, rng)
+    elif args.kind == "poisson":
+        trace = poisson_trace(args.rate, args.duration, rng)
+    elif args.kind == "mmpp":
+        trace = mmpp_trace(
+            [args.rate / 3, args.rate * 2], [0.5, 0.2], args.duration, rng
+        )
+    else:  # pragma: no cover - argparse choices guard this
+        raise ValueError(args.kind)
+    save_trace(trace, args.output)
+    print(summarise_trace(trace).render())
+    print(f"\nsaved to {args.output}")
+    return 0
+
+
+def cmd_trace_inspect(args: argparse.Namespace) -> int:
+    path = args.file
+    if path.suffix == ".npz":
+        trace = load_trace(path)
+    else:
+        trace = trace_from_clf(path)
+    print(summarise_trace(trace).render())
+    return 0
+
+
+# -- parser assembly --------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Power-efficient Multiple Producer-Consumer' "
+        "(IPDPS 2014) — figures, sanity checks, workload tooling.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("profile", help="Figures 3 & 4: the §III study")
+    _add_common(p)
+    p.set_defaults(func=cmd_profile)
+
+    p = sub.add_parser("fig9", help="Figure 9: 4 implementations, N consumers")
+    _add_common(p)
+    p.add_argument("--consumers", type=int, default=5)
+    p.add_argument("--buffer", type=int, default=25)
+    p.set_defaults(func=cmd_fig9)
+
+    p = sub.add_parser("fig10", help="Figure 10: consumer-count sweep")
+    _add_common(p)
+    p.add_argument("--counts", type=_ints, default=[2, 5, 10])
+    p.set_defaults(func=cmd_fig10)
+
+    p = sub.add_parser("fig11", help="Figure 11: buffer-size sweep")
+    _add_common(p)
+    p.add_argument("--sizes", type=_ints, default=[25, 50, 100])
+    p.set_defaults(func=cmd_fig11)
+
+    p = sub.add_parser("accounting", help="§VI-C wakeup accounting scalars")
+    _add_common(p)
+    p.add_argument("--buffer", type=int, default=25)
+    p.set_defaults(func=cmd_accounting)
+
+    p = sub.add_parser("sanity", help="the paper's §III-C1 rig checks")
+    _add_common(p)
+    p.set_defaults(func=cmd_sanity)
+
+    p = sub.add_parser("tune", help="auto-tune the slot size Δ for a workload")
+    _add_common(p)
+    p.add_argument("--consumers", type=int, default=5)
+    p.add_argument(
+        "--candidates_ms",
+        type=lambda s: [float(x) for x in s.split(",") if x.strip()],
+        default=None,
+        help="comma-separated candidate slot sizes in ms (default: L-derived grid)",
+    )
+    p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser("all", help="every figure, one markdown report")
+    _add_common(p)
+    p.set_defaults(func=cmd_all)
+
+    p = sub.add_parser("waveform", help="ASCII power waveform (Fig. 1, live)")
+    _add_common(p)
+    p.add_argument(
+        "--impl", default="PBPL", help="implementation (PBPL or a §III name)"
+    )
+    p.add_argument("--consumers", type=int, default=3)
+    p.add_argument("--window_s", type=float, default=0.25, help="window to draw")
+    p.add_argument("--width", type=int, default=72)
+    p.set_defaults(func=cmd_waveform)
+
+    trace = sub.add_parser("trace", help="workload tooling")
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+
+    p = tsub.add_parser("generate", help="synthesise and archive a trace")
+    p.add_argument(
+        "--kind", choices=("worldcup", "poisson", "mmpp"), default="worldcup"
+    )
+    p.add_argument("--rate", type=float, default=2200.0)
+    p.add_argument("--duration", type=float, default=10.0)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", type=Path, required=True)
+    p.set_defaults(func=cmd_trace_generate)
+
+    p = tsub.add_parser("inspect", help="summarise a .npz or CLF trace")
+    p.add_argument("file", type=Path)
+    p.set_defaults(func=cmd_trace_inspect)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

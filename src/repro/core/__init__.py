@@ -1,0 +1,46 @@
+"""PBPL — the paper's contribution: periodic batch processing with
+latching, rate prediction and dynamic buffer resizing (Sections IV–V)."""
+
+from repro.core.config import PBPLConfig
+from repro.core.consumer import LatchingConsumer
+from repro.core.manager import CoreManager
+from repro.core.predictors import (
+    EWMA,
+    Kalman,
+    MovingAverage,
+    PREDICTORS,
+    RatePredictor,
+    make_predictor,
+)
+from repro.core.oracle import OracleResult, optimal_wakeups, verify_schedule
+from repro.core.resource_aware import (
+    ResourceAwareConfig,
+    ResourceAwareConsumer,
+    ResourceAwareSystem,
+    ResourceWeights,
+    pareto_weights,
+)
+from repro.core.slots import SlotTrack
+from repro.core.system import PBPLSystem
+
+__all__ = [
+    "CoreManager",
+    "EWMA",
+    "Kalman",
+    "LatchingConsumer",
+    "MovingAverage",
+    "OracleResult",
+    "PBPLConfig",
+    "PBPLSystem",
+    "PREDICTORS",
+    "RatePredictor",
+    "ResourceAwareConfig",
+    "ResourceAwareConsumer",
+    "ResourceAwareSystem",
+    "ResourceWeights",
+    "SlotTrack",
+    "make_predictor",
+    "optimal_wakeups",
+    "pareto_weights",
+    "verify_schedule",
+]

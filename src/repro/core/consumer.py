@@ -1,0 +1,283 @@
+"""The PBPL consumer (paper §V-C): predict → reserve → resize.
+
+Each consumer is autonomous. When activated (by its core manager at a
+reserved slot, or by a buffer overflow), it drains its buffer in one
+batch, then:
+
+1. **Prediction** — records the rate over the last inter-invocation gap
+   (``r_j = |γ|/(τ_j − τ_{j-1})``) into its predictor and reads ``r̂``;
+2. **Reservation** — evaluates the per-item cost function (Eq. 8)
+
+       ρ(s_j) = (w(s_j) + e(r̂·(s_j−s_i))) / (r̂·(s_j−s_i))
+
+   starting at the buffer-fill horizon ``g(s_i + B/r̂)`` (capped by the
+   max response latency) and backtracking toward reserved slots —
+   thanks to the track's constant-time helper, exactly two candidates
+   need comparing: the ideal slot and the latest already-reserved slot
+   before it. Reserved slots have ``w = 0``: that is *latching*.
+3. **Dynamic resizing** — shrinks its buffer to the predicted batch for
+   the chosen slot (releasing slack into the global pool) or grows it
+   from the pool when the prediction would overflow sooner.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Optional
+
+from repro.buffers.pool import GlobalBufferPool
+from repro.cpu.core import Core
+from repro.core.config import PBPLConfig
+from repro.core.manager import CoreManager
+from repro.core.predictors import RatePredictor, make_predictor
+from repro.impls.base import PairStats, Producer
+from repro.impls.single import WAKE_CHECK_S
+from repro.workloads.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.environment import Environment
+
+
+class LatchingConsumer:
+    """One PBPL producer-consumer pair member (the consumer side)."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        core: Core,
+        manager: CoreManager,
+        pool: GlobalBufferPool,
+        trace: Trace,
+        config: PBPLConfig,
+        owner: str = "consumer",
+        predictor: Optional[RatePredictor] = None,
+    ) -> None:
+        self.env = env
+        self.core = core
+        self.manager = manager
+        self.pool = pool
+        self.trace = trace
+        self.config = config
+        self.owner = owner
+        self.stats = PairStats()
+        self.predictor = predictor or make_predictor(
+            config.predictor,
+            **(
+                {"window": config.predictor_window}
+                if config.predictor == "moving-average"
+                else {}
+            ),
+        )
+        self.buffer = pool.register(owner)
+        self.in_flight = 0
+        self._space_event = None
+        self._activation = None
+        self._overflow = None
+        self._done = None
+        self._last_invocation = env.now
+        # Time-weighted buffer-capacity average (the paper's "average
+        # buffer size" metric under dynamic resizing).
+        self._created_at = env.now
+        self._cap_last_change = env.now
+        self._cap_weighted_sum = 0.0
+
+    # -- producer side -----------------------------------------------------------
+    def deliver(self, t: float):
+        """Delivery routine handed to the :class:`Producer`."""
+        if self.buffer.is_full:
+            self.stats.overflows += 1
+            self._trigger_overflow()
+            while self.buffer.is_full:
+                self._space_event = self.env.event()
+                yield self._space_event
+        self.buffer.push(t)
+        if self.buffer.is_full:
+            self._trigger_overflow()
+
+    def _trigger_overflow(self) -> None:
+        if self._overflow is not None and not self._overflow.triggered:
+            self._overflow.succeed()
+            self._overflow = None
+
+    def _notify_space(self) -> None:
+        if self._space_event is not None and not self._space_event.triggered:
+            self._space_event.succeed()
+        self._space_event = None
+
+    # -- manager side --------------------------------------------------------------
+    def activate(self, slot_index: int):
+        """Called by the core manager when a reserved slot fires.
+
+        Returns an event that triggers when this consumer has finished
+        its batch (or None if the consumer is mid-overflow and will
+        re-reserve on its own)."""
+        if self._activation is None or self._activation.triggered:
+            return None  # busy handling an overflow right now
+        self._done = self.env.event()
+        self._activation.succeed(slot_index)
+        return self._done
+
+    # -- the consumer process ----------------------------------------------------
+    def process(self):
+        env = self.env
+        cfg = self.config
+        # Bootstrap: no history yet — reserve the very next slot.
+        self.manager.reserve(self, self.manager.track.slot_of(env.now) + 1)
+        while True:
+            self._activation = env.event()
+            self._overflow = env.event()
+            if self.buffer.is_full:
+                # Refilled to the brim while we were still processing the
+                # previous batch: handle as an immediate overflow wake.
+                scheduled = False
+            else:
+                yield env.any_of([self._activation, self._overflow])
+                scheduled = self._activation.triggered
+            self._activation = None
+            self._overflow = None
+            if not scheduled:
+                self.stats.overflow_wakeups += 1
+                # We are awake outside our reservation: withdraw it so
+                # the manager does not wake the core for a drained buffer.
+                self.manager.cancel(self)
+            else:
+                self.stats.scheduled_wakeups += 1
+            self.stats.invocations += 1
+
+            hold = yield from self.core.acquire(self.owner, after_block=True)
+            yield from hold.busy(WAKE_CHECK_S)
+            batch = self.buffer.drain()
+            self.in_flight = len(batch)
+            self._notify_space()
+            for t in batch:
+                yield from hold.busy(cfg.service_time_s)
+                self.stats.consumed += 1
+                self.stats.record_latency(
+                    env.now - t, cfg.max_response_latency_s, cfg.track_latencies
+                )
+                self.in_flight -= 1
+
+            # Prediction update (r_j over the inter-invocation gap).
+            gap = env.now - self._last_invocation
+            if gap > 0:
+                self.predictor.observe(len(batch) / gap)
+            self._last_invocation = env.now
+
+            self._make_reservation()
+            hold.release()
+
+            if scheduled and self._done is not None:
+                self._done.succeed()
+                self._done = None
+
+    # -- reservation & resizing ---------------------------------------------------
+    def _rho(self, slot_index: int, now: float, r_hat: float) -> float:
+        """The paper's Eq. 8, per-item cost of draining at ``slot_index``."""
+        cfg = self.config
+        dt = self.manager.track.time_of(slot_index) - now
+        n = max(r_hat * dt, 1e-9)
+        w = 0.0 if self.manager.track.is_reserved(slot_index) else cfg.wakeup_cost_j
+        return (w + n * cfg.energy_per_item_j) / n
+
+    def _make_reservation(self) -> None:
+        env = self.env
+        cfg = self.config
+        track = self.manager.track
+        now = env.now
+        current = track.slot_of(now)
+        r_hat = self.predictor.predict()
+
+        # Horizon: when the buffer is predicted to fill, but never past
+        # the response-latency bound (§IV-A). Planning uses at least the
+        # base entitlement B0: a previous downsizing lent slots to the
+        # pool, but B0 is this consumer's reclaimable share — planning
+        # with the shrunken capacity would feed back into ever-closer
+        # reservations regardless of the configured buffer size.
+        plan_capacity = max(self.buffer.capacity, self.pool.base_allocation)
+        if r_hat is None or r_hat <= 0:
+            horizon = cfg.max_response_latency_s
+        else:
+            horizon = min(plan_capacity / r_hat, cfg.max_response_latency_s)
+        chosen = self._pick_slot(now + horizon, now, current, r_hat)
+
+        if cfg.enable_resizing:
+            self._resize_for(chosen, r_hat)
+            if r_hat is not None and r_hat > 0:
+                gap = track.time_of(chosen) - now
+                if self.buffer.capacity < r_hat * gap:
+                    # The pool could not back the planned slot ("fails to
+                    # find a slot that can support its expected high
+                    # rate", §V-C): fall back to the latest slot the
+                    # granted capacity *can* support.
+                    supported = now + self.buffer.capacity / r_hat
+                    closer = self._pick_slot(supported, now, current, r_hat)
+                    chosen = min(chosen, closer)
+        self.manager.reserve(self, chosen)
+
+    def _pick_slot(
+        self, target_time: float, now: float, current: int, r_hat: Optional[float]
+    ) -> int:
+        """Ideal slot for ``target_time``, latched via the ρ comparison."""
+        cfg = self.config
+        track = self.manager.track
+        ideal = track.slot_of(target_time)
+        if ideal <= current:
+            ideal = current + 1
+        chosen = ideal
+        if cfg.enable_latching and r_hat is not None and r_hat > 0:
+            latched = track.last_reserved_at_or_before(ideal, strictly_after=current)
+            if latched is not None and latched != ideal:
+                # Two candidates (constant-time backtracking): prefer the
+                # strictly cheaper per-item cost; ties go to latching.
+                if self._rho(latched, now, r_hat) <= self._rho(ideal, now, r_hat):
+                    chosen = latched
+        return chosen
+
+    def _resize_for(self, slot_index: int, r_hat: Optional[float]) -> None:
+        """Shrink to the predicted batch, or grow from the pool
+        (``B_i = min(B_g − ΣB_q, r̂·(τ_{j+1} − τ_j))``)."""
+        if r_hat is None:
+            return
+        # Sizing horizon: the gap to the reserved slot, but never less
+        # than one full slot — an overflow wake lands mid-slot, and
+        # sizing for the sliver of time left would shrink the buffer
+        # into an overflow cascade.
+        dt = max(
+            self.manager.track.time_of(slot_index) - self.env.now,
+            self.manager.track.slot_size_s,
+        )
+        needed = max(1, math.ceil(r_hat * dt * (1 + self.config.resize_margin)))
+        before = self.buffer.capacity
+        if needed > self.buffer.capacity:
+            self.pool.upsize(self.owner, needed)
+        elif needed < self.buffer.capacity:
+            self.pool.downsize(self.owner, needed)
+        if self.buffer.capacity != before:
+            now = self.env.now
+            self._cap_weighted_sum += before * (now - self._cap_last_change)
+            self._cap_last_change = now
+        if not self.buffer.is_full:
+            # Growing the buffer frees space just like draining does; a
+            # producer blocked on the old wall must learn about it.
+            self._notify_space()
+
+    def average_buffer_capacity(self, until: Optional[float] = None) -> float:
+        """Time-weighted mean of this consumer's buffer capacity."""
+        at = self.env.now if until is None else until
+        total = self._cap_weighted_sum + self.buffer.capacity * (
+            at - self._cap_last_change
+        )
+        elapsed = at - self._created_at
+        return total / elapsed if elapsed > 0 else float(self.buffer.capacity)
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> "LatchingConsumer":
+        producer = Producer(
+            self.env, self.trace, self.deliver, self.stats, f"{self.owner}-producer"
+        )
+        self.env.process(producer.process(), name=f"{self.owner}-producer")
+        self.env.process(self.process(), name=self.owner)
+        return self
+
+    def __repr__(self) -> str:
+        return f"<LatchingConsumer {self.owner!r} buf={self.buffer!r}>"

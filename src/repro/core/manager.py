@@ -1,0 +1,131 @@
+"""The per-core manager (paper §V-B).
+
+One manager owns one core's slot track. Its loop is the paper's Fig. 7:
+sleep until the next slot *with at least one reservation* (never waking
+the core needlessly), activate every consumer registered there, wait for
+them all to finish, then pick the next reserved slot. Reservation
+changes while it sleeps re-arm the timer, and the manager feeds the
+core's idle logic the exact next-wake time — one of PBPL's quiet
+advantages, since a core that knows its wakeup horizon can pick a deep
+C-state.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.cpu.core import Core
+from repro.cpu.timers import TimerService
+from repro.core.slots import SlotTrack
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.environment import Environment
+    from repro.core.consumer import LatchingConsumer
+
+
+class CoreManager:
+    """Slot scheduler for one core."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        core: Core,
+        timers: TimerService,
+        slot_size_s: float,
+        grid_origin_s: float = 0.0,
+    ) -> None:
+        self.env = env
+        self.core = core
+        self.timers = timers
+        # All managers default to a shared grid origin: on hardware with
+        # cluster-level idle states, aligning slots *across* cores makes
+        # the cores' idle windows coincide (see repro.cpu.cluster and
+        # the cluster-alignment benchmark).
+        self.track = SlotTrack(slot_size_s, origin_s=grid_origin_s)
+        self._changed = None
+        #: Slots fired with ≥1 reservation — the paper's "upper bound"
+        #: count of scheduled wakeups.
+        self.scheduled_wakeups = 0
+        #: Consumer activations delivered (≥ scheduled_wakeups; the
+        #: surplus is the latching win).
+        self.activations = 0
+
+    # -- reservation interface (used by consumers) -----------------------------
+    def reserve(self, consumer: "LatchingConsumer", slot_index: int) -> None:
+        """Reserve ``slot_index`` for ``consumer`` (replacing its previous
+        reservation) and re-arm the manager's timer."""
+        now_slot = self.track.slot_of(self.env.now)
+        if slot_index <= now_slot:
+            raise ValueError(
+                f"reservation must be in a future slot (now={now_slot}, "
+                f"requested={slot_index})"
+            )
+        self.track.reserve(slot_index, consumer)
+        self._notify_change()
+
+    def cancel(self, consumer: "LatchingConsumer") -> None:
+        """Withdraw the consumer's reservation (e.g. it is handling an
+        overflow right now and will re-reserve afterwards)."""
+        if self.track.cancel(consumer) is not None:
+            self._notify_change()
+
+    def _notify_change(self) -> None:
+        if self._changed is not None and not self._changed.triggered:
+            self._changed.succeed()
+        self._changed = None
+
+    # -- the manager process ----------------------------------------------------
+    def process(self):
+        """The manager's simulation process (paper Fig. 7 loop)."""
+        env = self.env
+        while True:
+            # Overdue slots (their start passed while we waited for slow
+            # consumers) fire immediately — a reservation is a promise.
+            next_slot = self.track.earliest_reserved_slot()
+
+            if next_slot is None:
+                # Nothing reserved anywhere: sleep until something is.
+                self.core.set_next_wake_hint(None)
+                changed = env.event()
+                self._changed = changed
+                yield changed
+                continue
+
+            when = self.track.time_of(next_slot)
+            if when > env.now:
+                self.core.set_next_wake_hint(when)
+                changed = env.event()
+                self._changed = changed
+                # Slot timers are signal-driven (accurate) — PBPL is an
+                # evolution of SPBP, the study's best performer.
+                skew = self.timers._half_normal(self.timers.signal_jitter_s)
+                timer = env.timeout((when - env.now) + skew)
+                yield env.any_of([timer, changed])
+                if not timer.processed:
+                    continue  # reservations changed: recompute target
+                self._changed = None
+
+            holders: List["LatchingConsumer"] = self.track.pop_slot(next_slot)
+            if not holders:
+                continue  # everyone cancelled while the timer was in flight
+            self.scheduled_wakeups += 1
+            done_events = []
+            for consumer in holders:
+                done = consumer.activate(next_slot)
+                self.activations += 1
+                if done is not None:
+                    done_events.append(done)
+            if done_events:
+                # "After all registered consumers finish executing, the
+                # core manager determines the next slot to wake up."
+                yield env.all_of(done_events)
+
+    def start(self) -> "CoreManager":
+        self.env.process(self.process(), name=f"core-manager-{self.core.core_id}")
+        return self
+
+    def __repr__(self) -> str:
+        return (
+            f"<CoreManager core={self.core.core_id} "
+            f"scheduled={self.scheduled_wakeups} track={self.track!r}>"
+        )

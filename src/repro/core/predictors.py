@@ -1,0 +1,158 @@
+"""Production-rate predictors for PBPL consumers (paper §V-C).
+
+The paper's consumer uses a moving average over the last ``h`` recorded
+rates ("the reason for selecting the moving average is the simplicity of
+its calculation"); its future-work section (§VIII) proposes a Kalman
+filter "for estimating producer rate with better accuracy". Both are
+here, plus an EWMA middle ground, behind one small interface so the
+choice is an ablation knob.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+
+class RatePredictor:
+    """Interface: feed observed rates, ask for the next one."""
+
+    def observe(self, rate: float) -> None:
+        """Record the rate measured over the last inter-invocation gap
+        (``r_j = |γ(τ_{j-1}, τ_j)| / (τ_j − τ_{j-1})``, Eq. in §V-C)."""
+        raise NotImplementedError
+
+    def predict(self) -> Optional[float]:
+        """Predicted upcoming rate ``r̂``; None before any observation."""
+        raise NotImplementedError
+
+    def reset(self) -> None:
+        """Forget all history."""
+        raise NotImplementedError
+
+
+class MovingAverage(RatePredictor):
+    """The paper's estimator: mean of the last ``h`` recorded rates."""
+
+    def __init__(self, window: int = 8) -> None:
+        if window < 1:
+            raise ValueError("window must be >= 1")
+        self.window = window
+        self._rates: Deque[float] = deque(maxlen=window)
+        self._sum = 0.0
+
+    def observe(self, rate: float) -> None:
+        if rate < 0:
+            raise ValueError("rates are non-negative")
+        if len(self._rates) == self.window:
+            self._sum -= self._rates[0]
+        self._rates.append(rate)
+        self._sum += rate
+
+    def predict(self) -> Optional[float]:
+        if not self._rates:
+            return None
+        return self._sum / len(self._rates)
+
+    def reset(self) -> None:
+        self._rates.clear()
+        self._sum = 0.0
+
+    def __repr__(self) -> str:
+        return f"MovingAverage(window={self.window})"
+
+
+class EWMA(RatePredictor):
+    """Exponentially weighted moving average: O(1) state, tunable memory."""
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError("alpha must be in (0, 1]")
+        self.alpha = alpha
+        self._value: Optional[float] = None
+
+    def observe(self, rate: float) -> None:
+        if rate < 0:
+            raise ValueError("rates are non-negative")
+        if self._value is None:
+            self._value = rate
+        else:
+            self._value = self.alpha * rate + (1 - self.alpha) * self._value
+
+    def predict(self) -> Optional[float]:
+        return self._value
+
+    def reset(self) -> None:
+        self._value = None
+
+    def __repr__(self) -> str:
+        return f"EWMA(alpha={self.alpha})"
+
+
+class Kalman(RatePredictor):
+    """Scalar Kalman filter on a random-walk rate model (paper §VIII).
+
+    State: the true rate ``x``, evolving as ``x' = x + w`` with process
+    noise ``w ~ N(0, q)``; observations ``z = x + v`` with measurement
+    noise ``v ~ N(0, r)``. ``q`` controls how fast the filter tracks
+    rate changes; ``r`` how much it smooths bursty measurements.
+    """
+
+    def __init__(self, process_var: float = 1e4, measurement_var: float = 1e6) -> None:
+        if process_var <= 0 or measurement_var <= 0:
+            raise ValueError("variances must be positive")
+        self.q = process_var
+        self.r = measurement_var
+        self._x: Optional[float] = None
+        self._p = 0.0
+
+    def observe(self, rate: float) -> None:
+        if rate < 0:
+            raise ValueError("rates are non-negative")
+        if self._x is None:
+            self._x = rate
+            self._p = self.r
+            return
+        # Predict step (random walk: state unchanged, uncertainty grows).
+        p = self._p + self.q
+        # Update step.
+        k = p / (p + self.r)
+        self._x = self._x + k * (rate - self._x)
+        self._p = (1 - k) * p
+
+    def predict(self) -> Optional[float]:
+        if self._x is None:
+            return None
+        return max(0.0, self._x)
+
+    @property
+    def gain(self) -> float:
+        """Current steady-state-ish Kalman gain (diagnostics)."""
+        p = self._p + self.q
+        return p / (p + self.r)
+
+    def reset(self) -> None:
+        self._x = None
+        self._p = 0.0
+
+    def __repr__(self) -> str:
+        return f"Kalman(q={self.q}, r={self.r})"
+
+
+#: Registry for configuration-by-name (ablation benches).
+PREDICTORS = {
+    "moving-average": MovingAverage,
+    "ewma": EWMA,
+    "kalman": Kalman,
+}
+
+
+def make_predictor(name: str, **kwargs) -> RatePredictor:
+    """Instantiate a predictor from its registry name."""
+    try:
+        cls = PREDICTORS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown predictor {name!r}; choose from {sorted(PREDICTORS)}"
+        ) from None
+    return cls(**kwargs)

@@ -1,0 +1,151 @@
+"""Cluster-level idle states (package power gating).
+
+The paper's board — an Exynos 5250 — can power-gate the whole A15
+cluster, but only when *every* core in it is idle: shared L2, the
+interconnect and the cluster's voltage rail stay up while any core
+runs. That coupling matters for multi-core experiments: an algorithm
+that aligns activity across cores (so the cluster's idle windows
+coincide) earns savings a per-core model cannot see.
+
+:class:`ClusterIdleModel` is an opt-in listener that tracks when all
+member cores are simultaneously idle and accounts the additional
+cluster-level savings (and the cluster wake cost) separately, so the
+standard experiments (which are calibrated without it) are unaffected
+unless a rig attaches it explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.cpu.core import Core
+from repro.cpu.listeners import CoreListener
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.environment import Environment
+
+
+@dataclass(frozen=True)
+class ClusterParams:
+    """Cluster power-gating parameters.
+
+    ``gate_power_saving_w`` is the additional power saved (shared L2 +
+    rail) while the cluster is gated; gating costs ``gate_energy_j``
+    per entry/exit cycle and needs ``min_gate_residency_s`` of
+    simultaneous idleness to break even (shorter windows don't gate).
+    """
+
+    gate_power_saving_w: float = 0.08
+    gate_energy_j: float = 400e-6
+    min_gate_residency_s: float = 10e-3
+
+    def __post_init__(self) -> None:
+        if self.gate_power_saving_w < 0 or self.gate_energy_j < 0:
+            raise ValueError("cluster parameters must be non-negative")
+        if self.min_gate_residency_s <= 0:
+            raise ValueError("minimum gate residency must be positive")
+
+
+class ClusterIdleModel(CoreListener):
+    """Tracks simultaneous idleness of a core set and its energy value.
+
+    Attach to every member core (``machine.add_listener`` covers it),
+    then read :meth:`gated_energy_saved_j` after :meth:`settle`.
+
+    Gating decisions are retrospective-but-causal: a window of
+    simultaneous idleness counts as gated only if it ends up at least
+    ``min_gate_residency_s`` long *and* the hardware could have known —
+    which we model through the cores' next-wake hints: gating only
+    happens when, at window start, no member hinted a wake sooner than
+    the break-even residency. (Unhinted cores are assumed conservative:
+    no gating.)
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        cores: Sequence[Core],
+        params: Optional[ClusterParams] = None,
+    ) -> None:
+        if not cores:
+            raise ValueError("a cluster needs at least one core")
+        self.env = env
+        self.cores = tuple(cores)
+        self.params = params or ClusterParams()
+        self._member_ids = {c.core_id for c in self.cores}
+        self._all_idle_since: Optional[float] = None
+        self._gateable = False
+        #: Completed gated windows (start, end).
+        self.gated_windows: list[tuple[float, float]] = []
+        self.gate_cycles = 0
+        self._saved_j = 0.0
+        self._maybe_open_window()
+
+    # -- window machinery ---------------------------------------------------
+    def _all_idle(self) -> bool:
+        return all(core.is_idle for core in self.cores)
+
+    def _hints_allow_gating(self) -> bool:
+        now = self.env.now
+        horizon = now + self.params.min_gate_residency_s
+        for core in self.cores:
+            hint = core._next_wake_hint
+            if hint is None or hint < horizon:
+                return False
+        return True
+
+    def _maybe_open_window(self) -> None:
+        if not self._all_idle():
+            return
+        if self._all_idle_since is None:
+            self._all_idle_since = self.env.now
+            self._gateable = self._hints_allow_gating()
+        elif not self._gateable and self._hints_allow_gating():
+            # A hint update made gating viable mid-window: the hardware
+            # acts from this moment, so the gateable window starts now.
+            self._all_idle_since = self.env.now
+            self._gateable = True
+
+    def _close_window(self) -> None:
+        if self._all_idle_since is None:
+            return
+        start, end = self._all_idle_since, self.env.now
+        self._all_idle_since = None
+        length = end - start
+        if self._gateable and length >= self.params.min_gate_residency_s:
+            self.gated_windows.append((start, end))
+            self.gate_cycles += 1
+            self._saved_j += (
+                length * self.params.gate_power_saving_w - self.params.gate_energy_j
+            )
+        self._gateable = False
+
+    # -- listener hooks ------------------------------------------------------
+    def on_state_change(self, core, now, old_state, new_state, cstate, pstate) -> None:
+        if core.core_id not in self._member_ids:
+            return
+        if new_state == "active":
+            self._close_window()
+        else:
+            self._maybe_open_window()
+
+    # -- reading -----------------------------------------------------------------
+    def settle(self) -> None:
+        """Close an open window at the current time (end of experiment)."""
+        self._close_window()
+        self._maybe_open_window()
+
+    @property
+    def gated_time_s(self) -> float:
+        return sum(end - start for start, end in self.gated_windows)
+
+    def gated_energy_saved_j(self) -> float:
+        """Net joules the cluster gate saved (savings minus cycle costs)."""
+        return self._saved_j
+
+    def __repr__(self) -> str:
+        return (
+            f"<ClusterIdleModel cores={sorted(self._member_ids)} "
+            f"cycles={self.gate_cycles} gated={self.gated_time_s:.3f}s>"
+        )

@@ -1,0 +1,128 @@
+"""DVFS frequency governors.
+
+The paper's board runs Linaro's dynamic power manager; the study in
+Section III needs only two behaviours from it:
+
+* under sustained full load the core runs at (near-)maximum frequency
+  (busy-wait gets full active power);
+* a task that keeps calling ``sched_yield`` signals the governor that
+  its "load" is hollow, so the frequency drifts down — this is the
+  paper's explanation for Yield drawing slightly less power than BW.
+
+:class:`OndemandGovernor` implements both: proportional
+utilisation-driven selection over a sliding window, plus a yield-rate
+bias. :class:`PerformanceGovernor` and :class:`PowersaveGovernor` are
+the usual fixed-point baselines (also used to make experiments
+deterministic when DVFS is out of scope, per Section IV's simplified
+power model).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Tuple
+
+from repro.cpu.pstates import PState, PStateTable
+
+
+class Governor:
+    """Interface: map recent core behaviour to a P-state."""
+
+    def __init__(self, pstates: PStateTable) -> None:
+        self.pstates = pstates
+
+    def on_busy(self, now: float, busy_s: float) -> None:
+        """Record ``busy_s`` seconds of execution ending at ``now``."""
+
+    def on_yield(self, now: float, count: int = 1) -> None:
+        """Record ``count`` voluntary yields at ``now``."""
+
+    def select(self, now: float) -> PState:
+        """The P-state the core should run at, as of ``now``."""
+        raise NotImplementedError
+
+
+class PerformanceGovernor(Governor):
+    """Always the fastest P-state (race-to-idle's natural partner)."""
+
+    def select(self, now: float) -> PState:
+        return self.pstates.fastest
+
+
+class PowersaveGovernor(Governor):
+    """Always the slowest P-state."""
+
+    def select(self, now: float) -> PState:
+        return self.pstates.slowest
+
+
+class OndemandGovernor(Governor):
+    """Sliding-window proportional governor with a yield bias.
+
+    Parameters
+    ----------
+    window_s:
+        Length of the utilisation window.
+    up_threshold:
+        Utilisation above which the fastest state is selected outright
+        (mirrors the Linux ondemand ``up_threshold``).
+    yield_rate_threshold:
+        Yields per second above which the governor steps down, one step
+        per multiple of the threshold (capped at 3 steps).
+    """
+
+    def __init__(
+        self,
+        pstates: PStateTable,
+        window_s: float = 0.05,
+        up_threshold: float = 0.95,
+        yield_rate_threshold: float = 1000.0,
+    ) -> None:
+        super().__init__(pstates)
+        if window_s <= 0:
+            raise ValueError("window must be positive")
+        if not 0 < up_threshold <= 1:
+            raise ValueError("up_threshold must be in (0, 1]")
+        self.window_s = window_s
+        self.up_threshold = up_threshold
+        self.yield_rate_threshold = yield_rate_threshold
+        self._busy: Deque[Tuple[float, float]] = deque()  # (end_time, busy_s)
+        self._yields: Deque[Tuple[float, int]] = deque()  # (time, count)
+
+    def _trim(self, now: float) -> None:
+        horizon = now - self.window_s
+        while self._busy and self._busy[0][0] < horizon:
+            self._busy.popleft()
+        while self._yields and self._yields[0][0] < horizon:
+            self._yields.popleft()
+
+    def on_busy(self, now: float, busy_s: float) -> None:
+        self._busy.append((now, busy_s))
+        self._trim(now)
+
+    def on_yield(self, now: float, count: int = 1) -> None:
+        self._yields.append((now, count))
+        self._trim(now)
+
+    def utilization(self, now: float) -> float:
+        """Fraction of the window spent executing (clamped to 1)."""
+        self._trim(now)
+        busy = sum(b for _, b in self._busy)
+        return min(1.0, busy / self.window_s)
+
+    def yield_rate(self, now: float) -> float:
+        """Voluntary yields per second over the window."""
+        self._trim(now)
+        return sum(c for _, c in self._yields) / self.window_s
+
+    def select(self, now: float) -> PState:
+        util = self.utilization(now)
+        if util >= self.up_threshold:
+            state = self.pstates.fastest
+        else:
+            state = self.pstates.for_utilization(util)
+        rate = self.yield_rate(now)
+        if rate > self.yield_rate_threshold:
+            steps = min(3, int(rate / self.yield_rate_threshold))
+            state = self.pstates.step_down(state, steps)
+        return state

@@ -1,0 +1,54 @@
+"""Observer protocol for core activity.
+
+The CPU model emits fine-grained events (state changes, wakeups,
+execution slices, yields); the power ledger, the PowerTop analogue and
+the tests all subscribe through this one interface, keeping the CPU
+model free of any knowledge about who is watching.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.cpu.core import Core
+    from repro.cpu.cstates import CState
+    from repro.cpu.pstates import PState
+
+
+class CoreListener:
+    """Base class with no-op hooks; subclass and override what you need.
+
+    ``owner`` arguments are opaque task identities (usually the string
+    name of a producer/consumer process); the CPU model never inspects
+    them.
+    """
+
+    def on_state_change(
+        self,
+        core: "Core",
+        now: float,
+        old_state: str,
+        new_state: str,
+        cstate: Optional["CState"],
+        pstate: Optional["PState"],
+    ) -> None:
+        """Core moved between 'active', 'idle' and 'parked' (or changed
+        C-/P-state while staying idle/active)."""
+
+    def on_wakeup(
+        self, core: "Core", now: float, owner: Any, from_cstate: "CState"
+    ) -> None:
+        """Core left idle because ``owner`` needed to run."""
+
+    def on_execute(self, core: "Core", now: float, owner: Any, duration: float) -> None:
+        """``owner`` finished occupying the core for ``duration`` seconds
+        of wall-clock time (already stretched by the current P-state)."""
+
+    def on_yield(self, core: "Core", now: float, owner: Any) -> None:
+        """``owner`` voluntarily yielded the core (sched_yield)."""
+
+    def on_task_wakeup(self, core: "Core", now: float, owner: Any) -> None:
+        """``owner`` became runnable after blocking (a *scheduler* wakeup
+        — what PowerTop counts — regardless of whether the core itself
+        was idle)."""

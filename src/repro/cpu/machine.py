@@ -1,0 +1,111 @@
+"""The simulated multicore machine: cores + timers in one box."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, Optional, Sequence
+
+from repro.sim.errors import SimulationError
+from repro.sim.rng import RandomStreams
+from repro.cpu.core import Core
+from repro.cpu.cstates import CStateTable, arndale_cstates
+from repro.cpu.governors import Governor, PerformanceGovernor
+from repro.cpu.listeners import CoreListener
+from repro.cpu.pstates import PStateTable, arndale_pstates
+from repro.cpu.timers import TimerService
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.environment import Environment
+
+
+class Machine:
+    """A multicore system in the sense of the paper's Section IV.
+
+    Bundles ``n_cores`` :class:`~repro.cpu.core.Core` objects (default
+    tables calibrated to the paper's Arndale board), a
+    :class:`~repro.cpu.timers.TimerService`, and listener fan-out.
+    Consumers are pinned to cores by the experiment code (the paper's
+    *consumer isolation* assumption); nothing else runs on them.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment.
+    n_cores:
+        Number of cores (the paper's board has 2; the PBPL evaluation
+        pins all consumers on isolated cores).
+    governor_factory:
+        Called once per core to build its DVFS governor. Defaults to
+        :class:`~repro.cpu.governors.PerformanceGovernor` (the paper's
+        simplified no-DVFS model, §IV-A).
+    streams:
+        Random streams; timer jitter draws come from the stream named
+        ``"timers"``.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        n_cores: int = 2,
+        cstates: Optional[CStateTable] = None,
+        pstates: Optional[PStateTable] = None,
+        governor_factory: Optional[Callable[[PStateTable], Governor]] = None,
+        streams: Optional[RandomStreams] = None,
+        context_switch_s: float = 2e-6,
+        timer_kwargs: Optional[dict] = None,
+    ) -> None:
+        if n_cores < 1:
+            raise SimulationError("a machine needs at least one core")
+        self.env = env
+        self.cstates = cstates or arndale_cstates()
+        self.pstates = pstates or arndale_pstates()
+        factory = governor_factory or PerformanceGovernor
+        self.streams = streams or RandomStreams(seed=0)
+        self.cores: Sequence[Core] = tuple(
+            Core(
+                env,
+                core_id=i,
+                cstates=self.cstates,
+                pstates=self.pstates,
+                governor=factory(self.pstates),
+                context_switch_s=context_switch_s,
+            )
+            for i in range(n_cores)
+        )
+        self.timers = TimerService(
+            env, self.streams.stream("timers"), **(timer_kwargs or {})
+        )
+
+    @property
+    def n_cores(self) -> int:
+        return len(self.cores)
+
+    def core(self, i: int) -> Core:
+        """The ``i``-th core (bounds-checked)."""
+        if not 0 <= i < len(self.cores):
+            raise SimulationError(f"no core {i} on a {len(self.cores)}-core machine")
+        return self.cores[i]
+
+    def add_listener(self, listener: CoreListener) -> None:
+        """Subscribe ``listener`` to every core."""
+        for core in self.cores:
+            core.add_listener(listener)
+
+    @property
+    def total_wakeups(self) -> int:
+        """Machine-wide idle→active transition count."""
+        return sum(core.total_wakeups for core in self.cores)
+
+    @property
+    def total_busy_s(self) -> float:
+        """Machine-wide active wall-clock seconds."""
+        return sum(core.total_busy_s for core in self.cores)
+
+    def park_unused(self, used_core_ids: Sequence[int]) -> None:
+        """Park every core not in ``used_core_ids`` (core-parking support)."""
+        used = set(used_core_ids)
+        for core in self.cores:
+            if core.core_id not in used and core.state == "idle":
+                core.park()
+
+    def __repr__(self) -> str:
+        return f"<Machine cores={len(self.cores)} wakeups={self.total_wakeups}>"

@@ -1,0 +1,93 @@
+"""Background kernel activity (paper §VI-C).
+
+The paper observes that its dramatic wakeup reductions translate into
+smaller *power* reductions and attributes this to "multiple kernel
+processes executing including drivers, schedulers, timers, and other
+kernel daemons". This module reproduces that effect: a periodic
+scheduler tick plus a couple of jittery daemons pinned to the
+non-consumer core (consumer isolation, §IV-A, keeps them off the
+experiment core). Their draw is near-constant across implementations,
+so it compresses relative power differences exactly the way the paper
+describes — and it keeps the second core out of deep idle while any
+experiment runs, just like a real kernel does.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.cpu.core import Core
+from repro.cpu.timers import TimerService
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.environment import Environment
+
+
+class BackgroundKernelLoad:
+    """Scheduler tick + daemons on one core.
+
+    Parameters
+    ----------
+    tick_hz:
+        Periodic scheduler tick frequency (classic HZ=250 default).
+    tick_work_s:
+        CPU per tick (timekeeping, RCU, vmstat...).
+    daemon_rate_hz:
+        Mean Poisson rate of daemon activity bursts.
+    daemon_work_s:
+        CPU per daemon burst.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        core: Core,
+        timers: TimerService,
+        rng: np.random.Generator,
+        tick_hz: float = 250.0,
+        tick_work_s: float = 120e-6,
+        daemon_rate_hz: float = 40.0,
+        daemon_work_s: float = 400e-6,
+    ) -> None:
+        if tick_hz <= 0 or daemon_rate_hz < 0:
+            raise ValueError("invalid background rates")
+        self.env = env
+        self.core = core
+        self.timers = timers
+        self.rng = rng
+        self.tick_hz = tick_hz
+        self.tick_work_s = tick_work_s
+        self.daemon_rate_hz = daemon_rate_hz
+        self.daemon_work_s = daemon_work_s
+        self.ticks = 0
+        self.daemon_bursts = 0
+
+    def _tick_process(self):
+        period = 1.0 / self.tick_hz
+        while True:
+            yield self.env.timeout(period)
+            self.ticks += 1
+            yield from self.core.execute("kernel-tick", self.tick_work_s, after_block=True)
+
+    def _daemon_process(self):
+        if self.daemon_rate_hz <= 0:
+            return
+            yield  # pragma: no cover - make this a generator
+        while True:
+            gap = float(self.rng.exponential(1.0 / self.daemon_rate_hz))
+            yield self.env.timeout(gap)
+            self.daemon_bursts += 1
+            yield from self.core.execute("kernel-daemon", self.daemon_work_s, after_block=True)
+
+    def start(self) -> "BackgroundKernelLoad":
+        self.env.process(self._tick_process(), name="kernel-tick")
+        self.env.process(self._daemon_process(), name="kernel-daemon")
+        return self
+
+    def __repr__(self) -> str:
+        return (
+            f"<BackgroundKernelLoad core={self.core.core_id} "
+            f"ticks={self.ticks} daemons={self.daemon_bursts}>"
+        )

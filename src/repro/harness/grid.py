@@ -1,0 +1,122 @@
+"""Cached experiment grids: sweep cells once, reuse forever.
+
+Large sweeps (many implementations × consumer counts × buffer sizes ×
+replicates) dominate the cost of iterating on analysis code. Every cell
+of a grid is deterministic given its parameters, so results are safely
+cacheable: a cell's runs serialise to JSON keyed by a digest of the
+full parameter set, and re-running the grid after editing only the
+analysis is free.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness.export import runs_from_json, runs_to_json
+from repro.harness.params import StandardParams
+from repro.harness.runner import run_multi
+from repro.metrics.run import RunMetrics, Summary, summarise
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One grid cell: an implementation in a specific configuration."""
+
+    implementation: str
+    n_consumers: int = 5
+    buffer_size: Optional[int] = None
+    #: PBPL-only config overrides, as a hashable sorted tuple of pairs.
+    pbpl_overrides: Tuple[Tuple[str, object], ...] = ()
+
+    @classmethod
+    def make(cls, implementation: str, **kwargs) -> "CellSpec":
+        overrides = kwargs.pop("pbpl_overrides", None)
+        if isinstance(overrides, dict):
+            kwargs["pbpl_overrides"] = tuple(sorted(overrides.items()))
+        elif overrides is not None:
+            kwargs["pbpl_overrides"] = tuple(overrides)
+        return cls(implementation=implementation, **kwargs)
+
+    def overrides_dict(self) -> dict:
+        return dict(self.pbpl_overrides)
+
+
+class ExperimentGrid:
+    """Runs cells against one parameter set, caching results on disk.
+
+    Parameters
+    ----------
+    params:
+        The shared :class:`StandardParams` (its fields are part of every
+        cache key — changing the duration or seed invalidates cleanly).
+    cache_dir:
+        Where to keep per-cell JSON results; None disables caching.
+    """
+
+    def __init__(
+        self, params: StandardParams, cache_dir: Optional[Path] = None
+    ) -> None:
+        self.params = params
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        if self.cache_dir is not None:
+            self.cache_dir.mkdir(parents=True, exist_ok=True)
+        #: Cells computed this session (cache hits included).
+        self.cells_run = 0
+        #: Cells served from the disk cache.
+        self.cache_hits = 0
+
+    # -- cache plumbing ------------------------------------------------------
+    def _key(self, spec: CellSpec) -> str:
+        payload = {
+            "params": asdict(self.params),
+            "spec": asdict(spec),
+            "version": 1,
+        }
+        blob = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
+        return hashlib.sha256(blob).hexdigest()[:24]
+
+    def _cache_path(self, spec: CellSpec) -> Optional[Path]:
+        if self.cache_dir is None:
+            return None
+        return self.cache_dir / f"cell-{self._key(spec)}.json"
+
+    # -- execution ----------------------------------------------------------------
+    def run_cell(self, spec: CellSpec) -> List[RunMetrics]:
+        """All replicates of one cell (from cache when possible)."""
+        self.cells_run += 1
+        path = self._cache_path(spec)
+        if path is not None and path.exists():
+            self.cache_hits += 1
+            return runs_from_json(path)
+        runs = [
+            run_multi(
+                spec.implementation,
+                spec.n_consumers,
+                self.params,
+                replicate,
+                buffer_size=spec.buffer_size,
+                pbpl_overrides=spec.overrides_dict() or None,
+            )
+            for replicate in range(self.params.replicates)
+        ]
+        if path is not None:
+            runs_to_json(runs, path)
+        return runs
+
+    def run(self, specs: Sequence[CellSpec]) -> Dict[CellSpec, Summary]:
+        """Run (or load) every cell; returns per-cell summaries."""
+        return {spec: summarise(self.run_cell(spec)) for spec in specs}
+
+    def invalidate(self) -> int:
+        """Delete this grid's cache files; returns how many were removed."""
+        if self.cache_dir is None:
+            return 0
+        removed = 0
+        for path in self.cache_dir.glob("cell-*.json"):
+            path.unlink()
+            removed += 1
+        return removed

@@ -1,0 +1,60 @@
+"""Plain-text rendering for experiment results (the "figures")."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """A boxed, column-aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+
+    def line(fill: str = "-", joint: str = "+") -> str:
+        return joint + joint.join(fill * (w + 2) for w in widths) + joint
+
+    def fmt(row: Sequence[str]) -> str:
+        return "| " + " | ".join(c.ljust(w) for c, w in zip(row, widths)) + " |"
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+    out.append(line())
+    out.append(fmt(cells[0]))
+    out.append(line("="))
+    for row in cells[1:]:
+        out.append(fmt(row))
+    out.append(line())
+    return "\n".join(out)
+
+
+def render_series(
+    title: str,
+    x_label: str,
+    xs: Sequence[object],
+    series: Sequence[tuple],
+) -> str:
+    """A figure-as-table: one column per x, one row per named series.
+
+    ``series`` is a sequence of ``(name, values)`` pairs.
+    """
+    headers = [x_label] + [str(x) for x in xs]
+    rows = [[name] + [f"{v:.4g}" if isinstance(v, float) else str(v) for v in vals]
+            for name, vals in series]
+    return render_table(headers, rows, title=title)
+
+
+def render_comparison(
+    title: str,
+    rows: Sequence[tuple],
+) -> str:
+    """Paper-vs-measured rows: (label, paper_value, measured_value)."""
+    return render_table(
+        ["comparison", "paper", "reproduced"],
+        [(label, paper, measured) for label, paper, measured in rows],
+        title=title,
+    )

@@ -1,0 +1,180 @@
+"""Shared scaffolding for all producer-consumer implementations.
+
+Every implementation in :mod:`repro.impls.single` pairs one trace-driven
+:class:`Producer` with one consumer process pinned to a core, sharing a
+buffer and a synchronisation discipline. This module holds the pieces
+they all share: the configuration block, per-pair statistics (including
+the latency tracker behind the paper's "maximum response latency"
+requirement), and the producer process.
+
+Producers are *external event sources* (paper §IV-A: "producers are
+either processes on separate cores or external events, such that they
+do not interfere with consumers"): delivering an item costs no consumer-
+core time, but a full buffer back-pressures the producer exactly as the
+corresponding POSIX implementation would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Generator, List
+
+import numpy as np
+
+from repro.metrics.quantiles import StreamingLatency
+from repro.workloads.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.environment import Environment
+
+
+@dataclass
+class PCConfig:
+    """Knobs shared by every implementation.
+
+    Buffer sizes follow the paper (25/50/100). Time parameters are a
+    coherent *time dilation* (×~100) of the paper's: the paper batches
+    every 100 µs against a replayed log whose rate keeps the 25-slot
+    buffer filling on roughly that timescale; the reproduction defaults
+    to workloads around 2–5 k items/s, so the batching period scales to
+    ``buffer_size / rate`` ≈ 10 ms to sit in the same operating regime
+    (periodic wakeups ≈ buffer-full wakeups). All the paper's
+    comparisons are between implementations under one fixed parameter
+    set, so a uniform dilation preserves every ordering and ratio.
+    """
+
+    #: Per-consumer buffer capacity (paper sweeps 25/50/100).
+    buffer_size: int = 25
+    #: CPU-seconds to process one data item at nominal frequency.
+    service_time_s: float = 10e-6
+    #: CPU-seconds of synchronisation overhead per lock/semaphore cycle.
+    sync_overhead_s: float = 2e-6
+    #: Period of the periodic batch implementations (paper: 100 µs;
+    #: dilated to match the default workload rate — see class docs).
+    batch_period_s: float = 10e-3
+    #: Deadline for any buffered item (paper §IV-A); drives PBPL's slot
+    #: size and is checked by the latency statistics.
+    max_response_latency_s: float = 10e-3
+    #: Governor re-evaluation granularity for spinning consumers.
+    spin_reeval_s: float = 0.01
+    #: sched_yield frequency of the Yield implementation's spin loop.
+    yield_rate_hz: float = 50_000.0
+    #: Keep raw per-item latencies (False saves memory on huge runs).
+    track_latencies: bool = True
+
+    def __post_init__(self) -> None:
+        if self.buffer_size < 1:
+            raise ValueError("buffer size must be >= 1")
+        if self.service_time_s < 0 or self.sync_overhead_s < 0:
+            raise ValueError("service/sync costs must be non-negative")
+        if self.batch_period_s <= 0:
+            raise ValueError("batch period must be positive")
+        if self.max_response_latency_s <= 0:
+            raise ValueError("max response latency must be positive")
+
+
+@dataclass
+class PairStats:
+    """Counters for one producer-consumer pair."""
+
+    produced: int = 0
+    consumed: int = 0
+    #: Consumer wake episodes (blocking impls: one per unblock; batch
+    #: impls: one per batch; spinners: one ever).
+    invocations: int = 0
+    #: Times the producer found the buffer full.
+    overflows: int = 0
+    #: Batch-impl wakeups that happened on schedule (timer/slot).
+    scheduled_wakeups: int = 0
+    #: Batch-impl wakeups forced by a full buffer before the schedule.
+    overflow_wakeups: int = 0
+    #: Raw per-item response latencies (if tracked).
+    latencies: List[float] = field(default_factory=list)
+    #: Constant-memory P² percentile estimates, always maintained — so
+    #: huge runs with ``track_latencies=False`` still report tails.
+    latency_stream: StreamingLatency = field(
+        default_factory=lambda: StreamingLatency(quantiles=(0.5, 0.95, 0.99))
+    )
+    _lat_sum: float = 0.0
+    _lat_max: float = 0.0
+    _lat_n: int = 0
+    #: Items that exceeded the configured max response latency.
+    deadline_misses: int = 0
+
+    def record_latency(self, latency_s: float, deadline_s: float, keep_raw: bool) -> None:
+        self._lat_sum += latency_s
+        self._lat_n += 1
+        if latency_s > self._lat_max:
+            self._lat_max = latency_s
+        if latency_s > deadline_s:
+            self.deadline_misses += 1
+        self.latency_stream.observe(latency_s)
+        if keep_raw:
+            self.latencies.append(latency_s)
+
+    @property
+    def mean_latency_s(self) -> float:
+        return self._lat_sum / self._lat_n if self._lat_n else 0.0
+
+    @property
+    def max_latency_s(self) -> float:
+        return self._lat_max
+
+    def latency_percentile(self, q: float) -> float:
+        """Percentile of latencies: exact when raw values were kept,
+        the P² streaming estimate otherwise (q ∈ {50, 95, 99})."""
+        if self.latencies:
+            return float(np.percentile(self.latencies, q))
+        if self._lat_n == 0:
+            return 0.0
+        if self.latency_stream.count == 0:
+            # Aggregated stats carry summed counters but no stream (P²
+            # estimators cannot be merged): percentiles then require raw
+            # tracking in the underlying runs.
+            raise ValueError(
+                "percentile unavailable: aggregated stats without raw "
+                "latencies (set track_latencies=True)"
+            )
+        try:
+            return self.latency_stream.quantile(q / 100.0)
+        except KeyError:
+            raise ValueError(
+                f"p{q:g} needs raw tracking; streamed quantiles are "
+                f"{[int(x * 100) for x in self.latency_stream.quantiles]}"
+            ) from None
+
+
+#: A delivery routine: a generator that places one item (its production
+#: timestamp) into the pair's buffer, blocking on back-pressure.
+DeliverFn = Callable[[float], Generator]
+
+
+class Producer:
+    """Replays a :class:`Trace`, delivering each arrival via ``deliver``.
+
+    The delivery routine owns all synchronisation (it differs per
+    implementation); the producer just paces it. Back-pressure shifts
+    subsequent deliveries later, exactly like a blocked POSIX producer.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        trace: Trace,
+        deliver: DeliverFn,
+        stats: PairStats,
+        name: str = "producer",
+    ) -> None:
+        self.env = env
+        self.trace = trace
+        self.deliver = deliver
+        self.stats = stats
+        self.name = name
+
+    def process(self):
+        """The producer's simulation process (pass to ``env.process``)."""
+        for t in self.trace.times.tolist():
+            if self.env.now < t:
+                yield self.env.timeout(t - self.env.now)
+            yield from self.deliver(t)
+            self.stats.produced += 1

@@ -1,0 +1,410 @@
+"""The seven single producer-consumer implementations (paper §III-A).
+
+Each class wires one :class:`~repro.impls.base.Producer` to one
+consumer process on one core, differing only in synchronisation
+discipline — exactly the study set of the paper:
+
+====== ==========================================================
+BW     busy-wait until ``tail != head``; never sleeps
+Yield  busy-wait but ``sched_yield`` in the loop (DVFS clocks down)
+Mutex  mutex + condition variables over a counted buffer
+Sem    two counting semaphores over a circular buffer
+BP     sleep until the buffer is *full*, then drain in one batch
+PBP    drain every 100 µs via ``nanosleep`` (jittery, drifts)
+SPBP   drain every 100 µs via SIGALRM (accurate, absolute grid)
+====== ==========================================================
+
+Consumers are pinned to the given core; producers are external event
+sources (no consumer-core time) with faithful back-pressure. Response
+latency is measured from the item's *intended* production time, so
+producer blocking counts against the implementation that caused it.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.buffers import BoundedBuffer, RingBuffer
+from repro.cpu.core import Core
+from repro.cpu.timers import TimerService
+from repro.impls.base import PairStats, PCConfig, Producer
+from repro.sim.primitives import ConditionVariable, Mutex, Semaphore
+from repro.workloads.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.environment import Environment
+
+#: CPU cost of a woken consumer inspecting its buffer (and re-arming its
+#: timer) even when there is nothing to do — the hidden price of
+#: periodic wakeups that the paper's whole argument rests on.
+WAKE_CHECK_S = 1e-6
+
+
+class PCImplementation:
+    """Base class: one producer + one consumer on one core."""
+
+    #: Registry key / paper label; set by subclasses.
+    name = "abstract"
+
+    def __init__(
+        self,
+        env: "Environment",
+        core: Core,
+        timers: TimerService,
+        trace: Trace,
+        config: Optional[PCConfig] = None,
+        owner: str = "consumer",
+    ) -> None:
+        self.env = env
+        self.core = core
+        self.timers = timers
+        self.trace = trace
+        self.config = config or PCConfig()
+        self.owner = owner
+        self.stats = PairStats()
+        self._space_event = None
+        #: Items popped from the buffer but not yet fully processed —
+        #: needed for conservation checks at an arbitrary cut-off time.
+        self.in_flight = 0
+        self.buffer = self._make_buffer()
+
+    # -- subclass hooks ------------------------------------------------------
+    def _make_buffer(self):
+        return RingBuffer(self.config.buffer_size)
+
+    def _consumer(self):
+        raise NotImplementedError
+
+    def _deliver(self, t: float):
+        raise NotImplementedError
+
+    # -- helpers ----------------------------------------------------------------
+    def _notify_space(self) -> None:
+        if self._space_event is not None and not self._space_event.triggered:
+            self._space_event.succeed()
+        self._space_event = None
+
+    def _wait_for_space(self):
+        """Block the producer until the consumer frees buffer space."""
+        self.stats.overflows += 1
+        while self.buffer.is_full:
+            self._space_event = self.env.event()
+            yield self._space_event
+
+    def _record_consumed(self, produced_t: float) -> None:
+        self.stats.consumed += 1
+        self.stats.record_latency(
+            self.env.now - produced_t,
+            self.config.max_response_latency_s,
+            self.config.track_latencies,
+        )
+
+    # -- lifecycle -------------------------------------------------------------
+    def start(self) -> "PCImplementation":
+        """Spawn the producer and consumer processes."""
+        producer = Producer(
+            self.env, self.trace, self._deliver, self.stats, f"{self.owner}-producer"
+        )
+        self.env.process(producer.process(), name=f"{self.owner}-producer")
+        self.env.process(self._consumer(), name=self.owner)
+        return self
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} owner={self.owner!r}>"
+
+
+class BusyWaiting(PCImplementation):
+    """BW: the consumer spins on ``tail != head``, holding the core."""
+
+    name = "BW"
+    #: sched_yield rate of the spin loop (0 = pure spin; Yield overrides).
+    spin_yield_rate_hz = 0.0
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._item_event = None
+
+    def _deliver(self, t: float):
+        if self.buffer.is_full:
+            yield from self._wait_for_space()
+        self.buffer.push(t)
+        if self._item_event is not None and not self._item_event.triggered:
+            self._item_event.succeed()
+            self._item_event = None
+
+    def _consumer(self):
+        cfg = self.config
+        hold = yield from self.core.acquire(self.owner, after_block=False)
+        self.stats.invocations += 1  # the one and only
+        while True:
+            if self.buffer.is_empty:
+                self._item_event = self.env.event()
+                yield from hold.busy_until(
+                    self._item_event,
+                    reeval_s=cfg.spin_reeval_s,
+                    yield_rate_hz=self.spin_yield_rate_hz,
+                )
+                self._item_event = None
+            while not self.buffer.is_empty:
+                t = self.buffer.pop()
+                self.in_flight = 1
+                self._notify_space()
+                yield from hold.busy(cfg.service_time_s)
+                self._record_consumed(t)
+                self.in_flight = 0
+
+
+class Yielding(BusyWaiting):
+    """Yield: BW plus ``sched_yield`` — the DVFS governor clocks down."""
+
+    name = "Yield"
+
+    @property
+    def spin_yield_rate_hz(self) -> float:  # type: ignore[override]
+        return self.config.yield_rate_hz
+
+
+class MutexCondvar(PCImplementation):
+    """Mutex: condition variables over a counted (non-circular) buffer.
+
+    A futex-based condvar wake costs a bit more than a bare ``sem_post``
+    (lock handoff + wait-queue management), so the per-cycle sync
+    overhead carries a small factor — which is why the paper's Mutex
+    bars sit slightly above Sem's.
+    """
+
+    name = "Mutex"
+    sync_cost_factor = 1.6
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.mutex = Mutex(self.env)
+        self.not_empty = ConditionVariable(self.env, self.mutex)
+        self.not_full = ConditionVariable(self.env, self.mutex)
+
+    def _make_buffer(self):
+        return BoundedBuffer(self.config.buffer_size)
+
+    def _deliver(self, t: float):
+        yield self.mutex.acquire()
+        first = True
+        while self.buffer.is_full:
+            if first:
+                self.stats.overflows += 1
+                first = False
+            yield from self.not_full.wait()
+        self.buffer.push(t)
+        self.not_empty.notify()
+        self.mutex.release()
+
+    def _consumer(self):
+        cfg = self.config
+        while True:
+            yield self.mutex.acquire()
+            blocked = False
+            while self.buffer.is_empty:
+                blocked = True
+                yield from self.not_empty.wait()
+            t = self.buffer.pop()
+            self.in_flight = 1
+            self.not_full.notify()
+            self.mutex.release()
+            if blocked:
+                self.stats.invocations += 1
+            yield from self.core.execute(
+                self.owner,
+                cfg.service_time_s + cfg.sync_overhead_s * self.sync_cost_factor,
+                after_block=blocked,
+            )
+            self._record_consumed(t)
+            self.in_flight = 0
+
+
+class SemaphorePair(PCImplementation):
+    """Sem: empty/full counting semaphores over a circular buffer."""
+
+    name = "Sem"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.empty = Semaphore(self.env, self.config.buffer_size)
+        self.full = Semaphore(self.env, 0)
+
+    def _deliver(self, t: float):
+        if not self.empty.try_acquire():
+            self.stats.overflows += 1
+            yield self.empty.acquire()
+        self.buffer.push(t)
+        self.full.release()
+
+    def _consumer(self):
+        cfg = self.config
+        while True:
+            blocked = not self.full.try_acquire()
+            if blocked:
+                yield self.full.acquire()
+                self.stats.invocations += 1
+            t = self.buffer.pop()
+            self.in_flight = 1
+            self.empty.release()
+            yield from self.core.execute(
+                self.owner,
+                cfg.service_time_s + cfg.sync_overhead_s,
+                after_block=blocked,
+            )
+            self._record_consumed(t)
+            self.in_flight = 0
+
+
+class BatchProcessing(PCImplementation):
+    """BP: sleep until the buffer is full, then drain it in one batch.
+
+    Per the paper's accounting, *every* BP invocation is a buffer
+    overflow (the wakeup condition is "buffer full").
+    """
+
+    name = "BP"
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._full_event = None
+
+    def _deliver(self, t: float):
+        if self.buffer.is_full:
+            yield from self._wait_for_space()
+        self.buffer.push(t)
+        if self.buffer.is_full and self._full_event is not None:
+            if not self._full_event.triggered:
+                self._full_event.succeed()
+            self._full_event = None
+
+    def _consumer(self):
+        cfg = self.config
+        while True:
+            slept = False
+            if not self.buffer.is_full:
+                self._full_event = self.env.event()
+                yield self._full_event
+                slept = True
+            self.stats.invocations += 1
+            self.stats.overflow_wakeups += 1
+            hold = yield from self.core.acquire(self.owner, after_block=slept)
+            yield from hold.busy(WAKE_CHECK_S)
+            batch = self.buffer.drain()
+            self.in_flight = len(batch)
+            self._notify_space()
+            for t in batch:
+                yield from hold.busy(cfg.service_time_s)
+                self._record_consumed(t)
+                self.in_flight -= 1
+            hold.release()
+
+
+class _PeriodicBatchBase(PCImplementation):
+    """Shared machinery of PBP and SPBP: fixed-interval drains + overflow wakes.
+
+    Both process "within fixed time intervals" (paper §III-A): the
+    consumer targets the grid ``k·period`` and sleeps until the next
+    boundary strictly in the future (missed boundaries are skipped, as
+    with any real periodic timer). The only difference between PBP and
+    SPBP is *how late* the wake lands past the boundary — ``nanosleep``
+    lateness vs signal-delivery skew. That difference is the paper's
+    entire PBP→SPBP story: a late consumer lets the buffer overflow
+    first (an extra unscheduled wake) and then still pays its boundary
+    wake, while the accurate timer drains right on time.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._overflow_event = None
+
+    def _lateness(self) -> float:
+        """How far past the grid boundary this impl's timer fires."""
+        raise NotImplementedError
+
+    def _boundary_event(self):
+        period = self.config.batch_period_s
+        k = int(self.env.now / period) + 1
+        boundary = k * period
+        return self.env.timeout(boundary - self.env.now + self._lateness())
+
+    def _deliver(self, t: float):
+        if self.buffer.is_full:
+            yield from self._wait_for_space()
+        self.buffer.push(t)
+        if self.buffer.is_full and self._overflow_event is not None:
+            if not self._overflow_event.triggered:
+                self._overflow_event.succeed()
+            self._overflow_event = None
+
+    def _consumer(self):
+        cfg = self.config
+        while True:
+            # One pass of this outer loop = one period: the timer for the
+            # next boundary stays armed across any overflow handling in
+            # between (the overflow handler does not cancel the periodic
+            # timer — overflow wakes are *additive*, which is why timer
+            # jitter costs wakeups: a late drain lets the buffer fill,
+            # and the boundary wake still happens afterwards).
+            tick = self._boundary_event()
+            tick_done = False
+            while not tick_done:
+                if self.buffer.is_full:
+                    forced = True
+                else:
+                    overflow = self.env.event()
+                    self._overflow_event = overflow
+                    yield self.env.any_of([tick, overflow])
+                    self._overflow_event = None
+                    # A Timeout is "triggered" from construction (its value
+                    # is pre-set); "processed" is the fired-by-now test.
+                    forced = not tick.processed
+                if forced:
+                    self.stats.overflow_wakeups += 1
+                else:
+                    self.stats.scheduled_wakeups += 1
+                    tick_done = True
+                self.stats.invocations += 1
+                hold = yield from self.core.acquire(self.owner, after_block=True)
+                yield from hold.busy(WAKE_CHECK_S)
+                batch = self.buffer.drain()
+                self.in_flight = len(batch)
+                self._notify_space()
+                for t in batch:
+                    yield from hold.busy(cfg.service_time_s)
+                    self._record_consumed(t)
+                    self.in_flight -= 1
+                hold.release()
+
+
+class PeriodicBatch(_PeriodicBatchBase):
+    """PBP: fixed intervals timed with ``nanosleep`` (late by its slack)."""
+
+    name = "PBP"
+
+    def _lateness(self) -> float:
+        return self.timers.nanosleep_lateness()
+
+
+class SignalPeriodicBatch(_PeriodicBatchBase):
+    """SPBP: fixed intervals timed with SIGALRM (near-exact delivery)."""
+
+    name = "SPBP"
+
+    def _lateness(self) -> float:
+        return self.timers._half_normal(self.timers.signal_jitter_s)
+
+
+#: Registry keyed by the paper's labels.
+SINGLE_IMPLEMENTATIONS = {
+    cls.name: cls
+    for cls in (
+        BusyWaiting,
+        Yielding,
+        MutexCondvar,
+        SemaphorePair,
+        BatchProcessing,
+        PeriodicBatch,
+        SignalPeriodicBatch,
+    )
+}

@@ -1,0 +1,25 @@
+"""Experiment metrics and the paper's statistics."""
+
+from repro.metrics.run import NUMERIC_FIELDS, RunMetrics, Summary, field_names, summarise
+from repro.metrics.stats import (
+    Estimate,
+    SlopeTest,
+    confidence_interval,
+    pearson,
+    percent_change,
+    wakeup_power_significance,
+)
+
+__all__ = [
+    "Estimate",
+    "NUMERIC_FIELDS",
+    "RunMetrics",
+    "SlopeTest",
+    "Summary",
+    "confidence_interval",
+    "field_names",
+    "pearson",
+    "percent_change",
+    "summarise",
+    "wakeup_power_significance",
+]

@@ -1,0 +1,149 @@
+"""Streaming quantile estimation (the P² algorithm).
+
+Long experiments at realistic rates consume millions of items; storing
+every response latency to compute a p99 afterwards costs memory and
+cache pressure the simulation doesn't need. Jain & Chlamtac's P²
+algorithm (CACM 1985) maintains a quantile estimate with five markers
+and O(1) work per observation — the classic tool for exactly this job.
+
+:class:`P2Quantile` estimates one quantile; :class:`StreamingLatency`
+bundles the mean/max/deadline counters of
+:class:`~repro.impls.base.PairStats` with a set of P² markers, giving
+``track_latencies=False`` runs their percentiles back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+class P2Quantile:
+    """Single-quantile P² estimator.
+
+    Parameters
+    ----------
+    q:
+        The target quantile in (0, 1), e.g. 0.99.
+    """
+
+    def __init__(self, q: float) -> None:
+        if not 0.0 < q < 1.0:
+            raise ValueError(f"quantile must be in (0, 1), got {q}")
+        self.q = q
+        self._initial: List[float] = []
+        # Marker heights, positions (1-based), desired positions, increments.
+        self._heights: List[float] = []
+        self._pos: List[float] = []
+        self._desired: List[float] = []
+        self._incr: List[float] = []
+        self.n = 0
+
+    def observe(self, x: float) -> None:
+        """Feed one observation."""
+        self.n += 1
+        if self._heights:
+            self._update(x)
+            return
+        self._initial.append(x)
+        if len(self._initial) == 5:
+            self._initial.sort()
+            q = self.q
+            self._heights = list(self._initial)
+            self._pos = [1.0, 2.0, 3.0, 4.0, 5.0]
+            self._desired = [1.0, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5.0]
+            self._incr = [0.0, q / 2, q, (1 + q) / 2, 1.0]
+
+    def _update(self, x: float) -> None:
+        h, pos = self._heights, self._pos
+        # Locate the cell and clamp extremes.
+        if x < h[0]:
+            h[0] = x
+            k = 0
+        elif x >= h[4]:
+            h[4] = x
+            k = 3
+        else:
+            k = 0
+            while k < 3 and x >= h[k + 1]:
+                k += 1
+        for i in range(k + 1, 5):
+            pos[i] += 1
+        for i in range(5):
+            self._desired[i] += self._incr[i]
+        # Adjust the three interior markers.
+        for i in (1, 2, 3):
+            d = self._desired[i] - pos[i]
+            if (d >= 1 and pos[i + 1] - pos[i] > 1) or (
+                d <= -1 and pos[i - 1] - pos[i] < -1
+            ):
+                sign = 1.0 if d >= 0 else -1.0
+                candidate = self._parabolic(i, sign)
+                if h[i - 1] < candidate < h[i + 1]:
+                    h[i] = candidate
+                else:
+                    h[i] = self._linear(i, sign)
+                pos[i] += sign
+
+    def _parabolic(self, i: int, sign: float) -> float:
+        h, pos = self._heights, self._pos
+        return h[i] + sign / (pos[i + 1] - pos[i - 1]) * (
+            (pos[i] - pos[i - 1] + sign)
+            * (h[i + 1] - h[i])
+            / (pos[i + 1] - pos[i])
+            + (pos[i + 1] - pos[i] - sign)
+            * (h[i] - h[i - 1])
+            / (pos[i] - pos[i - 1])
+        )
+
+    def _linear(self, i: int, sign: float) -> float:
+        h, pos = self._heights, self._pos
+        j = i + int(sign)
+        return h[i] + sign * (h[j] - h[i]) / (pos[j] - pos[i])
+
+    @property
+    def value(self) -> float:
+        """Current estimate of the target quantile."""
+        if self._heights:
+            return self._heights[2]
+        if not self._initial:
+            return 0.0
+        ordered = sorted(self._initial)
+        idx = min(len(ordered) - 1, int(round(self.q * (len(ordered) - 1))))
+        return ordered[idx]
+
+    def __repr__(self) -> str:
+        return f"<P2Quantile q={self.q} n={self.n} value={self.value:.4g}>"
+
+
+@dataclass
+class StreamingLatency:
+    """Constant-memory latency statistics for very long runs."""
+
+    quantiles: Sequence[float] = (0.5, 0.95, 0.99)
+    _estimators: Dict[float, P2Quantile] = field(default_factory=dict)
+    count: int = 0
+    total: float = 0.0
+    maximum: float = 0.0
+
+    def __post_init__(self) -> None:
+        for q in self.quantiles:
+            self._estimators[q] = P2Quantile(q)
+
+    def observe(self, latency_s: float) -> None:
+        self.count += 1
+        self.total += latency_s
+        if latency_s > self.maximum:
+            self.maximum = latency_s
+        for estimator in self._estimators.values():
+            estimator.observe(latency_s)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated quantile (must be one of the configured targets)."""
+        if q not in self._estimators:
+            raise KeyError(f"quantile {q} not tracked; have {sorted(self._estimators)}")
+        return self._estimators[q].value

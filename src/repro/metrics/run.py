@@ -1,0 +1,127 @@
+"""Per-run and aggregated experiment metrics.
+
+One :class:`RunMetrics` captures everything the paper measures in a
+single experiment execution (§III-B and §VI-B): extra power, wakeups/s,
+usage ms/s, and the batch-implementation internals (scheduled vs
+overflow wakeups, average buffer size, overflow counts), plus latency
+statistics. :func:`summarise` folds replicates into mean ± 95 % CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Sequence
+
+from repro.metrics.stats import Estimate, confidence_interval
+
+
+@dataclass
+class RunMetrics:
+    """Everything measured in one experiment run."""
+
+    implementation: str
+    n_consumers: int
+    buffer_size: int
+    replicate: int
+    duration_s: float
+
+    #: Extra watts vs the parked-machine baseline, as the scope saw it.
+    power_w: float
+    #: Same, from the exact energy ledger (no measurement noise).
+    power_true_w: float
+    #: PowerTop process wakeups/s summed over consumers.
+    wakeups_per_s: float
+    #: Machine-level idle→active transitions per second.
+    core_wakeups_per_s: float
+    #: PowerTop usage, summed over consumers (ms of CPU per second).
+    usage_ms_per_s: float
+
+    produced: int = 0
+    consumed: int = 0
+    #: Batch impl internals (0 for the non-batch implementations).
+    scheduled_wakeups: int = 0
+    overflow_wakeups: int = 0
+    producer_overflows: int = 0
+    average_buffer_size: float = 0.0
+    deadline_misses: int = 0
+    mean_latency_s: float = 0.0
+    max_latency_s: float = 0.0
+    p99_latency_s: float = 0.0
+
+    @property
+    def total_batch_wakeups(self) -> int:
+        """Scheduled + unscheduled wakeups (the paper's internal count)."""
+        return self.scheduled_wakeups + self.overflow_wakeups
+
+    @property
+    def overflow_share(self) -> float:
+        """Fraction of batch wakeups that were unscheduled."""
+        total = self.total_batch_wakeups
+        return self.overflow_wakeups / total if total else 0.0
+
+
+#: Fields that make sense to aggregate over replicates.
+NUMERIC_FIELDS = (
+    "power_w",
+    "power_true_w",
+    "wakeups_per_s",
+    "core_wakeups_per_s",
+    "usage_ms_per_s",
+    "produced",
+    "consumed",
+    "scheduled_wakeups",
+    "overflow_wakeups",
+    "producer_overflows",
+    "average_buffer_size",
+    "deadline_misses",
+    "mean_latency_s",
+    "max_latency_s",
+    "p99_latency_s",
+)
+
+
+@dataclass
+class Summary:
+    """Replicate aggregation of one experimental cell."""
+
+    implementation: str
+    n_consumers: int
+    buffer_size: int
+    replicates: int
+    estimates: Dict[str, Estimate] = field(default_factory=dict)
+
+    def __getitem__(self, metric: str) -> Estimate:
+        return self.estimates[metric]
+
+    def mean(self, metric: str) -> float:
+        return self.estimates[metric].mean
+
+
+def summarise(runs: Sequence[RunMetrics], level: float = 0.95) -> Summary:
+    """Mean ± CI for every numeric metric across replicate runs."""
+    if not runs:
+        raise ValueError("no runs to summarise")
+    first = runs[0]
+    for run in runs:
+        if (
+            run.implementation != first.implementation
+            or run.n_consumers != first.n_consumers
+            or run.buffer_size != first.buffer_size
+        ):
+            raise ValueError("summarise() expects replicates of one cell")
+    estimates = {
+        name: confidence_interval([getattr(r, name) for r in runs], level)
+        for name in NUMERIC_FIELDS
+    }
+    return Summary(
+        implementation=first.implementation,
+        n_consumers=first.n_consumers,
+        buffer_size=first.buffer_size,
+        replicates=len(runs),
+        estimates=estimates,
+    )
+
+
+def field_names() -> List[str]:
+    """All RunMetrics field names (handy for CSV export)."""
+    return [f.name for f in fields(RunMetrics)]

@@ -1,0 +1,156 @@
+"""Exact energy accounting over core state timelines.
+
+The ledger subscribes to core transitions and integrates power
+piecewise-constantly, charging the wakeup energy ω at every idle→active
+edge. It is the ground truth the measurement instruments (PowerTop
+analogue, oscilloscope analogue) approximate — letting tests verify the
+instruments against an exact reference, the same role the paper's
+"sanity checks" (§III-C1) play for its physical rig.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Optional
+
+from repro.cpu.core import Core
+from repro.cpu.cstates import CState
+from repro.cpu.listeners import CoreListener
+from repro.power.model import PowerModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.environment import Environment
+
+
+@dataclass
+class EnergyBreakdown:
+    """Joules split by where they went."""
+
+    active_j: float = 0.0
+    idle_j: float = 0.0
+    wakeup_j: float = 0.0
+    #: Idle→active transitions charged.
+    wakeups: int = 0
+    #: Seconds spent in each named state ("active", "C1", ...).
+    residency_s: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total_j(self) -> float:
+        return self.active_j + self.idle_j + self.wakeup_j
+
+    def add_residency(self, state: str, seconds: float) -> None:
+        self.residency_s[state] = self.residency_s.get(state, 0.0) + seconds
+
+
+class EnergyLedger(CoreListener):
+    """Integrates machine energy from core transition notifications.
+
+    Attach with ``machine.add_listener(ledger)`` **before** running the
+    simulation, then read :meth:`total_energy_j` / :meth:`average_power_w`
+    (call :meth:`settle` or pass ``now`` to include the open segment).
+    """
+
+    def __init__(self, env: "Environment", model: PowerModel) -> None:
+        self.env = env
+        self.model = model
+        self._per_core: Dict[int, EnergyBreakdown] = {}
+        # Open segment per core: (since, power_w, state_label, is_active)
+        self._open: Dict[int, tuple[float, float, str, bool]] = {}
+
+    # -- listener hooks ---------------------------------------------------
+    def _ensure(self, core: Core) -> None:
+        if core.core_id not in self._per_core:
+            self._per_core[core.core_id] = EnergyBreakdown()
+            self._open[core.core_id] = (
+                self.env.now,
+                self.model.core_power_w(core),
+                self._label(core),
+                core.state == "active",
+            )
+
+    @staticmethod
+    def _label(core: Core) -> str:
+        if core.state == "active":
+            return "active"
+        assert core.cstate is not None
+        return core.cstate.name
+
+    def _accrue(self, core: Core, now: float) -> None:
+        self._ensure(core)
+        since, power, label, active = self._open[core.core_id]
+        dt = now - since
+        if dt > 0:
+            breakdown = self._per_core[core.core_id]
+            if active:
+                breakdown.active_j += power * dt
+            else:
+                breakdown.idle_j += power * dt
+            breakdown.add_residency(label, dt)
+        self._open[core.core_id] = (
+            now,
+            self.model.core_power_w(core),
+            self._label(core),
+            core.state == "active",
+        )
+
+    def on_state_change(self, core, now, old_state, new_state, cstate, pstate) -> None:
+        self._accrue(core, now)
+
+    def on_wakeup(self, core, now, owner, from_cstate: CState) -> None:
+        self._ensure(core)
+        breakdown = self._per_core[core.core_id]
+        breakdown.wakeup_j += self.model.wakeup_energy_j
+        breakdown.wakeups += 1
+
+    # -- reading ---------------------------------------------------------
+    def watch(self, core: Core) -> None:
+        """Start accounting for ``core`` immediately (otherwise accounting
+        starts lazily at its first transition)."""
+        self._ensure(core)
+
+    def settle(self, now: Optional[float] = None) -> None:
+        """Close open segments up to ``now`` (default: current sim time)."""
+        at = self.env.now if now is None else now
+        for core_id in list(self._open):
+            since, power, label, active = self._open[core_id]
+            dt = at - since
+            if dt > 0:
+                breakdown = self._per_core[core_id]
+                if active:
+                    breakdown.active_j += power * dt
+                else:
+                    breakdown.idle_j += power * dt
+                breakdown.add_residency(label, dt)
+                self._open[core_id] = (at, power, label, active)
+
+    def core_breakdown(self, core_id: int) -> EnergyBreakdown:
+        """Per-core energy split (settle first for up-to-date numbers)."""
+        if core_id not in self._per_core:
+            return EnergyBreakdown()
+        return self._per_core[core_id]
+
+    def total_energy_j(self) -> float:
+        """Machine-wide joules accounted so far (post-settle)."""
+        return sum(b.total_j for b in self._per_core.values())
+
+    def total_breakdown(self) -> EnergyBreakdown:
+        """Machine-wide energy split (post-settle)."""
+        out = EnergyBreakdown()
+        for b in self._per_core.values():
+            out.active_j += b.active_j
+            out.idle_j += b.idle_j
+            out.wakeup_j += b.wakeup_j
+            out.wakeups += b.wakeups
+            for state, sec in b.residency_s.items():
+                out.add_residency(state, sec)
+        return out
+
+    def average_power_w(self, duration_s: float) -> float:
+        """Mean machine power over ``duration_s`` (post-settle)."""
+        if duration_s <= 0:
+            raise ValueError("duration must be positive")
+        return self.total_energy_j() / duration_s
+
+    def instantaneous_power_w(self, cores) -> float:
+        """Current machine draw (sum of per-core model power, no ω)."""
+        return sum(self.model.core_power_w(core) for core in cores)

@@ -1,0 +1,78 @@
+"""The machine power model: what a core draws in each state.
+
+Follows the paper's Section II exactly:
+
+* active dynamic power ``Pd = C · V² · f`` (DVFS law),
+* plus a static/leakage term while active,
+* residual per-C-state power while idle,
+* a fixed energy cost ω per idle→active transition — the quantity the
+  paper's optimisation objective (Eq. 3–4) counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cpu.core import Core
+from repro.cpu.cstates import CState
+from repro.cpu.pstates import PState
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Power parameters of one core (all cores share the model).
+
+    Parameters
+    ----------
+    capacitance_f:
+        Effective switched capacitance per cycle, in farads. With the
+        default Arndale-like P-states, ``0.6e-9`` gives ≈1.7 W per core
+        flat out — the right magnitude for a Cortex-A15 at 1.7 GHz.
+    static_active_w:
+        Leakage/uncore power while the core is in C0.
+    wakeup_energy_j:
+        ω — energy burned by one idle→active transition (pipeline
+        refill, cache warmup, voltage ramp). The paper's premise is
+        ω ≫ per-item processing energy (default: 120 µJ vs ≈ 20 µJ for
+        a 10 µs item at full power).
+    supply_voltage_v:
+        System supply rail, used by the oscilloscope instrument to turn
+        power into a voltage drop across the shunt resistor.
+    """
+
+    capacitance_f: float = 0.6e-9
+    static_active_w: float = 0.30
+    wakeup_energy_j: float = 120e-6
+    supply_voltage_v: float = 5.0
+
+    def __post_init__(self) -> None:
+        if self.capacitance_f <= 0:
+            raise ValueError("capacitance must be positive")
+        if self.static_active_w < 0 or self.wakeup_energy_j < 0:
+            raise ValueError("power parameters must be non-negative")
+        if self.supply_voltage_v <= 0:
+            raise ValueError("supply voltage must be positive")
+
+    def active_power_w(self, pstate: PState) -> float:
+        """Power of a core executing at ``pstate`` (dynamic + static)."""
+        return pstate.dynamic_power_w(self.capacitance_f) + self.static_active_w
+
+    def idle_power_w(self, cstate: CState) -> float:
+        """Residual power of a core idling in ``cstate``."""
+        return cstate.power_w
+
+    def core_power_w(self, core: Core) -> float:
+        """Instantaneous draw of ``core`` given its current state."""
+        if core.state == "active":
+            return self.active_power_w(core.pstate)
+        assert core.cstate is not None
+        return self.idle_power_w(core.cstate)
+
+    def baseline_power_w(self, core: Core, cstate: Optional[CState] = None) -> float:
+        """Draw of ``core`` if it were permanently idle in ``cstate``
+        (defaults to its shallowest state) — the "nothing running but
+        kernel tasks" floor the paper subtracts to report *extra* watts.
+        """
+        state = cstate or core.cstates.shallowest
+        return self.idle_power_w(state)

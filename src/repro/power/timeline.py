@@ -1,0 +1,113 @@
+"""Power waveforms: the scope's screen, not just its averages.
+
+The paper's Figure 1 argues about the *shape* of the power trace —
+grouped activity peaks versus fragmented ones. This module records that
+shape: a step function of instantaneous machine power over time (plus
+wakeup-energy impulses), renderable as a text waveform or exportable
+for plotting.
+
+Memory: one step per core state change. For long runs pass
+``max_steps`` to downsample adaptively (oldest pairs of steps merge).
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
+
+from repro.cpu.core import Core
+from repro.cpu.listeners import CoreListener
+from repro.power.model import PowerModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.environment import Environment
+
+
+@dataclass(frozen=True)
+class WaveformPoint:
+    time_s: float
+    power_w: float
+
+
+class PowerTimeline(CoreListener):
+    """Records the machine's instantaneous power as a step function."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        model: PowerModel,
+        cores: Sequence[Core],
+        max_steps: Optional[int] = 100_000,
+    ) -> None:
+        self.env = env
+        self.model = model
+        self.cores = tuple(cores)
+        self.max_steps = max_steps
+        self._times: List[float] = [env.now]
+        self._powers: List[float] = [self._instantaneous()]
+        #: (time, ω) impulses from wakeups.
+        self.impulses: List[Tuple[float, float]] = []
+
+    def _instantaneous(self) -> float:
+        return sum(self.model.core_power_w(core) for core in self.cores)
+
+    # -- listener hooks ----------------------------------------------------
+    def on_state_change(self, core, now, old_state, new_state, cstate, pstate) -> None:
+        if core not in self.cores:
+            return
+        power = self._instantaneous()
+        if self._times[-1] == now:
+            self._powers[-1] = power
+        else:
+            self._times.append(now)
+            self._powers.append(power)
+            self._maybe_downsample()
+
+    def on_wakeup(self, core, now, owner, from_cstate) -> None:
+        if core in self.cores:
+            self.impulses.append((now, self.model.wakeup_energy_j))
+
+    def _maybe_downsample(self) -> None:
+        if self.max_steps is None or len(self._times) <= self.max_steps:
+            return
+        # Halve resolution by dropping every other interior step.
+        self._times = self._times[:1] + self._times[1:-1:2] + self._times[-1:]
+        self._powers = self._powers[:1] + self._powers[1:-1:2] + self._powers[-1:]
+
+    # -- reading -----------------------------------------------------------------
+    @property
+    def steps(self) -> List[WaveformPoint]:
+        return [WaveformPoint(t, p) for t, p in zip(self._times, self._powers)]
+
+    def power_at(self, t: float) -> float:
+        """Step-function value at time ``t``."""
+        if t < self._times[0]:
+            raise ValueError("time precedes the recording")
+        idx = bisect_right(self._times, t) - 1
+        return self._powers[idx]
+
+    def sample(self, t0: float, t1: float, n: int) -> List[WaveformPoint]:
+        """``n`` evenly spaced samples of the step function on [t0, t1]."""
+        if n < 2 or t1 <= t0:
+            raise ValueError("need n >= 2 samples over a positive window")
+        dt = (t1 - t0) / (n - 1)
+        return [
+            WaveformPoint(t0 + i * dt, self.power_at(t0 + i * dt)) for i in range(n)
+        ]
+
+    def render(
+        self, t0: float, t1: float, width: int = 72, height: int = 8
+    ) -> str:
+        """A text waveform of the window (the Fig. 1 picture, in ASCII)."""
+        samples = self.sample(t0, t1, width)
+        values = [s.power_w for s in samples]
+        lo, hi = min(values), max(values)
+        span = (hi - lo) or 1.0
+        rows = []
+        for level in range(height, 0, -1):
+            threshold = lo + span * (level - 0.5) / height
+            row = "".join("█" if v >= threshold else " " for v in values)
+            rows.append(row)
+        axis = f"{lo:.2f} W … {hi:.2f} W over [{t0:g}s, {t1:g}s]"
+        return "\n".join(rows + [axis])

@@ -1,0 +1,53 @@
+"""Discrete-event simulation (DES) kernel.
+
+This package is the concurrency substrate for the whole reproduction.
+The paper's experiments run POSIX threads on an ARM board; a Python
+reproduction cannot use real threads for a multicore *power* experiment
+(the GIL serialises them and the host scheduler is not inspectable), so
+every producer, consumer and core manager in this repository is instead
+a *simulated process*: a Python generator driven by the event loop in
+:class:`~repro.sim.environment.Environment`.
+
+The kernel is deliberately SimPy-flavoured — processes ``yield``
+awaitable :class:`~repro.sim.events.Event` objects — but is written from
+scratch, is fully deterministic (ties broken by schedule order), and
+ships the blocking primitives the paper's implementations need
+(:class:`~repro.sim.primitives.Semaphore`,
+:class:`~repro.sim.primitives.Mutex`,
+:class:`~repro.sim.primitives.ConditionVariable`).
+
+Quick taste::
+
+    from repro.sim import Environment
+
+    env = Environment()
+
+    def ping(env):
+        yield env.timeout(1.0)
+        print("ping at", env.now)
+
+    env.process(ping(env))
+    env.run()
+"""
+
+from repro.sim.environment import Environment
+from repro.sim.errors import Interrupt, SimulationError, StopProcess
+from repro.sim.events import AllOf, AnyOf, Event, Process, Timeout
+from repro.sim.primitives import ConditionVariable, Mutex, Semaphore
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "ConditionVariable",
+    "Environment",
+    "Event",
+    "Interrupt",
+    "Mutex",
+    "Process",
+    "RandomStreams",
+    "Semaphore",
+    "SimulationError",
+    "StopProcess",
+    "Timeout",
+]

@@ -1,0 +1,166 @@
+"""The simulation environment: clock, event queue, run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Iterable, Optional, Union
+
+from repro.sim.errors import SimulationError
+from repro.sim.events import (
+    NORMAL,
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    ProcessGenerator,
+    Timeout,
+)
+
+
+class _StopSimulation(Exception):
+    """Internal control-flow exception ending :meth:`Environment.run`."""
+
+    def __init__(self, event: Event) -> None:
+        super().__init__(event)
+        self.event = event
+
+
+class Environment:
+    """Owns simulated time and executes events in timestamp order.
+
+    Ties at the same timestamp are broken first by priority (URGENT
+    before NORMAL) and then by scheduling order, which makes every run
+    fully deterministic.
+
+    Parameters
+    ----------
+    initial_time:
+        Starting value of :attr:`now` (seconds by convention throughout
+        this repository).
+    """
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: list[tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock & introspection ------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    def peek(self) -> float:
+        """Timestamp of the next scheduled event, or ``inf`` if none."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    # -- scheduling -------------------------------------------------------
+    def schedule(self, event: Event, delay: float = 0.0, priority: int = NORMAL) -> None:
+        """Queue a triggered event for processing ``delay`` from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(
+            self._queue, (self._now + delay, priority, next(self._eid), event)
+        )
+
+    # -- factories --------------------------------------------------------
+    def process(self, generator: ProcessGenerator, name: Optional[str] = None) -> Process:
+        """Start a new process from ``generator``; returns its Process event."""
+        return Process(self, generator, name=name)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """An event that triggers ``delay`` time units from now."""
+        return Timeout(self, delay, value)
+
+    def event(self) -> Event:
+        """A fresh untriggered event (trigger it with succeed/fail)."""
+        return Event(self)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Composite event: first of ``events`` to succeed."""
+        return AnyOf(self, events)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Composite event: all of ``events`` succeeded."""
+        return AllOf(self, events)
+
+    # -- execution ----------------------------------------------------------
+    def step(self) -> None:
+        """Process exactly one event (advancing the clock to it)."""
+        if not self._queue:
+            raise SimulationError("step() on an empty schedule")
+        when, _prio, _eid, event = heapq.heappop(self._queue)
+        self._now = when
+        callbacks = event.callbacks
+        event.callbacks = None
+        assert callbacks is not None
+        for callback in callbacks:
+            callback(event)
+        if not event._ok and not event._defused:
+            # A failure nobody handled: surface it instead of dropping it.
+            exc = event._exc
+            assert exc is not None
+            raise exc
+
+    def run(self, until: Union[None, float, Event] = None) -> Any:
+        """Run the simulation.
+
+        ``until`` may be:
+
+        * ``None`` — run until no events remain;
+        * a number — run all events scheduled strictly before it, then
+          set :attr:`now` to it;
+        * an :class:`Event` — run until that event is processed and
+          return its value (re-raising its exception on failure).
+        """
+        stop_at = float("inf")
+        watched: Optional[Event] = None
+        if isinstance(until, Event):
+            watched = until
+            if watched.callbacks is None:  # already processed
+                if not watched._ok:
+                    assert watched._exc is not None
+                    raise watched._exc
+                return watched._value
+            watched.callbacks.append(self._stop_callback)
+        elif until is not None:
+            stop_at = float(until)
+            if stop_at < self._now:
+                raise SimulationError(
+                    f"run(until={stop_at}) is in the past (now={self._now})"
+                )
+
+        try:
+            while self._queue and self._queue[0][0] < stop_at:
+                self.step()
+        except _StopSimulation as stop:
+            if not stop.event._ok:
+                assert stop.event._exc is not None
+                raise stop.event._exc from None
+            return stop.event._value
+        if watched is not None:
+            raise SimulationError(
+                "run(until=event) exhausted the schedule before the event "
+                "triggered — likely a deadlock"
+            )
+        if stop_at != float("inf"):
+            self._now = stop_at
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        event._defused = True
+        raise _StopSimulation(event)
+
+    def __repr__(self) -> str:
+        return f"<Environment now={self._now} queued={len(self._queue)}>"

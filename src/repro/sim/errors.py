@@ -1,0 +1,46 @@
+"""Exception types used by the simulation kernel."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SimulationError(Exception):
+    """Base class for errors raised by the DES kernel itself.
+
+    Raised for kernel misuse (triggering an event twice, running a
+    finished environment backwards in time, releasing an un-held mutex,
+    ...) as opposed to errors raised *inside* simulated processes, which
+    propagate through their :class:`~repro.sim.events.Process` event.
+    """
+
+
+class StopProcess(Exception):
+    """Raised inside a process generator to end it with a return value.
+
+    Plain ``return value`` inside the generator is the idiomatic way to
+    finish; ``raise StopProcess(value)`` exists for helpers that need to
+    terminate the *enclosing* process from inside a ``yield from``
+    sub-generator.
+    """
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process when another process interrupts it.
+
+    The interrupted process receives this exception at its current
+    ``yield`` statement. ``cause`` carries the value passed to
+    :meth:`repro.sim.events.Process.interrupt`.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        """The object the interrupter supplied (may be ``None``)."""
+        return self.args[0]

@@ -1,0 +1,120 @@
+"""Common Log Format parsing: drop in the real 1998 World Cup logs.
+
+The paper's workload is the World Cup web site access logs [4]
+(Arlitt & Jin, 1998). The raw dataset is not redistributable here, so
+experiments default to the synthetic generator — but this parser turns
+any NCSA Common Log Format file (which the published WC98 tools emit)
+into a :class:`~repro.workloads.trace.Trace`, letting anyone with the
+logs run every benchmark on the paper's exact workload.
+
+CLF line shape::
+
+    host ident authuser [10/Oct/2000:13:55:36 -0700] "GET /p HTTP/1.0" 200 2326
+"""
+
+from __future__ import annotations
+
+import re
+from datetime import datetime, timedelta, timezone
+from pathlib import Path
+from typing import Iterable, Optional, TextIO, Union
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+_CLF_RE = re.compile(
+    r"""^(?P<host>\S+)\s+\S+\s+\S+\s+
+        \[(?P<ts>[^\]]+)\]\s+
+        "(?P<request>[^"]*)"\s+
+        (?P<status>\d{3})\s+
+        (?P<size>\d+|-)""",
+    re.VERBOSE,
+)
+
+_MONTHS = {
+    "Jan": 1, "Feb": 2, "Mar": 3, "Apr": 4, "May": 5, "Jun": 6,
+    "Jul": 7, "Aug": 8, "Sep": 9, "Oct": 10, "Nov": 11, "Dec": 12,
+}
+
+
+class LogParseError(ValueError):
+    """A line did not match the Common Log Format."""
+
+
+def parse_clf_timestamp(ts: str) -> datetime:
+    """Parse ``10/Oct/2000:13:55:36 -0700`` without locale dependence."""
+    try:
+        date_part, tz_part = ts.rsplit(" ", 1)
+        day, mon, rest = date_part.split("/", 2)
+        year, hh, mm, ss = rest.split(":")
+        sign = -1 if tz_part[0] == "-" else 1
+        tz_h, tz_m = int(tz_part[1:3]), int(tz_part[3:5])
+        tz = timezone(sign * timedelta(hours=tz_h, minutes=tz_m))
+        return datetime(
+            int(year), _MONTHS[mon], int(day), int(hh), int(mm), int(ss), tzinfo=tz
+        )
+    except (ValueError, KeyError, IndexError) as exc:
+        raise LogParseError(f"bad CLF timestamp: {ts!r}") from exc
+
+
+def iter_clf_arrival_times(
+    lines: Iterable[str], strict: bool = False
+) -> Iterable[float]:
+    """Yield POSIX timestamps of well-formed CLF lines.
+
+    ``strict=True`` raises on malformed lines; the default skips them
+    (real web logs always contain junk).
+    """
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        match = _CLF_RE.match(line)
+        if match is None:
+            if strict:
+                raise LogParseError(f"line {lineno}: not CLF: {line[:80]!r}")
+            continue
+        try:
+            yield parse_clf_timestamp(match.group("ts")).timestamp()
+        except LogParseError:
+            if strict:
+                raise
+
+
+def trace_from_clf(
+    source: Union[str, Path, TextIO],
+    time_scale: float = 1.0,
+    name: Optional[str] = None,
+    strict: bool = False,
+) -> Trace:
+    """Build a :class:`Trace` from a CLF file or file-like object.
+
+    Arrivals are re-based to the first request; ``time_scale`` > 1
+    accelerates the replay (the paper replays hours of log in a 50 s
+    experiment, i.e. a large scale factor).
+    """
+    if time_scale <= 0:
+        raise ValueError("time_scale must be positive")
+    if isinstance(source, (str, Path)):
+        with open(source, "r", encoding="utf-8", errors="replace") as fh:
+            stamps = np.array(list(iter_clf_arrival_times(fh, strict)), dtype=float)
+        label = name or f"clf:{Path(source).name}"
+    else:
+        stamps = np.array(list(iter_clf_arrival_times(source, strict)), dtype=float)
+        label = name or "clf:<stream>"
+    if stamps.size == 0:
+        raise LogParseError("no parseable CLF lines in input")
+    stamps.sort()
+    rebased = (stamps - stamps[0]) / time_scale
+    duration = float(rebased[-1]) + (1.0 / time_scale)
+    return Trace(rebased, duration, label)
+
+
+def write_clf(trace: Trace, path: Union[str, Path], base_epoch: float = 9e8) -> None:
+    """Serialise a trace as a synthetic CLF file (round-trip support)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for t in trace.times:
+            stamp = datetime.fromtimestamp(base_epoch + t, tz=timezone.utc)
+            ts = stamp.strftime("%d/%b/%Y:%H:%M:%S +0000")
+            fh.write(f'127.0.0.1 - - [{ts}] "GET / HTTP/1.0" 200 100\n')

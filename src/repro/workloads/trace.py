@@ -1,0 +1,140 @@
+"""Arrival traces: the workload abstraction every producer replays.
+
+A :class:`Trace` is an immutable, sorted array of absolute arrival
+times in ``[0, duration)``. The paper drives every experiment from one
+web-server request log, giving each producer a *phase-shifted* copy
+("each consumer is shifted one Mth further into the dataset", §VI-A);
+:meth:`Trace.shifted` implements exactly that rotation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Trace:
+    """A finite arrival process.
+
+    Parameters
+    ----------
+    times:
+        Sorted absolute arrival times (seconds), all in
+        ``[0, duration_s)``.
+    duration_s:
+        The observation window the times live in (also the wrap length
+        for phase shifting).
+    name:
+        Human-readable provenance ("worldcup-like seed=3", ...).
+    """
+
+    times: np.ndarray
+    duration_s: float
+    name: str = "trace"
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.times, dtype=float)
+        if arr.ndim != 1:
+            raise ValueError("trace times must be a 1-D array")
+        if self.duration_s <= 0:
+            raise ValueError("trace duration must be positive")
+        if arr.size:
+            if np.any(np.diff(arr) < 0):
+                raise ValueError("trace times must be sorted")
+            if arr[0] < 0 or arr[-1] >= self.duration_s:
+                raise ValueError("trace times must lie in [0, duration)")
+        object.__setattr__(self, "times", arr)
+
+    # -- basic properties -----------------------------------------------------
+    @property
+    def n_items(self) -> int:
+        return int(self.times.size)
+
+    @property
+    def mean_rate(self) -> float:
+        """Items per second over the whole window."""
+        return self.n_items / self.duration_s
+
+    def inter_arrivals(self) -> np.ndarray:
+        """Gaps between consecutive arrivals."""
+        return np.diff(self.times)
+
+    def __len__(self) -> int:
+        return self.n_items
+
+    def __iter__(self) -> Iterator[float]:
+        return iter(self.times.tolist())
+
+    # -- transformations ---------------------------------------------------------
+    def shifted(self, fraction: float, name: str | None = None) -> "Trace":
+        """Rotate the trace ``fraction`` of the way into its window.
+
+        Arrival ``t`` becomes ``(t - fraction·D) mod D`` — the paper's
+        per-consumer phase shift. ``fraction`` may be any real; only its
+        fractional part matters.
+        """
+        offset = (fraction % 1.0) * self.duration_s
+        rotated = np.mod(self.times - offset, self.duration_s)
+        # float round-off: x mod D can land exactly on D for tiny x-offset<0
+        rotated[rotated >= self.duration_s] = 0.0
+        rotated = np.sort(rotated)
+        return Trace(
+            rotated,
+            self.duration_s,
+            name or f"{self.name}+shift{fraction:.3f}",
+        )
+
+    def clipped(self, until_s: float, name: str | None = None) -> "Trace":
+        """The restriction of the trace to ``[0, until_s)``."""
+        if until_s <= 0:
+            raise ValueError("clip horizon must be positive")
+        horizon = min(until_s, self.duration_s)
+        kept = self.times[self.times < horizon]
+        return Trace(kept, horizon, name or f"{self.name}[:{until_s:g}s]")
+
+    def scaled_rate(self, factor: float, name: str | None = None) -> "Trace":
+        """Speed the trace up by ``factor`` (same items, shorter window)."""
+        if factor <= 0:
+            raise ValueError("rate factor must be positive")
+        return Trace(
+            self.times / factor,
+            self.duration_s / factor,
+            name or f"{self.name}x{factor:g}",
+        )
+
+    # -- analysis ----------------------------------------------------------------
+    def rate_profile(self, bin_s: float) -> tuple[np.ndarray, np.ndarray]:
+        """(bin centres, items/s per bin) — the trace's rate over time."""
+        if bin_s <= 0:
+            raise ValueError("bin width must be positive")
+        edges = np.arange(0.0, self.duration_s + bin_s, bin_s)
+        counts, _ = np.histogram(self.times, bins=edges)
+        centres = (edges[:-1] + edges[1:]) / 2
+        return centres, counts / bin_s
+
+    def burstiness(self, bin_s: float = 0.1) -> float:
+        """Coefficient of variation of the binned rate (1 ≈ Poisson-flat;
+        the paper's web log is strongly bursty, ≫ its Poisson analogue)."""
+        _, rates = self.rate_profile(bin_s)
+        mean = rates.mean()
+        if mean == 0:
+            return 0.0
+        return float(rates.std() / mean)
+
+    def __repr__(self) -> str:
+        return (
+            f"<Trace {self.name!r} n={self.n_items} "
+            f"duration={self.duration_s:g}s rate={self.mean_rate:.1f}/s>"
+        )
+
+
+def merge_traces(traces: Sequence[Trace], name: str = "merged") -> Trace:
+    """Union of several traces over the longest window."""
+    if not traces:
+        raise ValueError("nothing to merge")
+    duration = max(t.duration_s for t in traces)
+    times = np.sort(np.concatenate([t.times for t in traces]))
+    return Trace(times, duration, name)

@@ -1,0 +1,166 @@
+"""Unit tests for BoundedBuffer and SegmentedBuffer."""
+
+import pytest
+
+from repro.buffers import (
+    BoundedBuffer,
+    BufferOverflow,
+    BufferUnderflow,
+    SegmentedBuffer,
+)
+
+
+# -- BoundedBuffer ----------------------------------------------------------
+
+
+def test_bounded_fifo_and_count():
+    buf = BoundedBuffer(3)
+    buf.push(1)
+    buf.push(2)
+    assert buf.count == 2
+    assert buf.pop() == 1
+    assert buf.count == 1
+
+
+def test_bounded_overflow_and_underflow():
+    buf = BoundedBuffer(1)
+    buf.push(1)
+    with pytest.raises(BufferOverflow):
+        buf.push(2)
+    buf.pop()
+    with pytest.raises(BufferUnderflow):
+        buf.pop()
+
+
+def test_bounded_drain_and_iter():
+    buf = BoundedBuffer(5)
+    for i in range(4):
+        buf.push(i)
+    assert list(buf) == [0, 1, 2, 3]
+    assert buf.drain(3) == [0, 1, 2]
+    assert buf.drain() == [3]
+
+
+def test_bounded_peek():
+    buf = BoundedBuffer(2)
+    buf.push("x")
+    assert buf.peek() == "x"
+    assert buf.count == 1
+
+
+def test_bounded_invalid_capacity():
+    with pytest.raises(ValueError):
+        BoundedBuffer(0)
+
+
+# -- SegmentedBuffer -------------------------------------------------------------
+
+
+def test_segmented_fifo_across_segment_boundaries():
+    buf = SegmentedBuffer(100, segment_size=4)
+    for i in range(50):
+        buf.push(i)
+    assert [buf.pop() for _ in range(50)] == list(range(50))
+
+
+def test_segmented_overflow_at_capacity():
+    buf = SegmentedBuffer(2)
+    buf.push(1)
+    buf.push(2)
+    with pytest.raises(BufferOverflow):
+        buf.push(3)
+    assert buf.overflows == 1
+
+
+def test_segmented_grow_admits_more():
+    buf = SegmentedBuffer(2)
+    buf.push(1)
+    buf.push(2)
+    assert buf.grow(2) == 4
+    buf.push(3)
+    buf.push(4)
+    assert buf.is_full
+
+
+def test_segmented_shrink_releases_capacity():
+    buf = SegmentedBuffer(10)
+    assert buf.shrink(4) == 6
+    assert buf.capacity == 6
+
+
+def test_segmented_shrink_clamps_to_occupancy():
+    buf = SegmentedBuffer(10)
+    for i in range(7):
+        buf.push(i)
+    assert buf.set_capacity(3) == 7  # cannot discard buffered items
+    assert len(buf) == 7
+
+
+def test_segmented_shrink_floor_is_one():
+    buf = SegmentedBuffer(5)
+    assert buf.shrink(100) == 1
+
+
+def test_segmented_resize_events_recorded():
+    buf = SegmentedBuffer(10)
+    buf.grow(5)
+    buf.shrink(3)
+    assert buf.resize_events == [(10, 15), (15, 12)]
+
+
+def test_segmented_interleaved_push_pop_resize():
+    buf = SegmentedBuffer(4, segment_size=2)
+    buf.push("a")
+    buf.push("b")
+    assert buf.pop() == "a"
+    buf.set_capacity(3)  # holds "b", room for 2 more
+    buf.push("c")
+    assert not buf.is_full
+    buf.push("d")
+    assert buf.is_full
+    assert buf.drain() == ["b", "c", "d"]
+
+
+def test_segmented_drain_limit():
+    buf = SegmentedBuffer(10)
+    for i in range(6):
+        buf.push(i)
+    assert buf.drain(4) == [0, 1, 2, 3]
+    assert len(buf) == 2
+
+
+def test_segmented_peek_and_iter():
+    buf = SegmentedBuffer(10, segment_size=2)
+    for i in range(5):
+        buf.push(i)
+    buf.pop()
+    buf.pop()
+    assert buf.peek() == 2
+    assert list(buf) == [2, 3, 4]
+
+
+def test_segmented_validation():
+    with pytest.raises(ValueError):
+        SegmentedBuffer(0)
+    with pytest.raises(ValueError):
+        SegmentedBuffer(5, segment_size=0)
+    buf = SegmentedBuffer(5)
+    with pytest.raises(ValueError):
+        buf.set_capacity(0)
+    with pytest.raises(ValueError):
+        buf.grow(-1)
+    with pytest.raises(ValueError):
+        buf.shrink(-1)
+
+
+def test_segmented_memory_reclaim_keeps_length_consistent():
+    """The amortised segment recycling must not corrupt indexing."""
+    buf = SegmentedBuffer(1000, segment_size=3)
+    expected = []
+    for i in range(300):
+        buf.push(i)
+        expected.append(i)
+        if i % 2 == 0:
+            assert buf.pop() == expected.pop(0)
+    assert list(buf) == expected
+    assert len(buf) == len(expected)

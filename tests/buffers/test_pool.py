@@ -1,0 +1,145 @@
+"""Unit tests for the global buffer pool (dynamic resizing, paper §V-C)."""
+
+import pytest
+
+from repro.buffers import GlobalBufferPool
+
+
+def test_register_gives_base_allocation():
+    pool = GlobalBufferPool(base_allocation=25, n_consumers=4)
+    buf = pool.register("c1")
+    assert buf.capacity == 25
+    assert pool.total_slots == 100
+
+
+def test_duplicate_registration_rejected():
+    pool = GlobalBufferPool(25, 2)
+    pool.register("c1")
+    with pytest.raises(ValueError):
+        pool.register("c1")
+
+
+def test_registration_beyond_sizing_rejected():
+    pool = GlobalBufferPool(25, 1)
+    pool.register("c1")
+    with pytest.raises(ValueError):
+        pool.register("c2")
+
+
+def test_free_slots_reserve_unregistered_shares():
+    pool = GlobalBufferPool(25, 4)
+    pool.register("c1")
+    # 3 unregistered consumers' shares (75) are reserved; c1 holds 25.
+    assert pool.free_slots == 0
+    pool.register("c2")
+    pool.downsize("c2", 5)
+    assert pool.free_slots == 20
+
+
+def test_downsize_frees_pool_space():
+    pool = GlobalBufferPool(25, 2)
+    pool.register("c1")
+    pool.register("c2")
+    assert pool.free_slots == 0
+    assert pool.downsize("c1", 10) == 10
+    assert pool.free_slots == 15
+
+
+def test_downsize_never_grows():
+    pool = GlobalBufferPool(25, 2)
+    pool.register("c1")
+    pool.register("c2")
+    assert pool.downsize("c1", 100) == 25
+
+
+def test_downsize_clamps_to_occupancy():
+    pool = GlobalBufferPool(25, 1)
+    buf = pool.register("c1")
+    for i in range(12):
+        buf.push(i)
+    assert pool.downsize("c1", 3) == 12
+
+
+def test_upsize_takes_min_of_free_and_desired():
+    pool = GlobalBufferPool(25, 2)
+    pool.register("c1")
+    pool.register("c2")
+    pool.downsize("c1", 10)  # 15 slots free
+    # c2 wants 100 total; only 15 free → 25 + 15 = 40
+    assert pool.upsize("c2", 100) == 40
+    assert pool.free_slots == 0
+
+
+def test_upsize_fully_granted_when_space_allows():
+    pool = GlobalBufferPool(25, 2)
+    pool.register("c1")
+    pool.register("c2")
+    pool.downsize("c1", 5)
+    assert pool.upsize("c2", 35) == 35
+    assert pool.free_slots == 10
+
+
+def test_upsize_with_exhausted_pool_is_noop():
+    pool = GlobalBufferPool(25, 2)
+    pool.register("c1")
+    pool.register("c2")
+    assert pool.upsize("c1", 50) == 25
+    assert pool.upsize_requests == 1
+    assert pool.upsize_grants == 0
+
+
+def test_upsize_below_current_capacity_is_noop():
+    pool = GlobalBufferPool(25, 1)
+    pool.register("c1")
+    assert pool.upsize("c1", 10) == 25
+
+
+def test_release_to_base_returns_borrowed_slots():
+    pool = GlobalBufferPool(25, 2)
+    pool.register("c1")
+    pool.register("c2")
+    pool.downsize("c1", 5)
+    pool.upsize("c2", 45)
+    assert pool.buffer("c2").capacity == 45
+    pool.release_to_base("c2")
+    assert pool.buffer("c2").capacity == 25
+
+
+def test_lending_statistics():
+    pool = GlobalBufferPool(25, 2)
+    pool.register("c1")
+    pool.register("c2")
+    pool.downsize("c1", 10)
+    pool.upsize("c2", 30)
+    assert pool.upsize_requests == 1
+    assert pool.upsize_grants == 1
+    assert pool.slots_lent == 5
+
+
+def test_average_capacity():
+    pool = GlobalBufferPool(20, 2)
+    assert pool.average_capacity() == 0.0
+    pool.register("c1")
+    pool.register("c2")
+    pool.downsize("c1", 10)
+    assert pool.average_capacity() == pytest.approx(15.0)
+
+
+def test_invariant_holds_through_churn():
+    pool = GlobalBufferPool(25, 3)
+    for cid in ("a", "b", "c"):
+        pool.register(cid)
+    pool.downsize("a", 3)
+    pool.upsize("b", 60)
+    pool.downsize("b", 12)
+    pool.upsize("c", 999)
+    pool.release_to_base("c")
+    pool.check_invariant()
+    assert pool.allocated_slots <= pool.total_slots
+
+
+def test_pool_validation():
+    with pytest.raises(ValueError):
+        GlobalBufferPool(0, 2)
+    with pytest.raises(ValueError):
+        GlobalBufferPool(25, 0)

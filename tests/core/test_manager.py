@@ -1,0 +1,163 @@
+"""Tests for the core manager: slot firing, re-arming, no needless wakes."""
+
+import pytest
+
+from repro.cpu import Machine
+from repro.core import CoreManager
+from repro.sim import Environment, RandomStreams
+
+
+class FakeConsumer:
+    """Minimal consumer double: records activations, completes instantly."""
+
+    def __init__(self, env, name):
+        self.env = env
+        self.name = name
+        self.activations = []
+
+    def activate(self, slot_index):
+        self.activations.append((self.env.now, slot_index))
+        done = self.env.event()
+        done.succeed()
+        return done
+
+    def __repr__(self):
+        return f"<FakeConsumer {self.name}>"
+
+
+def make_manager(slot=0.01, jitter=0.0):
+    env = Environment()
+    machine = Machine(
+        env,
+        n_cores=1,
+        streams=RandomStreams(seed=0),
+        timer_kwargs={"signal_jitter_s": jitter},
+    )
+    mgr = CoreManager(env, machine.core(0), machine.timers, slot).start()
+    return env, machine, mgr
+
+
+def test_manager_fires_reserved_slot_on_time():
+    env, machine, mgr = make_manager()
+    c = FakeConsumer(env, "a")
+    mgr.reserve(c, 3)
+    env.run(until=0.05)
+    assert c.activations == [(pytest.approx(0.03), 3)]
+    assert mgr.scheduled_wakeups == 1
+
+
+def test_manager_sleeps_with_no_reservations():
+    env, machine, mgr = make_manager()
+    env.run(until=0.1)
+    assert mgr.scheduled_wakeups == 0
+    assert machine.core(0).total_wakeups == 0
+
+
+def test_manager_skips_unreserved_slots():
+    env, machine, mgr = make_manager()
+    c = FakeConsumer(env, "a")
+    mgr.reserve(c, 9)  # slots 1..8 have no reservations
+    env.run(until=0.1)
+    assert mgr.scheduled_wakeups == 1
+    assert c.activations[0][0] == pytest.approx(0.09)
+
+
+def test_manager_activates_all_holders_of_a_slot():
+    env, machine, mgr = make_manager()
+    consumers = [FakeConsumer(env, f"c{i}") for i in range(4)]
+    for c in consumers:
+        mgr.reserve(c, 2)
+    env.run(until=0.05)
+    assert mgr.scheduled_wakeups == 1  # one slot fire for four consumers
+    assert mgr.activations == 4
+    for c in consumers:
+        assert len(c.activations) == 1
+
+
+def test_manager_rearms_on_earlier_reservation():
+    env, machine, mgr = make_manager()
+    late, early = FakeConsumer(env, "late"), FakeConsumer(env, "early")
+    mgr.reserve(late, 9)
+
+    def add_early(env):
+        yield env.timeout(0.015)
+        mgr.reserve(early, 3)
+
+    env.process(add_early(env))
+    env.run(until=0.1)
+    assert early.activations[0][0] == pytest.approx(0.03)
+    assert late.activations[0][0] == pytest.approx(0.09)
+    assert mgr.scheduled_wakeups == 2
+
+
+def test_manager_ignores_cancelled_reservation():
+    env, machine, mgr = make_manager()
+    c = FakeConsumer(env, "a")
+    mgr.reserve(c, 3)
+
+    def cancel(env):
+        yield env.timeout(0.015)
+        mgr.cancel(c)
+
+    env.process(cancel(env))
+    env.run(until=0.1)
+    assert c.activations == []
+    assert mgr.scheduled_wakeups == 0
+
+
+def test_manager_reservation_must_be_future():
+    env, machine, mgr = make_manager()
+    c = FakeConsumer(env, "a")
+    env.run(until=0.055)  # current slot = 5
+    with pytest.raises(ValueError, match="future slot"):
+        mgr.reserve(c, 5)
+    mgr.reserve(c, 6)  # ok
+
+
+def test_manager_moving_a_reservation_fires_new_slot_only():
+    env, machine, mgr = make_manager()
+    c = FakeConsumer(env, "a")
+    mgr.reserve(c, 3)
+
+    def move(env):
+        yield env.timeout(0.015)
+        mgr.reserve(c, 6)
+
+    env.process(move(env))
+    env.run(until=0.1)
+    assert c.activations == [(pytest.approx(0.06), 6)]
+    assert mgr.scheduled_wakeups == 1
+
+
+def test_manager_feeds_wake_hint_to_core():
+    env, machine, mgr = make_manager()
+    core = machine.core(0)
+    c = FakeConsumer(env, "a")
+    mgr.reserve(c, 8)
+    env.run(until=0.01)
+    # The core knows its next wakeup is at 0.08 → deep C-state territory.
+    assert core._next_wake_hint == pytest.approx(0.08)
+
+
+def test_manager_waits_for_slow_consumer_before_next_slot():
+    env, machine, mgr = make_manager()
+
+    class SlowConsumer(FakeConsumer):
+        def activate(self, slot_index):
+            self.activations.append((self.env.now, slot_index))
+            done = self.env.event()
+
+            def finish(env):
+                yield env.timeout(0.025)  # runs past 2 slot boundaries
+                done.succeed()
+
+            self.env.process(finish(self.env))
+            return done
+
+    slow = SlowConsumer(env, "slow")
+    fast = FakeConsumer(env, "fast")
+    mgr.reserve(slow, 1)
+    mgr.reserve(fast, 2)
+    env.run(until=0.1)
+    # fast's slot 2 (t=0.02) fires only after slow finished (t=0.035).
+    assert fast.activations[0][0] >= 0.035

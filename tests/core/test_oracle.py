@@ -1,0 +1,146 @@
+"""Tests for the clairvoyant wakeup oracle (Eq. 4's offline optimum)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import optimal_wakeups, verify_schedule
+from repro.workloads import Trace
+
+
+def trace_of(times, duration=10.0):
+    return Trace(np.asarray(sorted(times), dtype=float), duration)
+
+
+# -- hand-checkable instances ---------------------------------------------------
+
+
+def test_empty_traces_need_no_wakeups():
+    result = optimal_wakeups([trace_of([])], 1.0, 10)
+    assert result.wakeups == 0
+    assert result.total_items == 0
+
+
+def test_single_item_single_wakeup_at_deadline():
+    result = optimal_wakeups([trace_of([2.0])], 1.0, 10)
+    assert result.wakeup_times == [pytest.approx(3.0)]
+
+
+def test_items_within_latency_window_share_one_wakeup():
+    # All three fit in one [t, t+L] stab at time 2.5.
+    result = optimal_wakeups([trace_of([1.5, 2.0, 2.5])], 1.0, 10)
+    assert result.wakeups == 1
+    assert result.wakeup_times[0] == pytest.approx(2.5)
+
+
+def test_spread_items_need_multiple_wakeups():
+    result = optimal_wakeups([trace_of([0.0, 5.0])], 1.0, 10)
+    assert result.wakeups == 2
+
+
+def test_two_consumers_latch_on_shared_wakeup():
+    # Different consumers, overlapping windows: one stab suffices.
+    a = trace_of([1.0])
+    b = trace_of([1.5])
+    result = optimal_wakeups([a, b], 1.0, 10)
+    assert result.wakeups == 1
+
+
+def test_buffer_forces_earlier_wakeups():
+    # Large latency but a 2-slot buffer: the 3rd arrival forces a drain
+    # at its own instant (the overflow-trigger semantics), so groups of
+    # three form around each forced wake: {.1,.2,.3} and {.4,.5,.6}.
+    times = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6]
+    loose = optimal_wakeups([trace_of(times)], 100.0, 10)
+    tight = optimal_wakeups([trace_of(times)], 100.0, 2)
+    assert loose.wakeups == 1
+    assert tight.wakeups == 2
+    assert tight.wakeup_times == [pytest.approx(0.3), pytest.approx(0.6)]
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        optimal_wakeups([], 1.0, 10)
+    with pytest.raises(ValueError):
+        optimal_wakeups([trace_of([1.0])], 0.0, 10)
+    with pytest.raises(ValueError):
+        optimal_wakeups([trace_of([1.0])], 1.0, 0)
+    with pytest.raises(ValueError):
+        optimal_wakeups([trace_of([1.0]), trace_of([2.0])], 1.0, [5])
+
+
+# -- feasibility & optimality properties -----------------------------------------
+
+
+@st.composite
+def random_instances(draw):
+    n_consumers = draw(st.integers(1, 3))
+    traces = []
+    for _ in range(n_consumers):
+        n = draw(st.integers(0, 40))
+        # Unique arrivals: a bounded buffer cannot model several items
+        # landing at the same instant (measure-zero for real traces).
+        times = sorted(
+            draw(
+                st.lists(
+                    st.floats(min_value=0.0, max_value=9.99),
+                    min_size=n,
+                    max_size=n,
+                    unique=True,
+                )
+            )
+        )
+        traces.append(trace_of(times))
+    latency = draw(st.floats(min_value=0.05, max_value=3.0))
+    buffer = draw(st.integers(1, 8))
+    return traces, latency, buffer
+
+
+@given(instance=random_instances())
+@settings(max_examples=200, deadline=None)
+def test_oracle_schedule_is_always_feasible(instance):
+    traces, latency, buffer = instance
+    result = optimal_wakeups(traces, latency, buffer)
+    assert verify_schedule(traces, result.wakeup_times, latency, buffer)
+
+
+@given(instance=random_instances())
+@settings(max_examples=150, deadline=None)
+def test_oracle_matches_interval_stabbing_when_buffers_never_bind(instance):
+    """With unbounded buffers the problem is pure interval stabbing,
+    whose optimum has a well-known independent greedy solution — the
+    oracle must agree with it exactly."""
+    traces, latency, _buffer = instance
+    intervals = [
+        (t, t + latency) for trace in traces for t in trace.times.tolist()
+    ]
+    stabs = 0
+    current = -float("inf")
+    for start, end in sorted(intervals, key=lambda it: it[1]):
+        if start > current:
+            stabs += 1
+            current = end
+    unconstrained = optimal_wakeups(traces, latency, 10**6)
+    assert unconstrained.wakeups == stabs
+    # And the buffer-constrained optimum can only need more stabs.
+    constrained = optimal_wakeups(traces, latency, _buffer)
+    assert constrained.wakeups >= stabs
+
+
+@given(instance=random_instances())
+@settings(max_examples=150, deadline=None)
+def test_buffer_constraints_never_reduce_wakeups(instance):
+    traces, latency, buffer = instance
+    tight = optimal_wakeups(traces, latency, buffer)
+    loose = optimal_wakeups(traces, latency, 10**6)
+    assert tight.wakeups >= loose.wakeups
+
+
+@given(instance=random_instances())
+@settings(max_examples=100, deadline=None)
+def test_more_latency_never_costs_wakeups(instance):
+    traces, latency, buffer = instance
+    short = optimal_wakeups(traces, latency, buffer)
+    long = optimal_wakeups(traces, latency * 2, buffer)
+    assert long.wakeups <= short.wakeups

@@ -1,0 +1,138 @@
+"""Tests for the resource-aware generalisation (paper §VIII)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    PBPLConfig,
+    PBPLSystem,
+    ResourceAwareConfig,
+    ResourceAwareSystem,
+    ResourceWeights,
+    pareto_weights,
+)
+from repro.cpu import Machine
+from repro.sim import Environment, RandomStreams
+from repro.workloads import Trace, poisson_trace
+
+
+def regular_trace(rate, duration):
+    gap = 1.0 / rate
+    times = np.arange(gap, duration, gap)
+    return Trace(times[times < duration], duration, f"regular({rate})")
+
+
+def build(system_cls, config, traces, seed=0):
+    env = Environment()
+    machine = Machine(env, n_cores=1, streams=RandomStreams(seed=seed))
+    system = system_cls(env, machine, traces, config).start()
+    return env, machine, system
+
+
+# -- weights validation -----------------------------------------------------
+
+
+def test_weights_validation():
+    with pytest.raises(ValueError):
+        ResourceWeights(power=-1)
+    with pytest.raises(ValueError):
+        ResourceWeights(power=0, memory=0, latency=0, cpu=0)
+
+
+def test_pareto_weights_endpoints():
+    pure = pareto_weights(0.0)
+    assert pure.power == 1.0 and pure.latency == 0.0
+    heavy = pareto_weights(1.0)
+    assert heavy.latency > 0
+    with pytest.raises(ValueError):
+        pareto_weights(2.0)
+
+
+# -- equivalence with PBPL at pure power weighting ---------------------------
+
+
+def test_pure_power_weights_match_pbpl():
+    """weights=(power=1, rest 0) must reproduce PBPL exactly."""
+
+    def run(system_cls, config_cls):
+        traces = [regular_trace(2000.0, 2.0), regular_trace(700.0, 2.0)]
+        env, machine, system = build(
+            system_cls,
+            config_cls(buffer_size=25, slot_size_s=5e-3),
+            traces,
+        )
+        env.run(until=2.0)
+        agg = system.aggregate_stats()
+        return (
+            agg.scheduled_wakeups,
+            agg.overflow_wakeups,
+            agg.consumed,
+            machine.core(0).total_wakeups,
+        )
+
+    assert run(PBPLSystem, PBPLConfig) == run(ResourceAwareSystem, ResourceAwareConfig)
+
+
+# -- latency weighting -------------------------------------------------------
+
+
+def run_with_weights(weights, seed=1, rate=2000.0, duration=2.0):
+    env = Environment()
+    machine = Machine(env, n_cores=1, streams=RandomStreams(seed=seed))
+    streams = RandomStreams(seed=seed)
+    traces = [
+        poisson_trace(rate, duration, streams.stream(f"t{i}")) for i in range(3)
+    ]
+    config = ResourceAwareConfig(
+        buffer_size=25, slot_size_s=2.5e-3, weights=weights
+    )
+    system = ResourceAwareSystem(env, machine, traces, config).start()
+    env.run(until=duration)
+    agg = system.aggregate_stats()
+    return {
+        "mean_latency": agg.mean_latency_s,
+        "wakeups": machine.core(0).total_wakeups / duration,
+        "consumed": agg.consumed,
+    }
+
+
+def test_latency_weight_trades_wakeups_for_latency():
+    power_only = run_with_weights(ResourceWeights(power=1.0))
+    latency_heavy = run_with_weights(ResourceWeights(power=0.2, latency=4.0))
+    assert latency_heavy["mean_latency"] < power_only["mean_latency"]
+    assert latency_heavy["wakeups"] > power_only["wakeups"]
+
+
+def test_memory_weight_shrinks_buffers():
+    def avg_capacity(weights):
+        env = Environment()
+        machine = Machine(env, n_cores=1, streams=RandomStreams(seed=2))
+        streams = RandomStreams(seed=2)
+        traces = [poisson_trace(2000.0, 2.0, streams.stream("t"))]
+        config = ResourceAwareConfig(
+            buffer_size=50, slot_size_s=2.5e-3, weights=weights
+        )
+        system = ResourceAwareSystem(env, machine, traces, config).start()
+        env.run(until=2.0)
+        return system.average_buffer_capacity()
+
+    frugal = avg_capacity(ResourceWeights(power=1.0, memory=5.0))
+    spendy = avg_capacity(ResourceWeights(power=1.0))
+    assert frugal < spendy
+
+
+def test_pareto_sweep_is_monotone_in_latency():
+    """Walking the convenience axis trades latency down monotonically-ish."""
+    points = [run_with_weights(pareto_weights(e), seed=3) for e in (0.0, 0.5, 1.0)]
+    latencies = [p["mean_latency"] for p in points]
+    assert latencies[2] < latencies[0]
+    # All points keep the pipeline functional.
+    for p in points:
+        assert p["consumed"] > 0
+
+
+def test_cpu_weight_prefers_bigger_batches():
+    light = run_with_weights(ResourceWeights(power=0.01, cpu=0.0, latency=1.0), seed=4)
+    heavy = run_with_weights(ResourceWeights(power=0.01, cpu=50.0, latency=1.0), seed=4)
+    # Pricing per-wake CPU pushes toward fewer, larger drains.
+    assert heavy["wakeups"] <= light["wakeups"]

@@ -1,0 +1,150 @@
+"""Unit and property tests for the slot track."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import SlotTrack
+
+
+@pytest.fixture
+def track():
+    return SlotTrack(slot_size_s=0.01)
+
+
+def test_slot_arithmetic(track):
+    assert track.slot_of(0.0) == 0
+    assert track.slot_of(0.0099) == 0
+    assert track.slot_of(0.01) == 1
+    assert track.time_of(3) == pytest.approx(0.03)
+
+
+def test_g_is_nearest_slot_at_or_before(track):
+    # Paper Eq. 6: g(τ) = sup{s ∈ S | s ≤ τ}.
+    assert track.g(0.025) == pytest.approx(0.02)
+    assert track.g(0.02) == pytest.approx(0.02)
+
+
+def test_origin_offsets_grid():
+    track = SlotTrack(0.01, origin_s=0.005)
+    assert track.slot_of(0.005) == 0
+    assert track.time_of(1) == pytest.approx(0.015)
+
+
+def test_reserve_and_query(track):
+    track.reserve(5, "a")
+    assert track.is_reserved(5)
+    assert track.holders_at(5) == ["a"]
+    assert track.reservation_of("a") == 5
+
+
+def test_one_reservation_per_holder(track):
+    track.reserve(5, "a")
+    track.reserve(7, "a")  # moves, not duplicates
+    assert not track.is_reserved(5)
+    assert track.holders_at(7) == ["a"]
+
+
+def test_multiple_holders_share_a_slot(track):
+    track.reserve(5, "a")
+    track.reserve(5, "b")
+    assert track.reserved_count(5) == 2
+    assert sorted(track.holders_at(5)) == ["a", "b"]
+
+
+def test_cancel(track):
+    track.reserve(5, "a")
+    assert track.cancel("a") == 5
+    assert not track.is_reserved(5)
+    assert track.cancel("a") is None  # idempotent
+
+
+def test_cancel_leaves_other_holders(track):
+    track.reserve(5, "a")
+    track.reserve(5, "b")
+    track.cancel("a")
+    assert track.holders_at(5) == ["b"]
+
+
+def test_next_reserved_slot(track):
+    track.reserve(5, "a")
+    track.reserve(9, "b")
+    assert track.next_reserved_slot(0) == 5
+    assert track.next_reserved_slot(5) == 9
+    assert track.next_reserved_slot(9) is None
+
+
+def test_last_reserved_at_or_before(track):
+    track.reserve(3, "a")
+    track.reserve(7, "b")
+    assert track.last_reserved_at_or_before(10) == 7
+    assert track.last_reserved_at_or_before(6) == 3
+    assert track.last_reserved_at_or_before(2) is None
+    assert track.last_reserved_at_or_before(7, strictly_after=3) == 7
+    assert track.last_reserved_at_or_before(6, strictly_after=3) is None
+
+
+def test_pop_slot_clears_reservations(track):
+    track.reserve(5, "a")
+    track.reserve(5, "b")
+    holders = track.pop_slot(5)
+    assert sorted(holders) == ["a", "b"]
+    assert not track.is_reserved(5)
+    assert track.reservation_of("a") is None
+
+
+def test_pop_empty_slot(track):
+    assert track.pop_slot(99) == []
+
+
+def test_drop_past(track):
+    track.reserve(1, "a")
+    track.reserve(5, "b")
+    track.drop_past(now=0.03)  # current slot = 3
+    assert track.reservation_of("a") is None
+    assert track.reservation_of("b") == 5
+
+
+def test_len_counts_distinct_slots(track):
+    track.reserve(5, "a")
+    track.reserve(5, "b")
+    track.reserve(9, "c")
+    assert len(track) == 2
+
+
+def test_invalid_slot_size():
+    with pytest.raises(ValueError):
+        SlotTrack(0.0)
+
+
+@given(
+    t=st.floats(min_value=0.0, max_value=1e4),
+    delta=st.floats(min_value=1e-6, max_value=10.0),
+)
+@settings(max_examples=300, deadline=None)
+def test_g_bounds_property(t, delta):
+    """g(t) ≤ t < g(t) + Δ — the defining property of Eq. 6."""
+    track = SlotTrack(delta)
+    g = track.g(t)
+    assert g <= t + delta * 1e-6
+    assert t < g + delta * (1 + 1e-6)
+
+
+@given(ops=st.lists(st.tuples(st.integers(0, 5), st.integers(1, 30)), max_size=60))
+@settings(max_examples=200, deadline=None)
+def test_reservation_table_consistency(ops):
+    """holder→slot and slot→holders maps stay mutually consistent."""
+    track = SlotTrack(0.01)
+    holders = [f"c{i}" for i in range(6)]
+    for who, slot in ops:
+        track.reserve(slot, holders[who])
+        # invariants
+        for h in holders:
+            s = track.reservation_of(h)
+            if s is not None:
+                assert h in track.holders_at(s)
+        total = sum(track.reserved_count(k) for k in range(0, 31))
+        with_reservation = sum(
+            1 for h in holders if track.reservation_of(h) is not None
+        )
+        assert total == with_reservation

@@ -1,0 +1,118 @@
+"""Tests for cluster-level idle gating."""
+
+import pytest
+
+from repro.cpu import ClusterIdleModel, ClusterParams, Machine
+from repro.sim import Environment, RandomStreams
+
+
+def make_cluster(env, n_cores=2, **params):
+    machine = Machine(env, n_cores=n_cores, streams=RandomStreams(seed=0))
+    cluster = ClusterIdleModel(
+        env, machine.cores, ClusterParams(**params) if params else None
+    )
+    machine.add_listener(cluster)
+    return machine, cluster
+
+
+def hint_all(machine, when):
+    for core in machine.cores:
+        core.set_next_wake_hint(when)
+
+
+def test_params_validation():
+    with pytest.raises(ValueError):
+        ClusterParams(gate_power_saving_w=-1)
+    with pytest.raises(ValueError):
+        ClusterParams(min_gate_residency_s=0.0)
+    env = Environment()
+    with pytest.raises(ValueError):
+        ClusterIdleModel(env, [])
+
+
+def test_long_hinted_idle_window_gates():
+    env = Environment()
+    machine, cluster = make_cluster(env)
+    hint_all(machine, 1.0)  # both cores expect to sleep 1 s
+    env.run(until=1.0)
+    cluster.settle()
+    assert cluster.gate_cycles == 1
+    assert cluster.gated_time_s == pytest.approx(1.0)
+    expected = 1.0 * 0.08 - 400e-6
+    assert cluster.gated_energy_saved_j() == pytest.approx(expected)
+
+
+def test_unhinted_idle_does_not_gate():
+    env = Environment()
+    machine, cluster = make_cluster(env)
+    env.run(until=1.0)
+    cluster.settle()
+    assert cluster.gate_cycles == 0
+    assert cluster.gated_energy_saved_j() == 0.0
+
+
+def test_short_hint_blocks_gating():
+    env = Environment()
+    machine, cluster = make_cluster(env)
+    hint_all(machine, env.now + 1e-3)  # below the 10 ms break-even
+    env.run(until=1.0)
+    cluster.settle()
+    assert cluster.gate_cycles == 0
+
+
+def test_activity_on_any_core_ends_the_window():
+    env = Environment()
+    machine, cluster = make_cluster(env)
+    hint_all(machine, 10.0)
+
+    def task(env):
+        yield env.timeout(0.5)
+        yield from machine.core(1).execute("t", 1e-3)
+
+    env.process(task(env))
+    env.run(until=2.0)
+    cluster.settle()
+    # Window 1: [0, 0.5) gated; window 2 reopens after the task.
+    assert cluster.gate_cycles >= 1
+    first = cluster.gated_windows[0]
+    assert first[1] - first[0] == pytest.approx(0.5, rel=1e-3)
+
+
+def test_alignment_beats_interleaving():
+    """The cluster-level argument for latching: two cores whose busy
+    periods coincide leave longer joint-idle windows than two cores
+    interleaving the same work."""
+
+    def run(offsets):
+        env = Environment()
+        machine, cluster = make_cluster(env)
+        hint_all(machine, 100.0)
+
+        def periodic(env, core, phase):
+            yield env.timeout(phase)
+            while True:
+                yield from core.execute("t", 5e-3)
+                hint_all(machine, env.now + 0.1)
+                yield env.timeout(0.1 - 5e-3)
+
+        for core, phase in zip(machine.cores, offsets):
+            env.process(periodic(env, core, phase))
+        env.run(until=2.0)
+        cluster.settle()
+        return cluster.gated_time_s
+
+    aligned = run([0.0, 0.0])
+    interleaved = run([0.0, 0.05])
+    assert aligned > interleaved
+
+
+def test_settle_reopens_window():
+    env = Environment()
+    machine, cluster = make_cluster(env)
+    hint_all(machine, 10.0)
+    env.run(until=0.5)
+    cluster.settle()
+    env.run(until=1.0)
+    cluster.settle()
+    assert cluster.gate_cycles == 2
+    assert cluster.gated_time_s == pytest.approx(1.0)

@@ -1,0 +1,294 @@
+"""Unit tests for the simulated core: dispatch, wakeups, idle logic."""
+
+import pytest
+
+from repro.cpu import (
+    ACTIVE,
+    CoreListener,
+    CState,
+    CStateTable,
+    Core,
+    IDLE,
+    PARKED,
+    PState,
+    PStateTable,
+)
+from repro.sim import Environment, SimulationError
+
+
+def simple_cstates():
+    return CStateTable(
+        [
+            CState("C1", 1, power_w=0.1, exit_latency_s=1e-4, min_residency_s=1e-3),
+            CState("C2", 2, power_w=0.01, exit_latency_s=1e-3, min_residency_s=1e-2),
+        ]
+    )
+
+
+def simple_pstates():
+    return PStateTable([PState("half", 1e9, 1.0), PState("full", 2e9, 1.2)])
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+@pytest.fixture
+def core(env):
+    return Core(env, 0, simple_cstates(), simple_pstates(), context_switch_s=0.0)
+
+
+class Recorder(CoreListener):
+    def __init__(self):
+        self.state_changes = []
+        self.wakeups = []
+        self.executes = []
+        self.yields = []
+        self.task_wakeups = []
+
+    def on_state_change(self, core, now, old, new, cstate, pstate):
+        self.state_changes.append((now, old, new))
+
+    def on_wakeup(self, core, now, owner, from_cstate):
+        self.wakeups.append((now, owner, from_cstate.name))
+
+    def on_execute(self, core, now, owner, duration):
+        self.executes.append((now, owner, duration))
+
+    def on_yield(self, core, now, owner):
+        self.yields.append((now, owner))
+
+    def on_task_wakeup(self, core, now, owner):
+        self.task_wakeups.append((now, owner))
+
+
+def test_core_starts_idle(core):
+    assert core.state == IDLE
+    assert core.cstate is not None
+    assert core.total_wakeups == 0
+
+
+def test_execute_wakes_idle_core_and_counts(env, core):
+    rec = Recorder()
+    core.add_listener(rec)
+
+    def task(env):
+        yield from core.execute("t1", 1e-3, after_block=True)
+
+    env.process(task(env))
+    env.run()
+    assert core.total_wakeups == 1
+    assert rec.wakeups == [(0.0, "t1", "C1")]
+    assert rec.task_wakeups == [(0.0, "t1")]
+    assert core.state == IDLE  # back to idle after the slice
+
+
+def test_exit_latency_delays_execution(env, core):
+    done = []
+
+    def task(env):
+        yield from core.execute("t1", 1e-3)
+        done.append(env.now)
+
+    env.process(task(env))
+    env.run()
+    # 1e-4 exit latency (C1) + 1e-3 work at nominal speed.
+    assert done == [pytest.approx(1.1e-3)]
+
+
+def test_execution_duration_returned(env, core):
+    out = []
+
+    def task(env):
+        d = yield from core.execute("t1", 2e-3)
+        out.append(d)
+
+    env.process(task(env))
+    env.run()
+    # Work plus the C1 exit latency (the core is powered while waking).
+    assert out == [pytest.approx(2e-3 + 1e-4)]
+
+
+def test_back_to_back_requests_cause_single_wakeup(env, core):
+    def task(env, n):
+        for i in range(n):
+            yield from core.execute("t1", 1e-3)
+
+    env.process(task(env, 5))
+    env.run()
+    # The queue never empties *between* our requests only if requests are
+    # enqueued before going idle; here the task re-requests after each
+    # slice completes, and dispatch happens synchronously at slice end —
+    # but the task only re-enqueues after resuming. Each new request
+    # therefore finds the core idle again: 5 wakeups. This documents the
+    # semantics: staying awake requires queued work, as on real hardware.
+    assert core.total_wakeups == 5
+
+
+def test_overlapping_requests_share_one_wakeup(env, core):
+    def task(env, tag):
+        yield from core.execute(tag, 1e-3)
+
+    env.process(task(env, "a"))
+    env.process(task(env, "b"))
+    env.process(task(env, "c"))
+    env.run()
+    assert core.total_wakeups == 1  # b and c latch onto a's wakeup
+
+
+def test_fifo_execution_order(env, core):
+    rec = Recorder()
+    core.add_listener(rec)
+
+    def task(env, tag):
+        yield from core.execute(tag, 1e-3)
+
+    for tag in ("a", "b", "c"):
+        env.process(task(env, tag))
+    env.run()
+    assert [o for (_, o, _) in rec.executes] == ["a", "b", "c"]
+
+
+def test_busy_seconds_accumulate(env, core):
+    def task(env):
+        yield from core.execute("t", 2e-3)
+        yield from core.execute("t", 3e-3)
+
+    env.process(task(env))
+    env.run()
+    # 5 ms of work + 2 wakeups' worth of exit latency (1e-4 each; the
+    # core idles between the two back-to-back requests).
+    assert core.total_busy_s == pytest.approx(5e-3 + 2e-4)
+
+
+def test_context_switch_cost_charged(env):
+    core = Core(
+        env, 0, simple_cstates(), simple_pstates(), context_switch_s=1e-4
+    )
+
+    def task(env):
+        yield from core.execute("t", 1e-3)
+
+    env.process(task(env))
+    env.run()
+    # work + context switch + exit latency
+    assert core.total_busy_s == pytest.approx(1e-3 + 1e-4 + 1e-4)
+
+
+def test_negative_cpu_time_rejected(env, core):
+    def task(env):
+        yield from core.execute("t", -1.0)
+
+    p = env.process(task(env))
+    with pytest.raises(SimulationError):
+        env.run(until=p)
+
+
+def test_wake_hint_selects_deeper_state(env, core):
+    # Long expected idle -> C2; no hint -> shallow C1.
+    assert core.cstate.name == "C1"
+    core.set_next_wake_hint(env.now + 1.0)
+    assert core.cstate.name == "C2"
+    core.set_next_wake_hint(None)
+    assert core.cstate.name == "C1"
+
+
+def test_wake_hint_in_past_falls_back_to_shallow(env, core):
+    core.set_next_wake_hint(env.now - 5.0)
+    assert core.cstate.name == "C1"
+
+
+def test_deeper_state_costs_more_exit_latency(env, core):
+    core.set_next_wake_hint(env.now + 1.0)  # park in C2 (1e-3 exit)
+    done = []
+
+    def task(env):
+        yield from core.execute("t", 1e-3)
+        done.append(env.now)
+
+    env.process(task(env))
+    env.run()
+    assert done == [pytest.approx(2e-3)]  # 1e-3 exit + 1e-3 work
+
+
+def test_park_and_unpark(env, core):
+    core.park()
+    assert core.state == PARKED
+    assert core.cstate is core.cstates.deepest
+    core.unpark()
+    assert core.state == IDLE
+
+
+def test_park_busy_core_rejected(env, core):
+    def task(env):
+        yield from core.execute("t", 1.0)
+
+    env.process(task(env))
+    env.run(until=0.5)
+    with pytest.raises(SimulationError):
+        core.park()
+
+
+def test_unpark_idle_core_rejected(env, core):
+    with pytest.raises(SimulationError):
+        core.unpark()
+
+
+def test_execute_on_parked_core_unparks_it(env, core):
+    core.park()
+
+    def task(env):
+        yield from core.execute("t", 1e-3)
+
+    env.process(task(env))
+    env.run()
+    assert core.total_wakeups == 1
+    assert core.state == IDLE
+
+
+def test_state_change_notifications(env, core):
+    rec = Recorder()
+    core.add_listener(rec)
+
+    def task(env):
+        yield from core.execute("t", 1e-3)
+
+    env.process(task(env))
+    env.run()
+    transitions = [(old, new) for (_, old, new) in rec.state_changes]
+    assert transitions == [(IDLE, ACTIVE), (ACTIVE, IDLE)]
+
+
+def test_cancel_pending_request(env, core):
+    def long_task(env):
+        yield from core.execute("long", 1.0)
+
+    env.process(long_task(env))
+    env.run(until=0.1)
+    grant = env.event()
+    core._queue.append((grant, "doomed", env.now))
+    assert core.cancel(grant)
+    assert not core.cancel(grant)
+    env.run()
+    assert core.state == IDLE  # queue drained without deadlock
+
+
+def test_sched_yield_notifies_listeners(env, core):
+    rec = Recorder()
+    core.add_listener(rec)
+    core.sched_yield("spinner")
+    assert rec.yields == [(0.0, "spinner")]
+
+
+def test_after_block_false_does_not_count_task_wakeup(env, core):
+    rec = Recorder()
+    core.add_listener(rec)
+
+    def spinner(env):
+        for _ in range(10):
+            yield from core.execute("s", 1e-4, after_block=False)
+
+    env.process(spinner(env))
+    env.run()
+    assert rec.task_wakeups == []

@@ -1,0 +1,170 @@
+"""Tests for the acquire/hold API (busy-wait support)."""
+
+import pytest
+
+from repro.cpu import CState, CStateTable, Core, PState, PStateTable
+from repro.sim import Environment, SimulationError
+
+
+def make_core(env, exit_latency=0.0, ctx=0.0):
+    cstates = CStateTable(
+        [CState("C1", 1, power_w=0.1, exit_latency_s=exit_latency, min_residency_s=0.0)]
+    )
+    pstates = PStateTable([PState("p", 1e9, 1.0)])
+    return Core(env, 0, cstates, pstates, context_switch_s=ctx)
+
+
+def test_hold_keeps_core_active_across_waits():
+    env = Environment()
+    core = make_core(env)
+
+    def spinner(env, wake):
+        hold = yield from core.acquire("s")
+        yield from hold.busy_until(wake, reeval_s=0.1)
+        yield from hold.busy(0.01)
+        hold.release()
+
+    wake = env.event()
+
+    def trigger(env):
+        yield env.timeout(1.0)
+        assert core.state == "active"  # still spinning, never idled
+        wake.succeed()
+
+    env.process(spinner(env, wake))
+    env.process(trigger(env))
+    env.run()
+    assert core.total_wakeups == 1
+    assert core.state == "idle"
+
+
+def test_busy_until_accounts_spin_time():
+    env = Environment()
+    core = make_core(env)
+    out = []
+
+    def spinner(env, wake):
+        hold = yield from core.acquire("s")
+        spent = yield from hold.busy_until(wake, reeval_s=0.25)
+        out.append(spent)
+        hold.release()
+
+    wake = env.event()
+
+    def trigger(env):
+        yield env.timeout(1.0)
+        wake.succeed()
+
+    env.process(spinner(env, wake))
+    env.process(trigger(env))
+    env.run()
+    assert out[0] == pytest.approx(1.0)
+    assert core.total_busy_s == pytest.approx(1.0)
+
+
+def test_busy_until_already_triggered_event_returns_fast():
+    env = Environment()
+    core = make_core(env)
+    out = []
+
+    def proc(env):
+        ev = env.event()
+        ev.succeed()
+        hold = yield from core.acquire("s")
+        spent = yield from hold.busy_until(ev)
+        out.append(spent)
+        hold.release()
+
+    env.process(proc(env))
+    env.run()
+    assert out[0] == pytest.approx(0.0)
+
+
+def test_busy_until_reports_yields():
+    env = Environment()
+    core = make_core(env)
+    yields = []
+    core.governor.on_yield = lambda now, count=1: yields.append(count)
+
+    def spinner(env, wake):
+        hold = yield from core.acquire("s")
+        yield from hold.busy_until(wake, reeval_s=0.1, yield_rate_hz=100.0)
+        hold.release()
+
+    wake = env.event()
+
+    def trigger(env):
+        yield env.timeout(1.0)
+        wake.succeed()
+
+    env.process(spinner(env, wake))
+    env.process(trigger(env))
+    env.run()
+    assert sum(yields) == pytest.approx(100, abs=15)
+
+
+def test_hold_operations_after_release_raise():
+    env = Environment()
+    core = make_core(env)
+
+    def proc(env):
+        hold = yield from core.acquire("s")
+        hold.release()
+        yield from hold.busy(0.1)
+
+    p = env.process(proc(env))
+    with pytest.raises(SimulationError, match="released"):
+        env.run(until=p)
+
+
+def test_queued_request_waits_for_hold_release():
+    env = Environment()
+    core = make_core(env)
+    order = []
+
+    def holder(env):
+        hold = yield from core.acquire("h")
+        yield from hold.busy(1.0)
+        order.append(("holder-done", env.now))
+        hold.release()
+
+    def other(env):
+        yield env.timeout(0.1)
+        yield from core.execute("o", 0.5)
+        order.append(("other-done", env.now))
+
+    env.process(holder(env))
+    env.process(other(env))
+    env.run()
+    assert order == [("holder-done", 1.0), ("other-done", 1.5)]
+    assert core.total_wakeups == 1  # "other" latched onto the active core
+
+
+def test_startup_costs_charged_once():
+    env = Environment()
+    core = make_core(env, exit_latency=0.1, ctx=0.05)
+
+    def proc(env):
+        hold = yield from core.acquire("s")
+        d1 = yield from hold.busy(1.0)
+        d2 = yield from hold.busy(1.0)
+        hold.release()
+        return (d1, d2)
+
+    p = env.process(proc(env))
+    d1, d2 = env.run(until=p)
+    assert d1 == pytest.approx(1.15)  # latency + ctx + work
+    assert d2 == pytest.approx(1.0)  # just work
+
+
+def test_negative_busy_rejected():
+    env = Environment()
+    core = make_core(env)
+
+    def proc(env):
+        hold = yield from core.acquire("s")
+        yield from hold.busy(-1.0)
+
+    p = env.process(proc(env))
+    with pytest.raises(SimulationError):
+        env.run(until=p)

@@ -1,0 +1,108 @@
+"""Unit and property tests for C-state tables."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import CState, CStateTable, arndale_cstates
+
+
+def make_table():
+    return CStateTable(
+        [
+            CState("C1", 1, power_w=0.2, exit_latency_s=1e-6, min_residency_s=1e-5),
+            CState("C2", 2, power_w=0.05, exit_latency_s=1e-4, min_residency_s=1e-3),
+            CState("C3", 3, power_w=0.01, exit_latency_s=1e-3, min_residency_s=1e-2),
+        ]
+    )
+
+
+def test_states_sorted_shallow_to_deep():
+    table = CStateTable(
+        [
+            CState("C3", 3, 0.01, 1e-3, 1e-2),
+            CState("C1", 1, 0.2, 1e-6, 1e-5),
+        ]
+    )
+    assert [s.name for s in table.states] == ["C1", "C3"]
+
+
+def test_shallowest_and_deepest():
+    table = make_table()
+    assert table.shallowest.name == "C1"
+    assert table.deepest.name == "C3"
+
+
+def test_select_unknown_idle_is_shallowest():
+    assert make_table().select(None).name == "C1"
+
+
+def test_select_short_idle_is_shallow():
+    assert make_table().select(5e-5).name == "C1"
+
+
+def test_select_medium_idle_is_c2():
+    assert make_table().select(5e-3).name == "C2"
+
+
+def test_select_long_idle_is_deepest():
+    assert make_table().select(1.0).name == "C3"
+
+
+def test_select_idle_below_all_residencies_is_shallowest():
+    assert make_table().select(1e-9).name == "C1"
+
+
+def test_empty_table_rejected():
+    with pytest.raises(ValueError):
+        CStateTable([])
+
+
+def test_duplicate_indices_rejected():
+    with pytest.raises(ValueError):
+        CStateTable(
+            [CState("A", 1, 0.2, 1e-6, 1e-5), CState("B", 1, 0.1, 1e-6, 1e-5)]
+        )
+
+
+def test_deeper_state_must_not_draw_more_power():
+    with pytest.raises(ValueError):
+        CStateTable(
+            [CState("C1", 1, 0.1, 1e-6, 1e-5), CState("C2", 2, 0.2, 1e-4, 1e-3)]
+        )
+
+
+def test_cstate_index_zero_rejected():
+    with pytest.raises(ValueError):
+        CState("C0", 0, 1.0, 0.0, 0.0)
+
+
+def test_cstate_negative_power_rejected():
+    with pytest.raises(ValueError):
+        CState("C1", 1, -0.1, 1e-6, 1e-5)
+
+
+def test_arndale_table_is_valid_and_three_deep():
+    table = arndale_cstates()
+    assert len(table) == 3
+    assert table.deepest.power_w < table.shallowest.power_w
+
+
+@given(idle=st.floats(min_value=0, max_value=10.0))
+@settings(max_examples=200, deadline=None)
+def test_selected_state_residency_fits_idle_period(idle):
+    table = make_table()
+    state = table.select(idle)
+    # Either the residency constraint holds, or no state fits and we
+    # fall back to the shallowest.
+    if state.index != table.shallowest.index:
+        assert state.min_residency_s <= idle
+
+
+@given(a=st.floats(min_value=0, max_value=10.0), b=st.floats(min_value=0, max_value=10.0))
+@settings(max_examples=200, deadline=None)
+def test_selection_is_monotone_in_idle_duration(a, b):
+    """Longer expected idle never selects a shallower (hungrier) state."""
+    table = make_table()
+    lo, hi = min(a, b), max(a, b)
+    assert table.select(hi).index >= table.select(lo).index

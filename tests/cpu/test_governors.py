@@ -1,0 +1,99 @@
+"""Unit tests for DVFS governors."""
+
+import pytest
+
+from repro.cpu import (
+    OndemandGovernor,
+    PerformanceGovernor,
+    PowersaveGovernor,
+    PState,
+    PStateTable,
+)
+
+
+@pytest.fixture
+def table():
+    return PStateTable(
+        [
+            PState("slow", 0.5e9, 0.9),
+            PState("mid", 1.0e9, 1.0),
+            PState("fast", 2.0e9, 1.2),
+        ]
+    )
+
+
+def test_performance_governor_always_fastest(table):
+    gov = PerformanceGovernor(table)
+    assert gov.select(0.0) is table.fastest
+    gov.on_busy(1.0, 0.0)  # no effect
+    assert gov.select(1.0) is table.fastest
+
+
+def test_powersave_governor_always_slowest(table):
+    gov = PowersaveGovernor(table)
+    assert gov.select(0.0) is table.slowest
+
+
+def test_ondemand_idle_core_selects_slowest(table):
+    gov = OndemandGovernor(table, window_s=0.1)
+    assert gov.select(0.0) is table.slowest
+
+
+def test_ondemand_full_load_selects_fastest(table):
+    gov = OndemandGovernor(table, window_s=0.1)
+    gov.on_busy(0.1, 0.1)  # the whole window was busy
+    assert gov.select(0.1) is table.fastest
+
+
+def test_ondemand_partial_load_scales_proportionally(table):
+    gov = OndemandGovernor(table, window_s=0.1)
+    gov.on_busy(0.1, 0.04)  # 40% of 2GHz -> mid (1GHz) suffices
+    assert gov.select(0.1).name == "mid"
+
+
+def test_ondemand_window_slides(table):
+    gov = OndemandGovernor(table, window_s=0.1)
+    gov.on_busy(0.1, 0.1)
+    assert gov.select(0.1) is table.fastest
+    # Much later, that burst has left the window.
+    assert gov.select(10.0) is table.slowest
+
+
+def test_ondemand_utilization_clamped_to_one(table):
+    gov = OndemandGovernor(table, window_s=0.1)
+    gov.on_busy(0.1, 0.05)
+    gov.on_busy(0.1, 0.09)
+    assert gov.utilization(0.1) == 1.0
+
+
+def test_ondemand_yield_bias_steps_down(table):
+    gov = OndemandGovernor(table, window_s=0.1, yield_rate_threshold=100.0)
+    # Full load but also yielding far above threshold.
+    gov.on_busy(0.1, 0.1)
+    for i in range(30):  # 300 yields/s > 100/s threshold
+        gov.on_yield(0.1)
+    chosen = gov.select(0.1)
+    assert chosen.freq_hz < table.fastest.freq_hz
+
+
+def test_ondemand_yield_bias_caps_at_three_steps(table):
+    gov = OndemandGovernor(table, window_s=0.1, yield_rate_threshold=1.0)
+    gov.on_busy(0.1, 0.1)
+    for _ in range(1000):
+        gov.on_yield(0.1)
+    # With only 3 states, 3 capped steps land at the slowest.
+    assert gov.select(0.1) is table.slowest
+
+
+def test_ondemand_yield_rate_measured(table):
+    gov = OndemandGovernor(table, window_s=0.5)
+    for _ in range(10):
+        gov.on_yield(0.5)
+    assert gov.yield_rate(0.5) == pytest.approx(20.0)
+
+
+def test_ondemand_validation(table):
+    with pytest.raises(ValueError):
+        OndemandGovernor(table, window_s=0.0)
+    with pytest.raises(ValueError):
+        OndemandGovernor(table, up_threshold=0.0)

@@ -1,0 +1,122 @@
+"""Unit and property tests for P-state tables and the DVFS power law."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cpu import PState, PStateTable, arndale_pstates
+
+
+def make_table():
+    return PStateTable(
+        [
+            PState("slow", 0.5e9, 0.9),
+            PState("mid", 1.0e9, 1.0),
+            PState("fast", 2.0e9, 1.2),
+        ]
+    )
+
+
+def test_states_sorted_slow_to_fast():
+    table = PStateTable([PState("b", 2e9, 1.2), PState("a", 1e9, 1.0)])
+    assert [s.name for s in table.states] == ["a", "b"]
+
+
+def test_nominal_is_fastest():
+    table = make_table()
+    assert table.nominal is table.fastest
+    assert table.fastest.name == "fast"
+    assert table.slowest.name == "slow"
+
+
+def test_dynamic_power_formula():
+    # Pd = C * V^2 * f
+    state = PState("x", 1e9, 1.1)
+    assert state.dynamic_power_w(1e-9) == pytest.approx(1e-9 * 1.1**2 * 1e9)
+
+
+def test_dynamic_power_increases_with_frequency_and_voltage():
+    table = make_table()
+    powers = [s.dynamic_power_w(1e-9) for s in table.states]
+    assert powers == sorted(powers)
+    assert powers[0] < powers[-1]
+
+
+def test_speedup_relative_to_nominal():
+    table = make_table()
+    assert table.speedup(table.fastest) == 1.0
+    assert table.speedup(table.slowest) == pytest.approx(0.25)
+
+
+def test_step_down_and_up_clamp():
+    table = make_table()
+    assert table.step_down(table.slowest).name == "slow"
+    assert table.step_up(table.fastest).name == "fast"
+    assert table.step_down(table.fastest).name == "mid"
+    assert table.step_down(table.fastest, steps=5).name == "slow"
+    assert table.step_up(table.slowest).name == "mid"
+
+
+def test_for_utilization_full_load_is_fastest():
+    assert make_table().for_utilization(1.0).name == "fast"
+
+
+def test_for_utilization_zero_load_is_slowest():
+    assert make_table().for_utilization(0.0).name == "slow"
+
+
+def test_for_utilization_picks_slowest_sufficient():
+    table = make_table()
+    # 40% of 2GHz nominal = 0.8GHz -> "mid" (1GHz) suffices, "slow" does not.
+    assert table.for_utilization(0.4).name == "mid"
+
+
+def test_for_utilization_out_of_range_rejected():
+    with pytest.raises(ValueError):
+        make_table().for_utilization(1.5)
+
+
+def test_empty_table_rejected():
+    with pytest.raises(ValueError):
+        PStateTable([])
+
+
+def test_duplicate_frequencies_rejected():
+    with pytest.raises(ValueError):
+        PStateTable([PState("a", 1e9, 1.0), PState("b", 1e9, 1.1)])
+
+
+def test_faster_state_at_lower_voltage_rejected():
+    with pytest.raises(ValueError):
+        PStateTable([PState("a", 1e9, 1.2), PState("b", 2e9, 1.0)])
+
+
+def test_pstate_validation():
+    with pytest.raises(ValueError):
+        PState("x", 0.0, 1.0)
+    with pytest.raises(ValueError):
+        PState("x", 1e9, 0.0)
+
+
+def test_arndale_table_spans_published_range():
+    table = arndale_pstates()
+    assert table.slowest.freq_hz == pytest.approx(200e6)
+    assert table.fastest.freq_hz == pytest.approx(1700e6)
+
+
+@given(util=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=200, deadline=None)
+def test_for_utilization_always_covers_demand(util):
+    """The chosen frequency is never below the demanded capacity
+    (unless even the fastest state cannot cover it, impossible here)."""
+    table = make_table()
+    state = table.for_utilization(util)
+    assert state.freq_hz >= util * table.nominal.freq_hz - 1e-6
+
+
+@given(a=st.floats(min_value=0.0, max_value=1.0), b=st.floats(min_value=0.0, max_value=1.0))
+@settings(max_examples=200, deadline=None)
+def test_for_utilization_is_monotone(a, b):
+    table = make_table()
+    lo, hi = min(a, b), max(a, b)
+    assert table.for_utilization(hi).freq_hz >= table.for_utilization(lo).freq_hz

@@ -1,0 +1,85 @@
+"""Tests for the background kernel load (paper §VI-C realism)."""
+
+import pytest
+
+from repro.cpu import Machine
+from repro.harness import BackgroundKernelLoad
+from repro.power import EnergyLedger, PowerModel
+from repro.sim import Environment, RandomStreams
+
+
+def build(tick_hz=250.0, daemon_rate_hz=40.0):
+    env = Environment()
+    machine = Machine(env, n_cores=2, streams=RandomStreams(seed=0))
+    model = PowerModel()
+    ledger = EnergyLedger(env, model)
+    machine.add_listener(ledger)
+    for core in machine.cores:
+        ledger.watch(core)
+    bg = BackgroundKernelLoad(
+        env,
+        machine.core(1),
+        machine.timers,
+        RandomStreams(seed=0).stream("bg"),
+        tick_hz=tick_hz,
+        daemon_rate_hz=daemon_rate_hz,
+    ).start()
+    return env, machine, ledger, bg
+
+
+def test_tick_rate_honoured():
+    env, machine, ledger, bg = build(tick_hz=100.0, daemon_rate_hz=0.0)
+    env.run(until=2.0)
+    # The loop sleeps a full period *between* executions, so each tick's
+    # run time (~0.13 ms) stretches the effective period slightly.
+    assert bg.ticks == pytest.approx(200, rel=0.05)
+    assert bg.daemon_bursts == 0
+
+
+def test_daemons_fire_at_mean_rate():
+    env, machine, ledger, bg = build(tick_hz=10.0, daemon_rate_hz=50.0)
+    env.run(until=4.0)
+    assert bg.daemon_bursts == pytest.approx(200, rel=0.25)
+
+
+def test_background_stays_off_the_consumer_core():
+    env, machine, ledger, bg = build()
+    env.run(until=2.0)
+    assert machine.core(0).total_busy_s == 0.0
+    assert machine.core(1).total_busy_s > 0
+
+
+def test_background_power_magnitude():
+    """The load lands in the hundreds-of-mW band the §VI-C story needs."""
+    env, machine, ledger, bg = build()
+    env.run(until=2.0)
+    ledger.settle()
+    # Subtract the pure idle floor of both cores.
+    idle_floor = sum(
+        ledger.model.baseline_power_w(core) for core in machine.cores
+    )
+    extra = ledger.average_power_w(2.0) - idle_floor
+    assert 0.05 < extra < 0.5
+
+
+def test_background_validation():
+    env = Environment()
+    machine = Machine(env, n_cores=1)
+    with pytest.raises(ValueError):
+        BackgroundKernelLoad(
+            env,
+            machine.core(0),
+            machine.timers,
+            RandomStreams(seed=0).stream("bg"),
+            tick_hz=0.0,
+        )
+
+
+def test_background_reproducible():
+    def run():
+        env, machine, ledger, bg = build()
+        env.run(until=1.5)
+        ledger.settle()
+        return (bg.ticks, bg.daemon_bursts, ledger.total_energy_j())
+
+    assert run() == run()

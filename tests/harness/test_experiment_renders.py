@@ -1,0 +1,149 @@
+"""Unit tests for the figure result objects' rendering and arithmetic,
+using synthetic summaries (no simulation)."""
+
+import pytest
+
+from repro.harness import StandardParams
+from repro.harness.experiments import (
+    BufferSweepResult,
+    ConsumerScalingResult,
+    MultiComparisonResult,
+    WakeupAccountingResult,
+)
+from repro.metrics import RunMetrics, summarise
+
+
+def make_runs(name, n_consumers=5, buffer=25, power=0.4, wakeups=300.0, **kw):
+    return [
+        RunMetrics(
+            implementation=name,
+            n_consumers=n_consumers,
+            buffer_size=buffer,
+            replicate=i,
+            duration_s=3.0,
+            power_w=power + 0.001 * i,
+            power_true_w=power,
+            wakeups_per_s=wakeups * 2,
+            core_wakeups_per_s=wakeups,
+            usage_ms_per_s=30.0,
+            **kw,
+        )
+        for i in range(3)
+    ]
+
+
+def make_cell(values, n_consumers=5, buffer=25):
+    """values: {impl: (power_w, core_wakeups)} → MultiComparisonResult."""
+    runs = []
+    summaries = {}
+    for name, (power, wakeups) in values.items():
+        cell_runs = make_runs(name, n_consumers, buffer, power, wakeups)
+        runs += cell_runs
+        summaries[name] = summarise(cell_runs)
+    return MultiComparisonResult(
+        params=StandardParams(replicates=3),
+        n_consumers=n_consumers,
+        buffer_size=buffer,
+        runs=runs,
+        summaries=summaries,
+        implementations=tuple(values),
+    )
+
+
+FOUR = {
+    "Mutex": (1.6, 9000.0),
+    "Sem": (1.58, 9100.0),
+    "BP": (0.38, 400.0),
+    "PBPL": (0.36, 290.0),
+}
+
+
+def test_multi_comparison_reductions():
+    cell = make_cell(FOUR)
+    # Means include the +0.001*i replicate drift: mean = base + 0.001.
+    assert cell.reduction_pct("core_wakeups_per_s", "Mutex", "PBPL") == pytest.approx(
+        (290 - 9000) / 9000 * 100
+    )
+    assert cell.reduction_pct("power_w", "BP", "PBPL") == pytest.approx(
+        (0.361 - 0.381) / 0.381 * 100
+    )
+
+
+def test_multi_comparison_render_contains_paper_anchors():
+    text = make_cell(FOUR).render()
+    assert "paper: -39.5%" in text
+    assert "paper: -7.4%" in text
+    assert "thread wakeups/s" in text
+
+
+def test_multi_comparison_render_without_mutex_omits_that_note():
+    text = make_cell({"BP": (0.38, 400.0), "PBPL": (0.36, 290.0)}).render()
+    assert "PBPL vs BP" in text
+    assert "PBPL vs Mutex" not in text
+
+
+def test_consumer_scaling_improvement_and_render():
+    result = ConsumerScalingResult(
+        params=StandardParams(replicates=3), counts=(2, 5)
+    )
+    result.cells[2] = make_cell(FOUR, n_consumers=2)
+    weaker = dict(FOUR)
+    weaker["PBPL"] = (0.30, 250.0)
+    result.cells[5] = make_cell(weaker, n_consumers=5)
+    assert result.improvement_over_mutex(5) > result.improvement_over_mutex(2)
+    text = result.render()
+    assert "2 consumers" in text and "5 consumers" in text
+    assert "the gap grows" in text
+
+
+def test_buffer_sweep_gap_and_render():
+    result = BufferSweepResult(
+        params=StandardParams(replicates=3), sizes=(25, 50), n_consumers=5
+    )
+    result.cells[25] = make_cell(
+        {"BP": (0.38, 400.0), "PBPL": (0.36, 290.0)}, buffer=25
+    )
+    result.cells[50] = make_cell(
+        {"BP": (0.35, 200.0), "PBPL": (0.345, 210.0)}, buffer=50
+    )
+    assert result.gap_pct(25) > result.gap_pct(50)
+    text = result.render()
+    assert "buffer 25" in text and "buffer 50" in text
+    assert "gap narrows" in text
+
+
+def test_wakeup_accounting_arithmetic():
+    pbpl = summarise(
+        make_runs("PBPL", scheduled_wakeups=600, overflow_wakeups=200,
+                  average_buffer_size=44.0, buffer=50)
+    )
+    bp = summarise(
+        make_runs("BP", scheduled_wakeups=0, overflow_wakeups=1000,
+                  average_buffer_size=50.0, buffer=50)
+    )
+    acc = WakeupAccountingResult(
+        params=StandardParams(replicates=3),
+        buffer_size=50,
+        n_consumers=5,
+        pbpl=pbpl,
+        bp=bp,
+    )
+    assert acc.pbpl_total_wakeups == pytest.approx(800)
+    assert acc.total_reduction_pct == pytest.approx(-20.0)
+    assert acc.overflow_conversion_pct == pytest.approx(80.0)
+    text = acc.render()
+    assert "82.5%" in text  # the paper anchor
+    assert "43/50" in text
+
+
+def test_wakeup_accounting_zero_bp_overflows_edge():
+    pbpl = summarise(make_runs("PBPL", scheduled_wakeups=10, overflow_wakeups=0))
+    bp = summarise(make_runs("BP", scheduled_wakeups=0, overflow_wakeups=0))
+    acc = WakeupAccountingResult(
+        params=StandardParams(replicates=3),
+        buffer_size=25,
+        n_consumers=5,
+        pbpl=pbpl,
+        bp=bp,
+    )
+    assert acc.overflow_conversion_pct == 0.0

@@ -1,0 +1,79 @@
+"""Tests for the cached experiment grid."""
+
+import pytest
+
+from repro.harness import CellSpec, ExperimentGrid, StandardParams
+
+
+@pytest.fixture
+def params():
+    return StandardParams(duration_s=0.6, replicates=1, seed=99)
+
+
+def test_cell_spec_make_normalises_overrides():
+    spec = CellSpec.make("PBPL", pbpl_overrides={"resize_margin": 0.3})
+    assert spec.pbpl_overrides == (("resize_margin", 0.3),)
+    assert spec.overrides_dict() == {"resize_margin": 0.3}
+    assert hash(spec)  # hashable → usable as dict key
+
+
+def test_grid_runs_without_cache(params):
+    grid = ExperimentGrid(params, cache_dir=None)
+    runs = grid.run_cell(CellSpec.make("BP", n_consumers=2))
+    assert len(runs) == params.replicates
+    assert grid.cache_hits == 0
+
+
+def test_grid_caches_to_disk(tmp_path, params):
+    grid = ExperimentGrid(params, cache_dir=tmp_path)
+    spec = CellSpec.make("BP", n_consumers=2)
+    first = grid.run_cell(spec)
+    assert grid.cache_hits == 0
+    second = grid.run_cell(spec)
+    assert grid.cache_hits == 1
+    assert second == first
+    assert len(list(tmp_path.glob("cell-*.json"))) == 1
+
+
+def test_cache_shared_across_grid_instances(tmp_path, params):
+    spec = CellSpec.make("Sem", n_consumers=2)
+    ExperimentGrid(params, cache_dir=tmp_path).run_cell(spec)
+    fresh = ExperimentGrid(params, cache_dir=tmp_path)
+    fresh.run_cell(spec)
+    assert fresh.cache_hits == 1
+
+
+def test_changed_params_miss_the_cache(tmp_path, params):
+    spec = CellSpec.make("BP", n_consumers=2)
+    ExperimentGrid(params, cache_dir=tmp_path).run_cell(spec)
+    other = StandardParams(duration_s=0.6, replicates=1, seed=100)
+    grid = ExperimentGrid(other, cache_dir=tmp_path)
+    grid.run_cell(spec)
+    assert grid.cache_hits == 0
+    assert len(list(tmp_path.glob("cell-*.json"))) == 2
+
+
+def test_pbpl_overrides_part_of_key(tmp_path, params):
+    grid = ExperimentGrid(params, cache_dir=tmp_path)
+    grid.run_cell(CellSpec.make("PBPL", n_consumers=2))
+    grid.run_cell(
+        CellSpec.make("PBPL", n_consumers=2, pbpl_overrides={"resize_margin": 0.9})
+    )
+    assert grid.cache_hits == 0
+    assert len(list(tmp_path.glob("cell-*.json"))) == 2
+
+
+def test_run_returns_summaries(tmp_path, params):
+    grid = ExperimentGrid(params, cache_dir=tmp_path)
+    specs = [CellSpec.make("BP", n_consumers=2), CellSpec.make("Sem", n_consumers=2)]
+    summaries = grid.run(specs)
+    assert set(summaries) == set(specs)
+    assert summaries[specs[0]].implementation == "BP"
+
+
+def test_invalidate(tmp_path, params):
+    grid = ExperimentGrid(params, cache_dir=tmp_path)
+    grid.run_cell(CellSpec.make("BP", n_consumers=2))
+    assert grid.invalidate() == 1
+    assert list(tmp_path.glob("cell-*.json")) == []
+    assert ExperimentGrid(params, cache_dir=None).invalidate() == 0

@@ -1,0 +1,58 @@
+"""Tests for the one-command full report."""
+
+import pytest
+
+from repro.harness import StandardParams, build_full_report
+
+
+@pytest.mark.slow
+def test_full_report_builds_and_renders(tmp_path):
+    params = StandardParams(duration_s=0.8, replicates=1, seed=17)
+    messages = []
+    report = build_full_report(params, progress=messages.append)
+    text = report.render()
+
+    # Every section present.
+    for title in (
+        "Sanity checks",
+        "Figures 3 & 4",
+        "Figure 9",
+        "Figure 10",
+        "Figure 11",
+        "wakeup accounting",
+    ):
+        assert title in text, title
+    assert len(report.sections) == 6
+    assert report.total_runtime_s > 0
+    assert len(messages) == 6  # progress callback fired per section
+
+    # Parameters documented.
+    assert "replicates       : 1" in text
+
+    # Writes as valid markdown-ish.
+    out = tmp_path / "REPORT.md"
+    out.write_text(text)
+    assert out.read_text().startswith("# Reproduction report")
+
+
+@pytest.mark.slow
+def test_cli_all_writes_report(tmp_path, capsys):
+    from repro.cli import main
+
+    out = tmp_path / "r.md"
+    code = main(
+        [
+            "all",
+            "--duration",
+            "0.8",
+            "--replicates",
+            "1",
+            "--seed",
+            "17",
+            "--out",
+            str(out),
+        ]
+    )
+    assert code == 0
+    assert out.exists()
+    assert "Figure 9" in out.read_text()

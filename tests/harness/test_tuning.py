@@ -1,0 +1,63 @@
+"""Tests for the slot-size auto-tuner."""
+
+import pytest
+
+from repro.harness import StandardParams, suggest_slot_size
+
+
+@pytest.fixture(scope="module")
+def params():
+    return StandardParams(duration_s=1.0, replicates=1, seed=41)
+
+
+def test_tuner_probes_all_admissible_candidates(params):
+    result = suggest_slot_size(
+        params, candidates_s=[2.5e-3, 5e-3, 10e-3], n_consumers=3
+    )
+    assert len(result.probes) == 3
+    assert result.best_slot_size_s in {2.5e-3, 5e-3, 10e-3}
+    # Best is the measured power minimum.
+    best_power = min(p.power_w for p in result.probes)
+    chosen = next(
+        p for p in result.probes if p.slot_size_s == result.best_slot_size_s
+    )
+    assert chosen.power_w == best_power
+
+
+def test_tuner_skips_candidates_beyond_latency_bound(params):
+    # L = 40 ms: 80 ms is inadmissible (Δ > L violates §V-A).
+    result = suggest_slot_size(
+        params, candidates_s=[5e-3, 80e-3], n_consumers=2
+    )
+    assert [p.slot_size_s for p in result.probes] == [5e-3]
+
+
+def test_tuner_rejects_empty_candidate_set(params):
+    with pytest.raises(ValueError, match="no admissible"):
+        suggest_slot_size(params, candidates_s=[1.0], n_consumers=2)
+
+
+def test_tuner_default_grid_derives_from_latency(params):
+    result = suggest_slot_size(params, n_consumers=2)
+    slots = [p.slot_size_s for p in result.probes]
+    assert max(slots) == pytest.approx(params.max_response_latency_s)
+    assert min(slots) == pytest.approx(params.max_response_latency_s / 32)
+
+
+def test_tuner_render(params):
+    result = suggest_slot_size(params, candidates_s=[5e-3, 10e-3], n_consumers=2)
+    text = result.render()
+    assert "◀ best" in text
+    assert "overflow share" in text
+
+
+@pytest.mark.slow
+def test_tuner_avoids_the_pathological_extremes(params):
+    """On the standard workload the tuner never picks the finest grid
+    (over-eager latching) — the documented U-shape."""
+    result = suggest_slot_size(
+        params,
+        candidates_s=[1e-3, 5e-3, 10e-3, 20e-3],
+        n_consumers=5,
+    )
+    assert result.best_slot_size_s != 1e-3

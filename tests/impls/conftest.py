@@ -1,0 +1,57 @@
+"""Shared rig for implementation tests: machine + instruments + runner."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import Machine
+from repro.impls import PCConfig, SINGLE_IMPLEMENTATIONS
+from repro.power import EnergyLedger, PowerModel, PowerTop
+from repro.sim import Environment, RandomStreams
+from repro.workloads import Trace
+
+
+class Rig:
+    """One machine + instruments, ready to run implementations."""
+
+    def __init__(self, seed=0, n_cores=1, timer_kwargs=None):
+        self.env = Environment()
+        self.machine = Machine(
+            self.env,
+            n_cores=n_cores,
+            streams=RandomStreams(seed=seed),
+            timer_kwargs=timer_kwargs or {},
+        )
+        self.model = PowerModel()
+        self.ledger = EnergyLedger(self.env, self.model)
+        self.powertop = PowerTop(self.env)
+        self.machine.add_listener(self.ledger)
+        self.machine.add_listener(self.powertop)
+        for core in self.machine.cores:
+            self.ledger.watch(core)
+
+    def run_impl(self, name, trace, duration, config=None, owner="consumer"):
+        impl = SINGLE_IMPLEMENTATIONS[name](
+            self.env,
+            self.machine.core(0),
+            self.machine.timers,
+            trace,
+            config or PCConfig(),
+            owner=owner,
+        ).start()
+        self.env.run(until=duration)
+        self.ledger.settle()
+        return impl
+
+
+@pytest.fixture
+def rig():
+    return Rig()
+
+
+def regular_trace(rate_per_s, duration_s, start=None):
+    """Deterministic evenly spaced arrivals (for exact assertions)."""
+    gap = 1.0 / rate_per_s
+    first = gap if start is None else start
+    times = np.arange(first, duration_s, gap)
+    times = times[times < duration_s]
+    return Trace(times, duration_s, f"regular({rate_per_s}/s)")

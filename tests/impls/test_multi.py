@@ -1,0 +1,149 @@
+"""Tests for multi-pair assembly and the §III power-profile shape."""
+
+import pytest
+
+from repro.cpu import Machine
+from repro.impls import (
+    MultiPairSystem,
+    PCConfig,
+    SINGLE_IMPLEMENTATIONS,
+    phase_shifted_traces,
+)
+from repro.power import EnergyLedger, PowerModel, PowerTop
+from repro.sim import Environment, RandomStreams
+from repro.workloads import worldcup_like_trace
+from tests.impls.conftest import Rig, regular_trace
+
+import numpy as np
+
+
+def test_phase_shifted_traces_count_and_distinct():
+    trace = regular_trace(100.0, 2.0)
+    shifted = phase_shifted_traces(trace, 4)
+    assert len(shifted) == 4
+    assert np.array_equal(shifted[0].times, trace.times)  # shift 0
+    for s in shifted[1:]:
+        assert not np.array_equal(s.times, trace.times)
+        assert s.n_items == trace.n_items
+
+
+def test_phase_shifted_traces_validation():
+    with pytest.raises(ValueError):
+        phase_shifted_traces(regular_trace(10, 1.0), 0)
+
+
+def test_multi_pair_system_runs_all_pairs():
+    rig = Rig()
+    traces = phase_shifted_traces(regular_trace(100.0, 2.0), 3)
+    system = MultiPairSystem(
+        rig.env, rig.machine, "Sem", traces, PCConfig()
+    ).start()
+    rig.env.run(until=2.0)
+    total = system.aggregate_stats()
+    assert total.produced == sum(t.n_items for t in traces)
+    assert total.consumed == total.produced
+    for i, pair in enumerate(system.pairs):
+        assert pair.owner == f"consumer-{i}"
+        assert pair.stats.consumed > 0
+
+
+def test_multi_pair_accepts_class_or_name():
+    rig = Rig()
+    traces = phase_shifted_traces(regular_trace(10.0, 1.0), 2)
+    by_name = MultiPairSystem(rig.env, rig.machine, "BP", traces)
+    by_class = MultiPairSystem(
+        rig.env, rig.machine, SINGLE_IMPLEMENTATIONS["BP"], traces
+    )
+    assert by_name.name == by_class.name == "BP"
+
+
+def test_multi_pair_unknown_name_rejected():
+    rig = Rig()
+    with pytest.raises(ValueError, match="unknown implementation"):
+        MultiPairSystem(rig.env, rig.machine, "Nope", [regular_trace(10, 1.0)])
+
+
+def test_multi_pair_needs_traces():
+    rig = Rig()
+    with pytest.raises(ValueError, match="at least one trace"):
+        MultiPairSystem(rig.env, rig.machine, "Sem", [])
+
+
+def test_consumers_pinned_to_core_zero_by_default():
+    rig = Rig(n_cores=2)
+    traces = phase_shifted_traces(regular_trace(100.0, 1.0), 3)
+    MultiPairSystem(rig.env, rig.machine, "Sem", traces).start()
+    rig.env.run(until=1.0)
+    assert rig.machine.core(0).total_busy_s > 0
+    assert rig.machine.core(1).total_busy_s == 0
+
+
+def test_round_robin_core_assignment():
+    rig = Rig(n_cores=2)
+    traces = phase_shifted_traces(regular_trace(100.0, 1.0), 4)
+    MultiPairSystem(
+        rig.env, rig.machine, "Sem", traces, consumer_cores=[0, 1]
+    ).start()
+    rig.env.run(until=1.0)
+    assert rig.machine.core(0).total_busy_s > 0
+    assert rig.machine.core(1).total_busy_s > 0
+
+
+def test_average_buffer_capacity_static_for_fixed_impls():
+    rig = Rig()
+    traces = phase_shifted_traces(regular_trace(10.0, 1.0), 2)
+    system = MultiPairSystem(
+        rig.env, rig.machine, "Sem", traces, PCConfig(buffer_size=25)
+    )
+    assert system.average_buffer_capacity() == 25.0
+
+
+# -- the §III shape, end to end ----------------------------------------------
+
+
+def profile_run(name, seed=0):
+    """Run one implementation against the bursty web-like trace and
+    return (extra power, task wakeups/s, usage ms/s)."""
+    duration = 2.0
+    env = Environment()
+    machine = Machine(env, n_cores=1, streams=RandomStreams(seed=seed))
+    model = PowerModel()
+    ledger = EnergyLedger(env, model)
+    top = PowerTop(env)
+    machine.add_listener(ledger)
+    machine.add_listener(top)
+    ledger.watch(machine.core(0))
+    trace = worldcup_like_trace(
+        2000.0, duration, RandomStreams(seed=seed).stream("trace")
+    )
+    SINGLE_IMPLEMENTATIONS[name](
+        env, machine.core(0), machine.timers, trace, PCConfig()
+    ).start()
+    env.run(until=duration)
+    ledger.settle()
+    baseline_w = model.baseline_power_w(machine.core(0))
+    power_w = ledger.average_power_w(duration) - baseline_w
+    report = top.report()
+    return power_w, report.row("consumer").wakeups_per_s, report.total_usage_ms_per_s
+
+
+@pytest.mark.slow
+def test_power_profile_ordering_matches_paper():
+    """Fig. 3/4 shape: BW worst, batch impls best, Mutex/Sem in between;
+    SPBP has the fewest wakeups."""
+    results = {name: profile_run(name) for name in SINGLE_IMPLEMENTATIONS}
+    power = {k: v[0] for k, v in results.items()}
+    wakeups = {k: v[1] for k, v in results.items()}
+
+    # Busy-waiting burns the most power by far.
+    assert power["BW"] > 3 * power["Mutex"]
+    # Every batch implementation beats Mutex and Sem.
+    for batch in ("BP", "PBP", "SPBP"):
+        assert power[batch] < power["Mutex"], batch
+        assert power[batch] < power["Sem"], batch
+    # Batch impls wake far less often than per-item blocking impls.
+    assert wakeups["SPBP"] < wakeups["Mutex"] / 2
+    assert wakeups["BP"] < wakeups["Mutex"] / 2
+    # BW/Yield never wake (they never sleep).
+    assert wakeups["BW"] == 0.0
+    assert wakeups["Yield"] == 0.0

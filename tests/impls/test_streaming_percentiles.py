@@ -1,0 +1,43 @@
+"""Integration: percentiles survive track_latencies=False via P²."""
+
+import pytest
+
+from repro.impls import PCConfig
+from tests.impls.conftest import Rig, regular_trace
+
+
+def run(track):
+    rig = Rig(seed=0)
+    cfg = PCConfig(track_latencies=track)
+    impl = rig.run_impl("BP", regular_trace(2000.0, 2.0), 2.0, cfg)
+    return impl.stats
+
+
+def test_untracked_run_keeps_no_raw_latencies():
+    stats = run(track=False)
+    assert stats.latencies == []
+    assert stats.consumed > 0
+
+
+def test_streamed_percentiles_close_to_exact():
+    exact = run(track=True)
+    streamed = run(track=False)
+    # Same seed → same workload; compare the P² estimate to the exact
+    # percentile of the tracked twin run.
+    for q in (50, 95, 99):
+        assert streamed.latency_percentile(q) == pytest.approx(
+            exact.latency_percentile(q), rel=0.15
+        ), q
+
+
+def test_unstreamed_quantile_raises_helpfully():
+    stats = run(track=False)
+    with pytest.raises(ValueError, match="needs raw tracking"):
+        stats.latency_percentile(75)
+
+
+def test_mean_and_max_unaffected_by_tracking_mode():
+    exact = run(track=True)
+    streamed = run(track=False)
+    assert streamed.mean_latency_s == pytest.approx(exact.mean_latency_s)
+    assert streamed.max_latency_s == pytest.approx(exact.max_latency_s)

@@ -1,0 +1,115 @@
+"""Tests for the P² streaming quantile estimator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.quantiles import P2Quantile, StreamingLatency
+
+
+def test_quantile_validation():
+    with pytest.raises(ValueError):
+        P2Quantile(0.0)
+    with pytest.raises(ValueError):
+        P2Quantile(1.0)
+
+
+def test_empty_estimator_returns_zero():
+    assert P2Quantile(0.5).value == 0.0
+
+
+def test_small_samples_use_exact_order_statistics():
+    est = P2Quantile(0.5)
+    for x in (5.0, 1.0, 3.0):
+        est.observe(x)
+    assert est.value == 3.0  # exact median of 3 values
+
+
+@pytest.mark.parametrize("q", [0.5, 0.9, 0.99])
+def test_matches_numpy_on_uniform(q):
+    rng = np.random.default_rng(0)
+    data = rng.uniform(0, 100, 20_000)
+    est = P2Quantile(q)
+    for x in data:
+        est.observe(float(x))
+    exact = np.percentile(data, q * 100)
+    assert est.value == pytest.approx(exact, abs=2.0)  # 2% of range
+
+
+@pytest.mark.parametrize("q", [0.5, 0.95, 0.99])
+def test_matches_numpy_on_lognormal(q):
+    rng = np.random.default_rng(1)
+    data = rng.lognormal(0.0, 1.0, 20_000)
+    est = P2Quantile(q)
+    for x in data:
+        est.observe(float(x))
+    exact = float(np.percentile(data, q * 100))
+    assert est.value == pytest.approx(exact, rel=0.1)
+
+
+def test_monotone_quantiles_on_same_stream():
+    rng = np.random.default_rng(2)
+    ests = [P2Quantile(q) for q in (0.25, 0.5, 0.75, 0.99)]
+    for x in rng.normal(0, 1, 5_000):
+        for est in ests:
+            est.observe(float(x))
+    values = [est.value for est in ests]
+    assert values == sorted(values)
+
+
+@given(
+    data=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6), min_size=5, max_size=400
+    )
+)
+@settings(max_examples=150, deadline=None)
+def test_estimate_always_within_observed_range(data):
+    est = P2Quantile(0.9)
+    for x in data:
+        est.observe(x)
+    assert min(data) <= est.value <= max(data)
+
+
+def test_constant_stream_is_exact():
+    est = P2Quantile(0.99)
+    for _ in range(1000):
+        est.observe(7.0)
+    assert est.value == 7.0
+
+
+# -- StreamingLatency ---------------------------------------------------------
+
+
+def test_streaming_latency_basic_counters():
+    s = StreamingLatency()
+    for x in (0.001, 0.002, 0.003):
+        s.observe(x)
+    assert s.count == 3
+    assert s.mean == pytest.approx(0.002)
+    assert s.maximum == 0.003
+
+
+def test_streaming_latency_quantiles_close_to_exact():
+    rng = np.random.default_rng(3)
+    data = rng.exponential(0.01, 30_000)
+    s = StreamingLatency(quantiles=(0.5, 0.99))
+    for x in data:
+        s.observe(float(x))
+    assert s.quantile(0.99) == pytest.approx(np.percentile(data, 99), rel=0.1)
+
+
+def test_streaming_latency_unknown_quantile_rejected():
+    s = StreamingLatency(quantiles=(0.5,))
+    with pytest.raises(KeyError):
+        s.quantile(0.9)
+
+
+def test_streaming_latency_memory_is_constant():
+    """No per-observation storage: the estimator keeps 5 markers."""
+    s = StreamingLatency(quantiles=(0.99,))
+    for i in range(100_000):
+        s.observe(float(i % 17))
+    est = s._estimators[0.99]
+    assert len(est._heights) == 5
+    assert len(est._initial) == 5

@@ -1,0 +1,58 @@
+"""Unit tests for RunMetrics aggregation."""
+
+import pytest
+
+from repro.metrics import RunMetrics, summarise
+
+
+def make_run(replicate=0, power=0.3, wakeups=100.0, **kwargs):
+    defaults = dict(
+        implementation="BP",
+        n_consumers=5,
+        buffer_size=25,
+        replicate=replicate,
+        duration_s=4.0,
+        power_w=power,
+        power_true_w=power,
+        wakeups_per_s=wakeups,
+        core_wakeups_per_s=wakeups,
+        usage_ms_per_s=20.0,
+    )
+    defaults.update(kwargs)
+    return RunMetrics(**defaults)
+
+
+def test_total_batch_wakeups_and_share():
+    run = make_run(scheduled_wakeups=300, overflow_wakeups=100)
+    assert run.total_batch_wakeups == 400
+    assert run.overflow_share == pytest.approx(0.25)
+
+
+def test_overflow_share_zero_when_no_batch_wakeups():
+    assert make_run().overflow_share == 0.0
+
+
+def test_summarise_means_and_cis():
+    runs = [make_run(replicate=i, power=0.3 + 0.01 * i) for i in range(3)]
+    summary = summarise(runs)
+    assert summary.replicates == 3
+    assert summary.mean("power_w") == pytest.approx(0.31)
+    assert summary["power_w"].half_width > 0
+    assert summary.implementation == "BP"
+
+
+def test_summarise_rejects_mixed_cells():
+    runs = [make_run(), make_run(implementation="Mutex")]
+    with pytest.raises(ValueError, match="one cell"):
+        summarise(runs)
+
+
+def test_summarise_rejects_empty():
+    with pytest.raises(ValueError):
+        summarise([])
+
+
+def test_summarise_single_run():
+    summary = summarise([make_run()])
+    assert summary.mean("power_w") == pytest.approx(0.3)
+    assert summary["power_w"].half_width == 0.0

@@ -1,0 +1,142 @@
+"""Unit tests for the statistics toolkit."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (
+    confidence_interval,
+    pearson,
+    percent_change,
+    wakeup_power_significance,
+)
+
+
+# -- confidence intervals ------------------------------------------------------
+
+
+def test_ci_of_constant_data_is_tight():
+    est = confidence_interval([5.0, 5.0, 5.0])
+    assert est.mean == 5.0
+    assert est.half_width == 0.0
+
+
+def test_ci_single_value_has_zero_width():
+    est = confidence_interval([3.0])
+    assert est.mean == 3.0
+    assert est.half_width == 0.0
+    assert est.n == 1
+
+
+def test_ci_contains_true_mean_for_gaussian_data():
+    rng = np.random.default_rng(0)
+    hits = 0
+    for _ in range(200):
+        sample = rng.normal(10.0, 2.0, size=5)
+        est = confidence_interval(sample, level=0.95)
+        if est.low <= 10.0 <= est.high:
+            hits += 1
+    assert hits >= 175  # ≈95% coverage, generous slack
+
+
+def test_ci_width_shrinks_with_n():
+    rng = np.random.default_rng(1)
+    small = confidence_interval(rng.normal(0, 1, 4))
+    large = confidence_interval(rng.normal(0, 1, 100))
+    assert large.half_width < small.half_width
+
+
+def test_ci_validation():
+    with pytest.raises(ValueError):
+        confidence_interval([])
+    with pytest.raises(ValueError):
+        confidence_interval([1.0], level=1.5)
+
+
+def test_estimate_str():
+    assert "±" in str(confidence_interval([1.0, 2.0, 3.0]))
+
+
+# -- pearson ------------------------------------------------------------------
+
+
+def test_pearson_perfect_positive():
+    assert pearson([1, 2, 3], [10, 20, 30]) == pytest.approx(1.0)
+
+
+def test_pearson_perfect_negative():
+    assert pearson([1, 2, 3], [30, 20, 10]) == pytest.approx(-1.0)
+
+
+def test_pearson_zero_variance_returns_zero():
+    assert pearson([1, 1, 1], [1, 2, 3]) == 0.0
+
+
+def test_pearson_validation():
+    with pytest.raises(ValueError):
+        pearson([1], [2])
+    with pytest.raises(ValueError):
+        pearson([1, 2], [1, 2, 3])
+
+
+@given(
+    data=st.lists(
+        st.tuples(
+            st.floats(min_value=-1e6, max_value=1e6),
+            st.floats(min_value=-1e6, max_value=1e6),
+        ),
+        min_size=2,
+        max_size=40,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_pearson_bounded(data):
+    xs, ys = zip(*data)
+    assert -1.0 - 1e-9 <= pearson(xs, ys) <= 1.0 + 1e-9
+
+
+# -- significance test ---------------------------------------------------------
+
+
+def test_strong_linear_effect_is_significant():
+    rng = np.random.default_rng(2)
+    wakeups = rng.uniform(100, 1000, 30)
+    power = 0.001 * wakeups + rng.normal(0, 0.01, 30)
+    test = wakeup_power_significance(wakeups, power)
+    assert test.significant(0.99)
+    assert test.slope > 0
+
+
+def test_no_effect_is_not_significant():
+    rng = np.random.default_rng(3)
+    wakeups = rng.uniform(100, 1000, 30)
+    power = rng.normal(1.0, 0.1, 30)  # independent of wakeups
+    test = wakeup_power_significance(wakeups, power)
+    assert not test.significant(0.99)
+
+
+def test_perfect_correlation_p_essentially_zero():
+    test = wakeup_power_significance([1, 2, 3, 4], [2, 4, 6, 8])
+    assert test.p_value < 1e-6  # float round-off may keep |r| just below 1
+
+
+def test_significance_validation():
+    with pytest.raises(ValueError):
+        wakeup_power_significance([1, 2], [1, 2])
+
+
+# -- percent change --------------------------------------------------------------
+
+
+def test_percent_change_reduction():
+    assert percent_change(100.0, 80.0) == pytest.approx(-20.0)
+
+
+def test_percent_change_increase():
+    assert percent_change(50.0, 75.0) == pytest.approx(50.0)
+
+
+def test_percent_change_zero_baseline():
+    with pytest.raises(ValueError):
+        percent_change(0.0, 1.0)

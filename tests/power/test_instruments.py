@@ -1,0 +1,231 @@
+"""Unit tests for the PowerTop analogue and the oscilloscope rig."""
+
+import numpy as np
+import pytest
+
+from repro.cpu import CState, CStateTable, Core, PState, PStateTable
+from repro.power import EnergyLedger, Oscilloscope, PowerModel, PowerTop
+from repro.sim import Environment
+
+
+def make_rig(**model_kwargs):
+    env = Environment()
+    cstates = CStateTable(
+        [CState("C1", 1, power_w=0.1, exit_latency_s=0.0, min_residency_s=0.0)]
+    )
+    pstates = PStateTable([PState("p", 1e9, 1.0)])
+    core = Core(env, 0, cstates, pstates, context_switch_s=0.0)
+    model = PowerModel(
+        capacitance_f=1e-9, static_active_w=0.0, wakeup_energy_j=0.0, **model_kwargs
+    )
+    ledger = EnergyLedger(env, model)
+    core.add_listener(ledger)
+    ledger.watch(core)
+    return env, core, model, ledger
+
+
+# -- PowerTop -----------------------------------------------------------------
+
+
+def test_powertop_counts_task_wakeups_and_usage():
+    env, core, model, ledger = make_rig()
+    top = PowerTop(env)
+    core.add_listener(top)
+
+    def task(env):
+        for _ in range(10):
+            yield env.timeout(0.5)
+            yield from core.execute("consumer", 0.1, after_block=True)
+
+    env.process(task(env))
+    env.run(until=10.0)
+    report = top.report()
+    row = report.row("consumer")
+    assert row.wakeups_per_s == pytest.approx(1.0)  # 10 wakeups / 10 s
+    assert row.usage_ms_per_s == pytest.approx(100.0)  # 1 s busy / 10 s
+
+
+def test_powertop_spinner_has_usage_but_no_wakeups():
+    env, core, model, ledger = make_rig()
+    top = PowerTop(env)
+    core.add_listener(top)
+
+    def spinner(env):
+        while True:
+            yield from core.execute("spin", 0.01, after_block=False)
+
+    env.process(spinner(env))
+    env.run(until=5.0)
+    report = top.report()
+    row = report.row("spin")
+    assert row.wakeups_per_s == 0.0
+    assert row.usage_ms_per_s == pytest.approx(1000.0, rel=0.01)
+
+
+def test_powertop_separates_owners():
+    env, core, model, ledger = make_rig()
+    top = PowerTop(env)
+    core.add_listener(top)
+
+    def task(env, owner, n):
+        for _ in range(n):
+            yield env.timeout(1.0)
+            yield from core.execute(owner, 0.01, after_block=True)
+
+    env.process(task(env, "a", 3))
+    env.process(task(env, "b", 6))
+    env.run(until=10.0)
+    report = top.report()
+    assert report.row("a").wakeups_per_s == pytest.approx(0.3)
+    assert report.row("b").wakeups_per_s == pytest.approx(0.6)
+    assert report.total_wakeups_per_s == pytest.approx(0.9)
+
+
+def test_powertop_core_wakeups_counted():
+    env, core, model, ledger = make_rig()
+    top = PowerTop(env)
+    core.add_listener(top)
+
+    def task(env):
+        for _ in range(5):
+            yield env.timeout(1.0)
+            yield from core.execute("t", 0.01, after_block=True)
+
+    env.process(task(env))
+    env.run(until=10.0)
+    assert top.report().core_wakeups_per_s == pytest.approx(0.5)
+
+
+def test_powertop_reset_starts_new_window():
+    env, core, model, ledger = make_rig()
+    top = PowerTop(env)
+    core.add_listener(top)
+
+    def task(env):
+        yield env.timeout(1.0)
+        yield from core.execute("t", 0.01, after_block=True)
+
+    env.process(task(env))
+    env.run(until=5.0)
+    top.reset()
+    env.run(until=10.0)
+    assert top.report().row("t").wakeups_per_s == 0.0
+
+
+def test_powertop_empty_window_rejected():
+    env, core, model, ledger = make_rig()
+    top = PowerTop(env)
+    with pytest.raises(ValueError):
+        top.report()
+
+
+def test_powertop_unknown_owner_row_is_zero():
+    env, core, model, ledger = make_rig()
+    top = PowerTop(env)
+    env.run(until=1.0)
+    row = top.report().row("ghost")
+    assert row.wakeups_per_s == 0.0 and row.usage_ms_per_s == 0.0
+
+
+# -- Oscilloscope -----------------------------------------------------------
+
+
+def scope_for(env, ledger, model, noise_std_v=0.0, seed=1):
+    return Oscilloscope(
+        env,
+        ledger,
+        model,
+        np.random.default_rng(seed),
+        shunt_ohm=0.1,
+        sample_rate_hz=1000.0,
+        noise_std_v=noise_std_v,
+    )
+
+
+def test_scope_noiseless_measurement_matches_ledger():
+    env, core, model, ledger = make_rig()
+    scope = scope_for(env, ledger, model)
+    out = []
+
+    def task(env):
+        yield from core.execute("t", 2.0)
+
+    def measure(env):
+        m = yield from scope.measure(10.0)
+        out.append(m)
+
+    env.process(task(env))
+    env.process(measure(env))
+    env.run()
+    m = out[0]
+    expected = (2.0 * 1.0 + 8.0 * 0.1) / 10.0
+    assert m.true_w == pytest.approx(expected)
+    assert m.measured_w == pytest.approx(expected)
+
+
+def test_scope_noise_shrinks_with_window_length():
+    env, core, model, ledger = make_rig()
+    scope = scope_for(env, ledger, model, noise_std_v=1e-2, seed=7)
+    short = [abs(scope.observe_window(1.0, 0.1).measured_w - 1.0) for _ in range(200)]
+    long = [abs(scope.observe_window(1.0, 10.0).measured_w - 1.0) for _ in range(200)]
+    assert np.mean(long) < np.mean(short)
+
+
+def test_scope_measurement_is_unbiased():
+    env, core, model, ledger = make_rig()
+    scope = scope_for(env, ledger, model, noise_std_v=5e-3, seed=11)
+    errs = [scope.observe_window(2.0, 1.0).measured_w - 2.0 for _ in range(500)]
+    assert abs(np.mean(errs)) < 3 * np.std(errs) / np.sqrt(len(errs)) + 1e-6
+
+
+def test_scope_voltage_drop_physics():
+    env, core, model, ledger = make_rig()
+    scope = scope_for(env, ledger, model)
+    m = scope.observe_window(5.0, 1.0)  # 5 W at 5 V through 0.1 Ω
+    assert m.v_drop_v == pytest.approx(5.0 * 0.1 / 5.0)  # I=1A → 0.1V
+
+
+def test_scope_resistor_formula_is_v_squared_over_r():
+    env, core, model, ledger = make_rig()
+    scope = scope_for(env, ledger, model)
+    assert scope.resistor_formula_power_w(0.2) == pytest.approx(0.4)
+
+
+def test_scope_rejects_bad_parameters():
+    env, core, model, ledger = make_rig()
+    with pytest.raises(ValueError):
+        Oscilloscope(env, ledger, model, np.random.default_rng(0), shunt_ohm=0.0)
+    scope = scope_for(env, ledger, model)
+    with pytest.raises(ValueError):
+        next(iter(scope.measure(0.0)))
+
+
+def test_scope_includes_wakeup_energy_in_window():
+    """Unlike naive sampling, the rig integrates ω spikes (real scopes do)."""
+    env = Environment()
+    cstates = CStateTable(
+        [CState("C1", 1, power_w=0.0, exit_latency_s=0.0, min_residency_s=0.0)]
+    )
+    pstates = PStateTable([PState("p", 1e9, 1.0)])
+    core = Core(env, 0, cstates, pstates, context_switch_s=0.0)
+    model = PowerModel(capacitance_f=1e-9, static_active_w=0.0, wakeup_energy_j=0.01)
+    ledger = EnergyLedger(env, model)
+    core.add_listener(ledger)
+    ledger.watch(core)
+    scope = scope_for(env, ledger, model)
+    out = []
+
+    def task(env):
+        for _ in range(10):
+            yield env.timeout(0.5)
+            yield from core.execute("t", 1e-6, after_block=True)
+
+    def measure(env):
+        m = yield from scope.measure(10.0)
+        out.append(m)
+
+    env.process(task(env))
+    env.process(measure(env))
+    env.run()
+    # 10 wakeups × 0.01 J over 10 s → ≈ 0.01 W just from ω.
+    assert out[0].true_w == pytest.approx(0.01, rel=0.01)

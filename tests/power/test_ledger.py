@@ -1,0 +1,139 @@
+"""Unit tests for the energy ledger, including the paper's Fig. 1 claim."""
+
+import pytest
+
+from repro.cpu import CState, CStateTable, Core, PState, PStateTable
+from repro.power import EnergyLedger, PowerModel
+from repro.sim import Environment
+
+
+def make_rig(wakeup_energy_j=1e-4, idle_w=0.1, exit_latency_s=0.0):
+    env = Environment()
+    cstates = CStateTable(
+        [CState("C1", 1, power_w=idle_w, exit_latency_s=exit_latency_s, min_residency_s=0.0)]
+    )
+    pstates = PStateTable([PState("p", 1e9, 1.0)])
+    core = Core(env, 0, cstates, pstates, context_switch_s=0.0)
+    model = PowerModel(
+        capacitance_f=1e-9,  # 1.0 W dynamic at 1 GHz / 1 V
+        static_active_w=0.0,
+        wakeup_energy_j=wakeup_energy_j,
+    )
+    ledger = EnergyLedger(env, model)
+    core.add_listener(ledger)
+    ledger.watch(core)
+    return env, core, model, ledger
+
+
+def test_pure_idle_energy():
+    env, core, model, ledger = make_rig()
+    env.run(until=10.0)
+    ledger.settle()
+    assert ledger.total_energy_j() == pytest.approx(0.1 * 10.0)
+
+
+def test_active_slice_energy():
+    env, core, model, ledger = make_rig(wakeup_energy_j=0.0)
+
+    def task(env):
+        yield from core.execute("t", 2.0)
+
+    env.process(task(env))
+    env.run(until=10.0)
+    ledger.settle()
+    # 2 s active at 1.0 W + 8 s idle at 0.1 W
+    assert ledger.total_energy_j() == pytest.approx(2.0 * 1.0 + 8.0 * 0.1)
+
+
+def test_wakeup_energy_charged_per_transition():
+    env, core, model, ledger = make_rig(wakeup_energy_j=5e-3)
+
+    def task(env):
+        for _ in range(4):
+            yield from core.execute("t", 0.1)
+            yield env.timeout(1.0)  # let the core go idle in between
+
+    env.process(task(env))
+    env.run()
+    ledger.settle()
+    breakdown = ledger.total_breakdown()
+    assert breakdown.wakeups == 4
+    assert breakdown.wakeup_j == pytest.approx(4 * 5e-3)
+
+
+def test_residency_accounting():
+    env, core, model, ledger = make_rig(wakeup_energy_j=0.0)
+
+    def task(env):
+        yield from core.execute("t", 3.0)
+
+    env.process(task(env))
+    env.run(until=10.0)
+    ledger.settle()
+    breakdown = ledger.core_breakdown(0)
+    assert breakdown.residency_s["active"] == pytest.approx(3.0)
+    assert breakdown.residency_s["C1"] == pytest.approx(7.0)
+
+
+def test_average_power():
+    env, core, model, ledger = make_rig(wakeup_energy_j=0.0)
+
+    def task(env):
+        yield from core.execute("t", 5.0)
+
+    env.process(task(env))
+    env.run(until=10.0)
+    ledger.settle()
+    # (5 s × 1.0 W + 5 s × 0.1 W) / 10 s
+    assert ledger.average_power_w(10.0) == pytest.approx(0.55)
+
+
+def test_average_power_rejects_nonpositive_duration():
+    env, core, model, ledger = make_rig()
+    with pytest.raises(ValueError):
+        ledger.average_power_w(0.0)
+
+
+def test_unwatched_core_reports_empty_breakdown():
+    env, core, model, ledger = make_rig()
+    assert ledger.core_breakdown(42).total_j == 0.0
+
+
+def test_settle_is_idempotent():
+    env, core, model, ledger = make_rig()
+    env.run(until=5.0)
+    ledger.settle()
+    once = ledger.total_energy_j()
+    ledger.settle()
+    assert ledger.total_energy_j() == pytest.approx(once)
+
+
+def test_grouped_idle_cheaper_than_fragmented():
+    """The paper's Fig. 1: same total work, fewer wakeups → less energy.
+
+    Two schedules of 4 × 0.1 s of work over 10 s:
+    * fragmented: 4 separate wakeups;
+    * grouped: one wakeup, work back-to-back.
+    """
+
+    def run(schedule):
+        env, core, model, ledger = make_rig(wakeup_energy_j=5e-3)
+
+        def job(env, start):
+            if env.now < start:
+                yield env.timeout(start - env.now)
+            yield from core.execute("t", 0.1)
+
+        for start in schedule:
+            env.process(job(env, start))
+        env.run(until=10.0)
+        ledger.settle()
+        return ledger.total_energy_j(), ledger.total_breakdown().wakeups
+
+    fragmented_j, frag_wakeups = run([0.0, 2.0, 4.0, 6.0])
+    grouped_j, grouped_wakeups = run([0.0, 0.0, 0.0, 0.0])
+    assert frag_wakeups == 4
+    assert grouped_wakeups == 1
+    assert grouped_j < fragmented_j
+    # The gap is exactly the 3 saved wakeups (idle/active time is equal).
+    assert fragmented_j - grouped_j == pytest.approx(3 * 5e-3)

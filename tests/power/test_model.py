@@ -1,0 +1,88 @@
+"""Unit tests for the power model."""
+
+import pytest
+
+from repro.cpu import CState, CStateTable, Core, PState, PStateTable
+from repro.power import PowerModel
+from repro.sim import Environment
+
+
+@pytest.fixture
+def model():
+    return PowerModel(
+        capacitance_f=1e-9,
+        static_active_w=0.5,
+        wakeup_energy_j=1e-4,
+        supply_voltage_v=5.0,
+    )
+
+
+def test_active_power_is_dynamic_plus_static(model):
+    pstate = PState("x", 1e9, 1.0)
+    # Pd = 1e-9 * 1.0^2 * 1e9 = 1.0 W dynamic + 0.5 W static
+    assert model.active_power_w(pstate) == pytest.approx(1.5)
+
+
+def test_active_power_scales_with_v_squared_f(model):
+    slow = PState("slow", 1e9, 1.0)
+    fast = PState("fast", 2e9, 1.2)
+    ratio = (model.active_power_w(fast) - 0.5) / (model.active_power_w(slow) - 0.5)
+    assert ratio == pytest.approx(2 * 1.2**2)
+
+
+def test_idle_power_reads_cstate(model):
+    c1 = CState("C1", 1, power_w=0.123, exit_latency_s=1e-6, min_residency_s=1e-5)
+    assert model.idle_power_w(c1) == pytest.approx(0.123)
+
+
+def test_core_power_reflects_state(model):
+    env = Environment()
+    cstates = CStateTable(
+        [CState("C1", 1, power_w=0.1, exit_latency_s=1e-6, min_residency_s=1e-5)]
+    )
+    pstates = PStateTable([PState("p", 1e9, 1.0)])
+    core = Core(env, 0, cstates, pstates)
+    assert model.core_power_w(core) == pytest.approx(0.1)  # idle
+
+    def task(env):
+        yield from core.execute("t", 1.0)
+
+    env.process(task(env))
+    env.run(until=0.5)  # mid-slice: core is active
+    assert model.core_power_w(core) == pytest.approx(1.5)
+
+
+def test_baseline_power_uses_shallowest_by_default(model):
+    env = Environment()
+    cstates = CStateTable(
+        [
+            CState("C1", 1, 0.2, 1e-6, 1e-5),
+            CState("C2", 2, 0.05, 1e-4, 1e-3),
+        ]
+    )
+    pstates = PStateTable([PState("p", 1e9, 1.0)])
+    core = Core(env, 0, cstates, pstates)
+    assert model.baseline_power_w(core) == pytest.approx(0.2)
+    assert model.baseline_power_w(core, cstates.deepest) == pytest.approx(0.05)
+
+
+def test_model_validation():
+    with pytest.raises(ValueError):
+        PowerModel(capacitance_f=0.0)
+    with pytest.raises(ValueError):
+        PowerModel(static_active_w=-1.0)
+    with pytest.raises(ValueError):
+        PowerModel(supply_voltage_v=0.0)
+
+
+def test_default_model_magnitudes_are_arndale_like():
+    """Full-tilt A15 core ≈ 1.5–2.5 W; idle ≪ active; ω ≫ per-item energy."""
+    from repro.cpu import arndale_cstates, arndale_pstates
+
+    model = PowerModel()
+    full = model.active_power_w(arndale_pstates().fastest)
+    idle = model.idle_power_w(arndale_cstates().shallowest)
+    assert 1.0 < full < 3.0
+    assert idle < full / 5
+    # ω vs ~2 µs of processing at full power
+    assert model.wakeup_energy_j > 10 * (2e-6 * full)

@@ -1,0 +1,299 @@
+"""Unit tests for Semaphore, Mutex and ConditionVariable."""
+
+import pytest
+
+from repro.sim import ConditionVariable, Environment, Mutex, Semaphore, SimulationError
+
+
+# -- Semaphore ---------------------------------------------------------------
+
+
+def test_semaphore_initial_value():
+    env = Environment()
+    assert Semaphore(env, 3).value == 3
+
+
+def test_semaphore_negative_value_raises():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        Semaphore(env, -1)
+
+
+def test_semaphore_acquire_available_is_immediate():
+    env = Environment()
+    sem = Semaphore(env, 1)
+    log = []
+
+    def proc(env):
+        yield sem.acquire()
+        log.append(env.now)
+
+    env.process(proc(env))
+    env.run()
+    assert log == [0.0]
+    assert sem.value == 0
+
+
+def test_semaphore_acquire_blocks_until_release():
+    env = Environment()
+    sem = Semaphore(env, 0)
+    log = []
+
+    def taker(env):
+        yield sem.acquire()
+        log.append(env.now)
+
+    def giver(env):
+        yield env.timeout(5.0)
+        sem.release()
+
+    env.process(taker(env))
+    env.process(giver(env))
+    env.run()
+    assert log == [5.0]
+
+
+def test_semaphore_fifo_ordering():
+    env = Environment()
+    sem = Semaphore(env, 0)
+    order = []
+
+    def taker(env, tag):
+        yield sem.acquire()
+        order.append(tag)
+
+    for tag in "abc":
+        env.process(taker(env, tag))
+
+    def giver(env):
+        yield env.timeout(1.0)
+        sem.release(3)
+
+    env.process(giver(env))
+    env.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_semaphore_try_acquire():
+    env = Environment()
+    sem = Semaphore(env, 1)
+    assert sem.try_acquire()
+    assert not sem.try_acquire()
+    sem.release()
+    assert sem.try_acquire()
+
+
+def test_semaphore_capacity_guards_double_release():
+    env = Environment()
+    sem = Semaphore(env, 1, capacity=1)
+    with pytest.raises(SimulationError):
+        sem.release()
+
+
+def test_semaphore_release_count_validation():
+    env = Environment()
+    sem = Semaphore(env, 0)
+    with pytest.raises(SimulationError):
+        sem.release(0)
+
+
+def test_semaphore_cancel_pending_acquire():
+    env = Environment()
+    sem = Semaphore(env, 0)
+    req = sem.acquire()
+    assert sem.waiting == 1
+    assert sem.cancel(req)
+    assert sem.waiting == 0
+    assert not sem.cancel(req)  # already gone
+    sem.release()
+    assert sem.value == 1  # the unit was not stolen by the cancelled request
+
+
+def test_semaphore_waiting_counter():
+    env = Environment()
+    sem = Semaphore(env, 0)
+
+    def taker(env):
+        yield sem.acquire()
+
+    env.process(taker(env))
+    env.process(taker(env))
+    env.run()  # both now blocked; run drains the (empty) schedule
+    assert sem.waiting == 2
+
+
+# -- Mutex --------------------------------------------------------------------
+
+
+def test_mutex_basic_lock_unlock():
+    env = Environment()
+    mtx = Mutex(env)
+
+    def proc(env):
+        yield mtx.acquire()
+        assert mtx.locked
+        mtx.release()
+        assert not mtx.locked
+
+    p = env.process(proc(env))
+    env.run(until=p)
+
+
+def test_mutex_mutual_exclusion_and_fifo_handoff():
+    env = Environment()
+    mtx = Mutex(env)
+    log = []
+
+    def proc(env, tag, hold):
+        yield mtx.acquire()
+        log.append(("in", tag, env.now))
+        yield env.timeout(hold)
+        log.append(("out", tag, env.now))
+        mtx.release()
+
+    env.process(proc(env, "a", 2.0))
+    env.process(proc(env, "b", 1.0))
+    env.run()
+    assert log == [
+        ("in", "a", 0.0),
+        ("out", "a", 2.0),
+        ("in", "b", 2.0),
+        ("out", "b", 3.0),
+    ]
+
+
+def test_mutex_release_unlocked_raises():
+    env = Environment()
+    mtx = Mutex(env)
+    with pytest.raises(SimulationError):
+        mtx.release()
+
+
+def test_mutex_release_by_non_owner_raises():
+    env = Environment()
+    mtx = Mutex(env)
+
+    def owner(env):
+        yield mtx.acquire()
+        yield env.timeout(10.0)
+        mtx.release()
+
+    def thief(env):
+        yield env.timeout(1.0)
+        mtx.release()
+
+    env.process(owner(env))
+    thief_p = env.process(thief(env))
+    with pytest.raises(SimulationError, match="released by"):
+        env.run(until=thief_p)
+
+
+def test_mutex_is_not_recursive():
+    env = Environment()
+    mtx = Mutex(env)
+
+    def proc(env):
+        yield mtx.acquire()
+        yield mtx.acquire()
+
+    p = env.process(proc(env))
+    with pytest.raises(SimulationError, match="not recursive"):
+        env.run(until=p)
+
+
+# -- ConditionVariable ----------------------------------------------------------
+
+
+def test_condvar_wait_notify_roundtrip():
+    env = Environment()
+    mtx = Mutex(env)
+    cv = ConditionVariable(env, mtx)
+    shared = {"items": 0}
+    log = []
+
+    def consumer(env):
+        yield mtx.acquire()
+        while shared["items"] == 0:
+            yield from cv.wait()
+        log.append(("consumed", env.now, shared["items"]))
+        shared["items"] -= 1
+        mtx.release()
+
+    def producer(env):
+        yield env.timeout(3.0)
+        yield mtx.acquire()
+        shared["items"] += 1
+        cv.notify()
+        mtx.release()
+
+    env.process(consumer(env))
+    env.process(producer(env))
+    env.run()
+    assert log == [("consumed", 3.0, 1)]
+
+
+def test_condvar_wait_requires_mutex_held():
+    env = Environment()
+    mtx = Mutex(env)
+    cv = ConditionVariable(env, mtx)
+
+    def proc(env):
+        yield from cv.wait()
+
+    p = env.process(proc(env))
+    with pytest.raises(SimulationError, match="requires holding"):
+        env.run(until=p)
+
+
+def test_condvar_notify_returns_woken_count():
+    env = Environment()
+    mtx = Mutex(env)
+    cv = ConditionVariable(env, mtx)
+
+    def waiter(env):
+        yield mtx.acquire()
+        yield from cv.wait()
+        mtx.release()
+
+    env.process(waiter(env))
+    env.process(waiter(env))
+
+    def notifier(env):
+        yield env.timeout(1.0)
+        assert cv.notify_all() == 2
+
+    env.process(notifier(env))
+    env.run()
+    assert cv.waiting == 0
+
+
+def test_condvar_notify_with_no_waiters_is_noop():
+    env = Environment()
+    mtx = Mutex(env)
+    cv = ConditionVariable(env, mtx)
+    assert cv.notify() == 0
+    assert cv.notify_all() == 0
+
+
+def test_condvar_wait_reacquires_mutex_before_returning():
+    env = Environment()
+    mtx = Mutex(env)
+    cv = ConditionVariable(env, mtx)
+    checks = []
+
+    def waiter(env):
+        yield mtx.acquire()
+        yield from cv.wait()
+        checks.append(mtx.locked and mtx.owner is env.active_process)
+        mtx.release()
+
+    def notifier(env):
+        yield env.timeout(1.0)
+        yield mtx.acquire()
+        cv.notify()
+        mtx.release()
+
+    env.process(waiter(env))
+    env.process(notifier(env))
+    env.run()
+    assert checks == [True]

@@ -1,0 +1,125 @@
+"""Tests for the command-line interface (in-process, short runs)."""
+
+import pytest
+
+from repro.cli import main
+
+
+COMMON = ["--duration", "0.8", "--replicates", "1", "--seed", "3"]
+
+
+def test_fig9_runs_and_prints(capsys, tmp_path):
+    out_file = tmp_path / "fig9.txt"
+    csv_file = tmp_path / "fig9.csv"
+    code = main(
+        ["fig9", "--consumers", "2", *COMMON, "--out", str(out_file), "--csv", str(csv_file)]
+    )
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "Figure 9" in captured
+    assert "PBPL" in captured
+    assert out_file.exists()
+    assert "implementation" in csv_file.read_text().splitlines()[0]
+
+
+def test_accounting_runs(capsys):
+    assert main(["accounting", *COMMON]) == 0
+    assert "wakeup accounting" in capsys.readouterr().out
+
+
+def test_sanity_passes(capsys):
+    assert main(["sanity", *COMMON]) == 0
+    assert "PASS" in capsys.readouterr().out
+
+
+def test_trace_generate_and_inspect(capsys, tmp_path):
+    path = tmp_path / "t.npz"
+    assert (
+        main(
+            [
+                "trace",
+                "generate",
+                "--kind",
+                "poisson",
+                "--rate",
+                "500",
+                "--duration",
+                "2.0",
+                "-o",
+                str(path),
+            ]
+        )
+        == 0
+    )
+    assert path.exists()
+    capsys.readouterr()
+    assert main(["trace", "inspect", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "mean rate" in out
+    assert "500" in out
+
+
+def test_trace_inspect_clf(capsys, tmp_path):
+    log = tmp_path / "access.log"
+    log.write_text(
+        'h - - [30/Apr/1998:21:30:17 +0000] "GET /a HTTP/1.0" 200 1\n'
+        'h - - [30/Apr/1998:21:30:19 +0000] "GET /b HTTP/1.0" 200 1\n'
+    )
+    assert main(["trace", "inspect", str(log)]) == 0
+    assert "items     : 2" in capsys.readouterr().out
+
+
+def test_tune_reports_knee(capsys):
+    code = main(
+        [
+            "tune",
+            "--consumers",
+            "2",
+            "--candidates_ms",
+            "5,10",
+            *COMMON,
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "suggested Δ" in out
+    assert "◀ best" in out
+
+
+def test_waveform_renders(capsys):
+    assert (
+        main(
+            [
+                "waveform",
+                "--impl",
+                "BP",
+                "--consumers",
+                "2",
+                "--window_s",
+                "0.1",
+                *COMMON,
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "power waveform" in out
+    assert "wakeup impulses" in out
+    assert "█" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["nope"])
+
+
+def test_bad_counts_rejected():
+    with pytest.raises(SystemExit):
+        main(["fig10", "--counts", "a,b"])
+
+
+@pytest.mark.slow
+def test_fig10_tiny_grid(capsys):
+    assert main(["fig10", "--counts", "2,3", *COMMON]) == 0
+    out = capsys.readouterr().out
+    assert "2 consumers" in out and "3 consumers" in out

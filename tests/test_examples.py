@@ -1,0 +1,63 @@
+"""Smoke tests: every example script runs to completion and prints its
+headline output. Marked slow — each runs a few seconds of simulation."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    return proc.stdout
+
+
+@pytest.mark.slow
+def test_quickstart_runs():
+    out = run_example("quickstart.py")
+    assert "PBPL saves" in out
+    assert "Mutex" in out
+
+
+@pytest.mark.slow
+def test_webserver_scenario_runs():
+    out = run_example("webserver_scenario.py")
+    assert "less power than" in out
+    assert "p99" in out
+
+
+@pytest.mark.slow
+def test_runtime_monitoring_runs():
+    out = run_example("runtime_monitoring.py")
+    assert "pool invariant holds" in out
+    assert "overflow wakeups" in out
+
+
+@pytest.mark.slow
+def test_network_router_runs():
+    out = run_example("network_router.py")
+    assert "mW per ms" in out
+
+
+@pytest.mark.slow
+def test_device_driver_runs():
+    out = run_example("device_driver.py")
+    assert "irq-per-event" in out
+    assert "per-device mW" in out
+    assert "20 ms budget" in out
+
+
+@pytest.mark.slow
+def test_resource_aware_tuning_runs():
+    out = run_example("resource_aware_tuning.py")
+    assert "datacenter" in out and "interactive" in out and "embedded" in out
+    assert "cuts mean latency" in out

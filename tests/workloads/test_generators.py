@@ -1,0 +1,148 @@
+"""Tests for the stochastic trace generators."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    mmpp_trace,
+    nonhomogeneous_poisson,
+    poisson_trace,
+    worldcup_like_trace,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+# -- Poisson ------------------------------------------------------------------
+
+
+def test_poisson_mean_rate_close_to_requested():
+    trace = poisson_trace(1000.0, 10.0, rng())
+    assert trace.mean_rate == pytest.approx(1000.0, rel=0.05)
+
+
+def test_poisson_reproducible_with_seed():
+    a = poisson_trace(100.0, 5.0, rng(42))
+    b = poisson_trace(100.0, 5.0, rng(42))
+    assert np.array_equal(a.times, b.times)
+
+
+def test_poisson_zero_rate_is_empty():
+    assert poisson_trace(0.0, 5.0, rng()).n_items == 0
+
+
+def test_poisson_validation():
+    with pytest.raises(ValueError):
+        poisson_trace(-1.0, 5.0, rng())
+    with pytest.raises(ValueError):
+        poisson_trace(1.0, 0.0, rng())
+
+
+def test_poisson_exponential_gaps():
+    trace = poisson_trace(1000.0, 20.0, rng(1))
+    gaps = trace.inter_arrivals()
+    # Exponential: mean ≈ std.
+    assert gaps.std() == pytest.approx(gaps.mean(), rel=0.1)
+
+
+# -- MMPP --------------------------------------------------------------------
+
+
+def test_mmpp_mean_rate_between_regime_rates():
+    trace = mmpp_trace([100.0, 2000.0], [0.5, 0.5], 20.0, rng(2))
+    assert 100.0 < trace.mean_rate < 2000.0
+
+
+def test_mmpp_burstier_than_poisson():
+    flat = poisson_trace(1000.0, 20.0, rng(3))
+    bursty = mmpp_trace([100.0, 1900.0], [0.5, 0.5], 20.0, rng(3))
+    assert bursty.burstiness(0.1) > 2 * flat.burstiness(0.1)
+
+
+def test_mmpp_single_state_is_poisson_like():
+    trace = mmpp_trace([500.0], [1.0], 10.0, rng(4))
+    assert trace.mean_rate == pytest.approx(500.0, rel=0.1)
+
+
+def test_mmpp_validation():
+    with pytest.raises(ValueError):
+        mmpp_trace([], [], 10.0, rng())
+    with pytest.raises(ValueError):
+        mmpp_trace([1.0], [1.0, 2.0], 10.0, rng())
+    with pytest.raises(ValueError):
+        mmpp_trace([1.0], [0.0], 10.0, rng())
+
+
+# -- thinning --------------------------------------------------------------
+
+
+def test_nhpp_respects_rate_function():
+    # Rate = 1000 in first half, 0 in second half.
+    def rate_fn(t):
+        return np.where(t < 5.0, 1000.0, 0.0)
+
+    trace = nonhomogeneous_poisson(rate_fn, 1000.0, 10.0, rng(5))
+    assert np.all(trace.times < 5.0)
+    assert trace.n_items == pytest.approx(5000, rel=0.1)
+
+
+def test_nhpp_rejects_underestimated_bound():
+    def rate_fn(t):
+        return np.full_like(t, 2000.0)
+
+    with pytest.raises(ValueError, match="exceeds rate_max"):
+        nonhomogeneous_poisson(rate_fn, 1000.0, 1.0, rng(6))
+
+
+# -- world-cup-like -------------------------------------------------------------
+
+
+def test_worldcup_mean_rate_honoured():
+    trace = worldcup_like_trace(2000.0, 10.0, rng(7))
+    assert trace.mean_rate == pytest.approx(2000.0, rel=0.15)
+
+
+def test_worldcup_is_strongly_bursty():
+    """The defining property the paper needs: sporadic rate changes."""
+    flat = poisson_trace(2000.0, 10.0, rng(8))
+    wc = worldcup_like_trace(2000.0, 10.0, rng(8))
+    assert wc.burstiness(0.1) > 3 * flat.burstiness(0.1)
+
+
+def test_worldcup_rate_swings_an_order_of_magnitude():
+    trace = worldcup_like_trace(2000.0, 10.0, rng(9), flash_magnitude=8.0)
+    _, rates = trace.rate_profile(0.25)
+    nonzero = rates[rates > 0]
+    assert nonzero.max() / max(nonzero.min(), 1.0) > 8.0
+
+
+def test_worldcup_reproducible():
+    a = worldcup_like_trace(500.0, 5.0, rng(10))
+    b = worldcup_like_trace(500.0, 5.0, rng(10))
+    assert np.array_equal(a.times, b.times)
+
+
+def test_worldcup_different_seeds_differ():
+    a = worldcup_like_trace(500.0, 5.0, rng(11))
+    b = worldcup_like_trace(500.0, 5.0, rng(12))
+    assert not np.array_equal(a.times, b.times)
+
+
+def test_worldcup_validation():
+    with pytest.raises(ValueError):
+        worldcup_like_trace(0.0, 10.0, rng())
+    with pytest.raises(ValueError):
+        worldcup_like_trace(100.0, 10.0, rng(), diurnal_depth=1.5)
+    with pytest.raises(ValueError):
+        worldcup_like_trace(100.0, 10.0, rng(), flash_decay_fraction=0.0)
+
+
+def test_worldcup_flash_crowds_visible_in_profile():
+    """With huge flash magnitude the peak rate dwarfs the median."""
+    trace = worldcup_like_trace(
+        1000.0, 10.0, rng(13), flash_magnitude=12.0, n_flash_crowds=2
+    )
+    _, rates = trace.rate_profile(0.2)
+    assert rates.max() > 3 * np.median(rates)

@@ -1,0 +1,87 @@
+"""Tests for trace persistence and workload analysis."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    Trace,
+    load_trace,
+    poisson_trace,
+    save_trace,
+    summarise_trace,
+    worldcup_like_trace,
+)
+
+
+def test_save_load_roundtrip(tmp_path):
+    rng = np.random.default_rng(0)
+    original = worldcup_like_trace(500.0, 4.0, rng)
+    path = tmp_path / "trace.npz"
+    save_trace(original, path)
+    loaded = load_trace(path)
+    assert np.array_equal(loaded.times, original.times)
+    assert loaded.duration_s == original.duration_s
+    assert loaded.name == original.name
+
+
+def test_load_rejects_non_trace_npz(tmp_path):
+    path = tmp_path / "other.npz"
+    np.savez(path, stuff=np.arange(3))
+    with pytest.raises(ValueError, match="not a trace archive"):
+        load_trace(path)
+
+
+def test_load_rejects_unknown_version(tmp_path):
+    import json
+
+    path = tmp_path / "future.npz"
+    meta = json.dumps({"version": 99, "duration_s": 1.0, "name": "x"})
+    np.savez(
+        path,
+        times=np.array([0.5]),
+        meta=np.frombuffer(meta.encode(), dtype=np.uint8),
+    )
+    with pytest.raises(ValueError, match="version"):
+        load_trace(path)
+
+
+def test_empty_trace_roundtrip(tmp_path):
+    original = Trace(np.array([]), 2.0, "empty")
+    path = tmp_path / "empty.npz"
+    save_trace(original, path)
+    loaded = load_trace(path)
+    assert loaded.n_items == 0
+    assert loaded.duration_s == 2.0
+
+
+def test_summary_of_empty_trace():
+    s = summarise_trace(Trace(np.array([]), 2.0, "empty"))
+    assert s.n_items == 0
+    assert s.mean_rate_per_s == 0.0
+
+
+def test_summary_statistics_sane():
+    rng = np.random.default_rng(1)
+    trace = worldcup_like_trace(1000.0, 5.0, rng)
+    s = summarise_trace(trace)
+    assert s.n_items == trace.n_items
+    assert s.mean_rate_per_s == pytest.approx(trace.mean_rate)
+    assert s.peak_rate_per_s >= s.mean_rate_per_s
+    assert s.p05_rate_per_s <= s.mean_rate_per_s
+    assert s.peak_to_mean > 1.0
+    assert -1.0 <= s.lag1_autocorrelation <= 1.0
+
+
+def test_bursty_trace_summary_distinguishes_from_poisson():
+    rng1, rng2 = np.random.default_rng(2), np.random.default_rng(2)
+    flat = summarise_trace(poisson_trace(1000.0, 5.0, rng1))
+    bursty = summarise_trace(worldcup_like_trace(1000.0, 5.0, rng2))
+    assert bursty.burstiness_cv > 2 * flat.burstiness_cv
+    assert bursty.lag1_autocorrelation > flat.lag1_autocorrelation + 0.2
+
+
+def test_summary_render_contains_key_lines():
+    rng = np.random.default_rng(3)
+    text = summarise_trace(poisson_trace(100.0, 2.0, rng)).render()
+    assert "mean rate" in text
+    assert "burstiness" in text

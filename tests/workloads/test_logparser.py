@@ -1,0 +1,98 @@
+"""Tests for the Common Log Format parser and writer."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    LogParseError,
+    Trace,
+    parse_clf_timestamp,
+    trace_from_clf,
+    write_clf,
+)
+
+SAMPLE = """\
+host1 - - [30/Apr/1998:21:30:17 +0000] "GET /images/logo.gif HTTP/1.0" 200 1024
+host2 - - [30/Apr/1998:21:30:18 +0000] "GET /english/index.html HTTP/1.0" 200 881
+host1 - - [30/Apr/1998:21:30:20 +0000] "GET /english/images/nav.gif HTTP/1.0" 304 -
+"""
+
+
+def test_parse_timestamp_utc():
+    dt = parse_clf_timestamp("30/Apr/1998:21:30:17 +0000")
+    assert (dt.year, dt.month, dt.day) == (1998, 4, 30)
+    assert (dt.hour, dt.minute, dt.second) == (21, 30, 17)
+
+
+def test_parse_timestamp_with_offset():
+    plus = parse_clf_timestamp("30/Apr/1998:21:30:17 +0200")
+    zulu = parse_clf_timestamp("30/Apr/1998:19:30:17 +0000")
+    assert plus.timestamp() == zulu.timestamp()
+
+
+def test_parse_timestamp_invalid():
+    with pytest.raises(LogParseError):
+        parse_clf_timestamp("not a timestamp")
+    with pytest.raises(LogParseError):
+        parse_clf_timestamp("30/Xxx/1998:21:30:17 +0000")
+
+
+def test_trace_from_clf_stream():
+    trace = trace_from_clf(io.StringIO(SAMPLE))
+    assert trace.n_items == 3
+    assert trace.times == pytest.approx([0.0, 1.0, 3.0])
+
+
+def test_trace_from_clf_time_scale():
+    trace = trace_from_clf(io.StringIO(SAMPLE), time_scale=2.0)
+    assert trace.times == pytest.approx([0.0, 0.5, 1.5])
+
+
+def test_malformed_lines_skipped_by_default():
+    noisy = SAMPLE + "garbage line\n\n"
+    trace = trace_from_clf(io.StringIO(noisy))
+    assert trace.n_items == 3
+
+
+def test_strict_mode_raises_on_garbage():
+    noisy = SAMPLE + "garbage line\n"
+    with pytest.raises(LogParseError):
+        trace_from_clf(io.StringIO(noisy), strict=True)
+
+
+def test_empty_input_rejected():
+    with pytest.raises(LogParseError):
+        trace_from_clf(io.StringIO(""))
+
+
+def test_invalid_time_scale():
+    with pytest.raises(ValueError):
+        trace_from_clf(io.StringIO(SAMPLE), time_scale=0.0)
+
+
+def test_file_roundtrip(tmp_path):
+    path = tmp_path / "synthetic.log"
+    # Integer-second arrivals survive CLF's 1 s resolution exactly.
+    original = Trace(np.array([0.0, 1.0, 2.0, 5.0]), 6.0, "orig")
+    write_clf(original, path)
+    back = trace_from_clf(path)
+    assert back.times == pytest.approx(original.times)
+
+
+def test_file_roundtrip_subsecond_rounds_down(tmp_path):
+    path = tmp_path / "synthetic.log"
+    original = Trace(np.array([0.0, 1.4, 2.9]), 4.0, "orig")
+    write_clf(original, path)
+    back = trace_from_clf(path)
+    assert back.times == pytest.approx([0.0, 1.0, 2.0])  # CLF is 1 s grained
+
+
+def test_out_of_order_lines_sorted():
+    shuffled = (
+        'h - - [30/Apr/1998:21:30:20 +0000] "GET /b HTTP/1.0" 200 1\n'
+        'h - - [30/Apr/1998:21:30:17 +0000] "GET /a HTTP/1.0" 200 1\n'
+    )
+    trace = trace_from_clf(io.StringIO(shuffled))
+    assert trace.times == pytest.approx([0.0, 3.0])

@@ -1,0 +1,68 @@
+"""Tests for the self-similar ON/OFF generator and Hurst estimation."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import (
+    estimate_hurst,
+    pareto_onoff_trace,
+    poisson_trace,
+)
+
+
+def rng(seed=0):
+    return np.random.default_rng(seed)
+
+
+def test_mean_rate_approximately_honoured():
+    trace = pareto_onoff_trace(2000.0, 20.0, rng(0))
+    # Heavy tails converge slowly; generous tolerance.
+    assert trace.mean_rate == pytest.approx(2000.0, rel=0.35)
+
+
+def test_reproducible():
+    a = pareto_onoff_trace(500.0, 5.0, rng(1))
+    b = pareto_onoff_trace(500.0, 5.0, rng(1))
+    assert np.array_equal(a.times, b.times)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        pareto_onoff_trace(0.0, 5.0, rng())
+    with pytest.raises(ValueError):
+        pareto_onoff_trace(100.0, 5.0, rng(), n_sources=0)
+    with pytest.raises(ValueError):
+        pareto_onoff_trace(100.0, 5.0, rng(), alpha_on=2.5)
+    with pytest.raises(ValueError):
+        pareto_onoff_trace(100.0, 5.0, rng(), alpha_off=1.0)
+    with pytest.raises(ValueError):
+        pareto_onoff_trace(100.0, 5.0, rng(), mean_on_s=0.0)
+
+
+def test_burstier_than_poisson_at_coarse_scales():
+    """The self-similar signature: burstiness survives aggregation."""
+    ss = pareto_onoff_trace(2000.0, 30.0, rng(2))
+    flat = poisson_trace(2000.0, 30.0, rng(2))
+    # At a coarse 1 s scale Poisson has almost no variance left; the
+    # ON/OFF aggregate keeps plenty.
+    assert ss.burstiness(1.0) > 3 * flat.burstiness(1.0)
+
+
+def test_hurst_distinguishes_poisson_from_selfsimilar():
+    flat = poisson_trace(3000.0, 30.0, rng(3))
+    ss = pareto_onoff_trace(3000.0, 30.0, rng(3))
+    h_flat = estimate_hurst(flat)
+    h_ss = estimate_hurst(ss)
+    assert h_flat < 0.65  # ≈ 0.5 in theory
+    assert h_ss > h_flat + 0.15
+    assert h_ss > 0.65  # in the measured web-traffic range
+
+
+def test_hurst_estimator_validation():
+    with pytest.raises(ValueError, match="too few items"):
+        estimate_hurst(poisson_trace(1.0, 5.0, rng(4)))
+
+
+def test_hurst_bounded():
+    trace = pareto_onoff_trace(1000.0, 20.0, rng(5))
+    assert 0.0 <= estimate_hurst(trace) <= 1.0

@@ -1,0 +1,133 @@
+"""Unit and property tests for the Trace abstraction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads import Trace, merge_traces
+
+
+def make_trace(times, duration=10.0):
+    return Trace(np.asarray(times, dtype=float), duration, "t")
+
+
+def test_basic_properties():
+    trace = make_trace([1.0, 2.0, 3.0])
+    assert trace.n_items == 3
+    assert len(trace) == 3
+    assert trace.mean_rate == pytest.approx(0.3)
+    assert list(trace) == [1.0, 2.0, 3.0]
+
+
+def test_empty_trace_allowed():
+    trace = make_trace([])
+    assert trace.n_items == 0
+    assert trace.mean_rate == 0.0
+
+
+def test_unsorted_times_rejected():
+    with pytest.raises(ValueError):
+        make_trace([2.0, 1.0])
+
+
+def test_times_outside_window_rejected():
+    with pytest.raises(ValueError):
+        make_trace([-1.0, 2.0])
+    with pytest.raises(ValueError):
+        make_trace([1.0, 10.0])  # duration is exclusive
+
+
+def test_nonpositive_duration_rejected():
+    with pytest.raises(ValueError):
+        Trace(np.array([]), 0.0)
+
+
+def test_inter_arrivals():
+    trace = make_trace([1.0, 3.0, 6.0])
+    assert trace.inter_arrivals() == pytest.approx([2.0, 3.0])
+
+
+def test_shifted_rotates_and_wraps():
+    trace = make_trace([1.0, 9.0], duration=10.0)
+    shifted = trace.shifted(0.5)  # offset 5: 1→6, 9→4
+    assert shifted.times == pytest.approx([4.0, 6.0])
+    assert shifted.duration_s == 10.0
+
+
+def test_shifted_preserves_item_count_and_rate():
+    rng = np.random.default_rng(0)
+    times = np.sort(rng.uniform(0, 10, 100))
+    trace = Trace(times, 10.0)
+    shifted = trace.shifted(0.37)
+    assert shifted.n_items == 100
+    assert shifted.mean_rate == pytest.approx(trace.mean_rate)
+
+
+def test_shift_by_whole_turn_is_identity():
+    trace = make_trace([1.0, 2.0, 3.0])
+    assert trace.shifted(1.0).times == pytest.approx(trace.times)
+
+
+def test_clipped():
+    trace = make_trace([1.0, 2.0, 8.0])
+    clipped = trace.clipped(5.0)
+    assert clipped.times == pytest.approx([1.0, 2.0])
+    assert clipped.duration_s == 5.0
+
+
+def test_clipped_beyond_duration_keeps_window():
+    trace = make_trace([1.0], duration=10.0)
+    assert trace.clipped(20.0).duration_s == 10.0
+
+
+def test_scaled_rate_speeds_up():
+    trace = make_trace([2.0, 4.0], duration=10.0)
+    fast = trace.scaled_rate(2.0)
+    assert fast.times == pytest.approx([1.0, 2.0])
+    assert fast.duration_s == 5.0
+    assert fast.mean_rate == pytest.approx(2 * trace.mean_rate)
+
+
+def test_rate_profile_counts_per_bin():
+    trace = make_trace([0.5, 1.5, 1.6, 9.5], duration=10.0)
+    centres, rates = trace.rate_profile(1.0)
+    assert len(centres) == 10
+    assert rates[0] == pytest.approx(1.0)
+    assert rates[1] == pytest.approx(2.0)
+    assert rates[9] == pytest.approx(1.0)
+
+
+def test_burstiness_zero_for_empty():
+    assert make_trace([]).burstiness() == 0.0
+
+
+def test_merge_traces():
+    a = make_trace([1.0, 5.0])
+    b = make_trace([2.0], duration=20.0)
+    merged = merge_traces([a, b])
+    assert merged.times == pytest.approx([1.0, 2.0, 5.0])
+    assert merged.duration_s == 20.0
+
+
+def test_merge_empty_rejected():
+    with pytest.raises(ValueError):
+        merge_traces([])
+
+
+@given(
+    data=st.lists(st.floats(min_value=0.0, max_value=9.999), max_size=100),
+    fraction=st.floats(min_value=0.0, max_value=3.0),
+)
+@settings(max_examples=200, deadline=None)
+def test_shift_preserves_multiset_of_gaps_modulo_wrap(data, fraction):
+    """Shifting is a rotation: item count and window are invariant, and
+    every shifted time stays inside the window."""
+    times = np.sort(np.asarray(data, dtype=float))
+    trace = Trace(times, 10.0)
+    shifted = trace.shifted(fraction)
+    assert shifted.n_items == trace.n_items
+    if shifted.n_items:
+        assert shifted.times.min() >= 0.0
+        assert shifted.times.max() < 10.0
+    assert np.all(np.diff(shifted.times) >= 0)

@@ -8,11 +8,22 @@
   adjustment (PBPL's resizable per-consumer buffer, §V-C);
 * :class:`GlobalBufferPool` — the elastic global preallocation that
   lends slots between consumers (paper Fig. 8).
+
+All three FIFO substrates share one overflow model (see
+:mod:`repro.buffers.overflow`): a unified ``overflows`` counter and the
+degradation policies ``block`` / ``drop-oldest`` / ``drop-newest`` /
+``shed-to-deadline``.
 """
 
 from repro.buffers.bounded import BoundedBuffer
+from repro.buffers.overflow import (
+    OVERFLOW_POLICIES,
+    BufferOverflow,
+    BufferUnderflow,
+    OverflowPolicyMixin,
+)
 from repro.buffers.pool import GlobalBufferPool
-from repro.buffers.ring import BufferOverflow, BufferUnderflow, RingBuffer
+from repro.buffers.ring import RingBuffer
 from repro.buffers.segmented import SegmentedBuffer
 
 __all__ = [
@@ -20,6 +31,8 @@ __all__ = [
     "BufferOverflow",
     "BufferUnderflow",
     "GlobalBufferPool",
+    "OVERFLOW_POLICIES",
+    "OverflowPolicyMixin",
     "RingBuffer",
     "SegmentedBuffer",
 ]

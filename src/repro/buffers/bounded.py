@@ -5,29 +5,53 @@ exclusive concurrent access to a *non-circular* buffer … reading and
 writing from it requires atomicity to be able to track the number of
 items inside" (§III-A). This class is that buffer: a plain FIFO with an
 explicit item count, no head/tail arithmetic.
+
+Overflow behaviour and accounting are shared with the other substrates
+via :class:`~repro.buffers.overflow.OverflowPolicyMixin`.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Iterator, List, Optional
+from typing import Any, Callable, Deque, Iterator, List, Optional
 
-from repro.buffers.ring import BufferOverflow, BufferUnderflow
+from repro.buffers.overflow import BufferUnderflow, OverflowPolicyMixin
 
 
-class BoundedBuffer:
+class BoundedBuffer(OverflowPolicyMixin):
     """A FIFO with an explicit count and a capacity bound."""
 
-    __slots__ = ("_items", "_capacity", "pushes", "pops", "overflows")
+    __slots__ = (
+        "_items",
+        "_capacity",
+        "pushes",
+        "pops",
+        "overflows",
+        "policy",
+        "max_item_age_s",
+        "_clock",
+        "_item_time",
+        "dropped_oldest",
+        "dropped_newest",
+        "shed",
+    )
 
-    def __init__(self, capacity: int) -> None:
+    _kind = "bounded buffer"
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: str = "block",
+        max_item_age_s: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._items: Deque[Any] = deque()
         self._capacity = capacity
         self.pushes = 0
         self.pops = 0
-        self.overflows = 0
+        self._init_overflow_policy(policy, max_item_age_s, clock)
 
     @property
     def capacity(self) -> int:
@@ -53,19 +77,12 @@ class BoundedBuffer:
     def free(self) -> int:
         return self._capacity - len(self._items)
 
-    def push(self, item: Any) -> None:
-        if self.is_full:
-            self.overflows += 1
-            raise BufferOverflow(f"bounded buffer full (capacity {self._capacity})")
+    # -- substrate hooks (push/try_push come from the mixin) -----------------
+    def _store(self, item: Any) -> None:
         self._items.append(item)
-        self.pushes += 1
 
-    def try_push(self, item: Any) -> bool:
-        if self.is_full:
-            self.overflows += 1
-            return False
-        self.push(item)
-        return True
+    def _evict_oldest(self) -> Any:
+        return self._items.popleft()
 
     def pop(self) -> Any:
         if not self._items:

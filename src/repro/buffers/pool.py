@@ -15,7 +15,7 @@ capacity the pool adjusts — the "elastic walls" of the paper's Fig. 8.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Callable, Dict, Optional
 
 from repro.buffers.segmented import SegmentedBuffer
 
@@ -45,15 +45,37 @@ class GlobalBufferPool:
         self.upsize_requests = 0
         self.upsize_grants = 0
         self.slots_lent = 0
+        #: Slots temporarily confiscated by a fault injector (the
+        #: forced-contention fault) and how often that happened.
+        self.slots_withheld = 0
+        self.contention_events = 0
 
     # -- registration ------------------------------------------------------
-    def register(self, consumer_id: str, segment_size: int = 16) -> SegmentedBuffer:
-        """Create (and entitle B0 slots to) a consumer's buffer."""
+    def register(
+        self,
+        consumer_id: str,
+        segment_size: int = 16,
+        policy: str = "block",
+        max_item_age_s: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> SegmentedBuffer:
+        """Create (and entitle B0 slots to) a consumer's buffer.
+
+        ``policy`` (plus ``max_item_age_s``/``clock`` for
+        ``shed-to-deadline``) selects the buffer's overflow degradation
+        policy — see :mod:`repro.buffers.overflow`.
+        """
         if consumer_id in self._buffers:
             raise ValueError(f"consumer {consumer_id!r} already registered")
         if len(self._buffers) >= self.n_consumers:
             raise ValueError(f"pool sized for {self.n_consumers} consumers")
-        buffer = SegmentedBuffer(self.base_allocation, segment_size=segment_size)
+        buffer = SegmentedBuffer(
+            self.base_allocation,
+            segment_size=segment_size,
+            policy=policy,
+            max_item_age_s=max_item_age_s,
+            clock=clock,
+        )
         self._buffers[consumer_id] = buffer
         return buffer
 
@@ -109,6 +131,35 @@ class GlobalBufferPool:
         self.upsize_grants += 1
         self.slots_lent += extra_granted
         return buffer.set_capacity(buffer.capacity + extra_granted)
+
+    def withhold(self, slots: int) -> int:
+        """Confiscate up to ``slots`` currently-free slots from the pool.
+
+        The fault injector's forced-contention primitive: withheld
+        slots cannot be granted to upsize requests until
+        :meth:`restore` hands them back. Never takes entitled or
+        reserve-backed slots, so the pool invariant keeps holding.
+        Returns the number actually withheld.
+        """
+        if slots < 0:
+            raise ValueError("withhold() takes a non-negative amount")
+        taken = min(slots, max(0, self.free_slots))
+        if taken > 0:
+            self.total_slots -= taken
+            self.slots_withheld += taken
+            self.contention_events += 1
+        return taken
+
+    def restore(self, slots: int) -> None:
+        """Hand back slots previously taken by :meth:`withhold`."""
+        if slots < 0:
+            raise ValueError("restore() takes a non-negative amount")
+        if slots > self.slots_withheld:
+            raise ValueError(
+                f"restoring {slots} slots but only {self.slots_withheld} withheld"
+            )
+        self.total_slots += slots
+        self.slots_withheld -= slots
 
     def release_to_base(self, consumer_id: str) -> int:
         """Return any borrowed slots (down to B0) when no longer needed."""

@@ -5,22 +5,25 @@ The paper's BW, Yield, Sem, BP, PBP and SPBP implementations all share
 circular buffer (§III-A). This one is deliberately faithful to the
 classic head/tail formulation — including the property the busy-wait
 consumer polls (``tail != head`` ⇔ non-empty).
+
+Overflow behaviour and accounting are shared with the other substrates
+via :class:`~repro.buffers.overflow.OverflowPolicyMixin`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional
+from typing import Any, Callable, Iterator, List, Optional
+
+from repro.buffers.overflow import (
+    BufferOverflow,
+    BufferUnderflow,
+    OverflowPolicyMixin,
+)
+
+__all__ = ["BufferOverflow", "BufferUnderflow", "RingBuffer"]
 
 
-class BufferOverflow(Exception):
-    """Raised by :meth:`RingBuffer.push` when the buffer is full."""
-
-
-class BufferUnderflow(Exception):
-    """Raised by :meth:`RingBuffer.pop` when the buffer is empty."""
-
-
-class RingBuffer:
+class RingBuffer(OverflowPolicyMixin):
     """A bounded FIFO over a preallocated slot array.
 
     One slot is *not* sacrificed (an explicit count disambiguates full
@@ -28,9 +31,32 @@ class RingBuffer:
     — matching the paper's buffer-size parameters (25/50/100).
     """
 
-    __slots__ = ("_slots", "_head", "_tail", "_count", "pushes", "pops", "overflows")
+    __slots__ = (
+        "_slots",
+        "_head",
+        "_tail",
+        "_count",
+        "pushes",
+        "pops",
+        "overflows",
+        "policy",
+        "max_item_age_s",
+        "_clock",
+        "_item_time",
+        "dropped_oldest",
+        "dropped_newest",
+        "shed",
+    )
 
-    def __init__(self, capacity: int) -> None:
+    _kind = "ring buffer"
+
+    def __init__(
+        self,
+        capacity: int,
+        policy: str = "block",
+        max_item_age_s: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self._slots: List[Any] = [None] * capacity
@@ -40,7 +66,7 @@ class RingBuffer:
         #: Lifetime operation counters (used by experiment metrics).
         self.pushes = 0
         self.pops = 0
-        self.overflows = 0
+        self._init_overflow_policy(policy, max_item_age_s, clock)
 
     # -- state -------------------------------------------------------------
     @property
@@ -63,35 +89,26 @@ class RingBuffer:
         """Unoccupied slots."""
         return len(self._slots) - self._count
 
-    # -- operations -----------------------------------------------------------
-    def push(self, item: Any) -> None:
-        """Append ``item``; raises :class:`BufferOverflow` when full."""
-        if self.is_full:
-            self.overflows += 1
-            raise BufferOverflow(f"ring buffer full (capacity {self.capacity})")
+    # -- substrate hooks (push/try_push come from the mixin) -----------------
+    def _store(self, item: Any) -> None:
         self._slots[self._tail] = item
         self._tail = (self._tail + 1) % len(self._slots)
         self._count += 1
-        self.pushes += 1
 
-    def try_push(self, item: Any) -> bool:
-        """Append ``item`` if space allows; returns success."""
-        if self.is_full:
-            self.overflows += 1
-            return False
-        self.push(item)
-        return True
-
-    def pop(self) -> Any:
-        """Remove and return the oldest item; raises on empty."""
-        if self.is_empty:
-            raise BufferUnderflow("pop from an empty ring buffer")
+    def _evict_oldest(self) -> Any:
         item = self._slots[self._head]
         self._slots[self._head] = None
         self._head = (self._head + 1) % len(self._slots)
         self._count -= 1
-        self.pops += 1
         return item
+
+    # -- operations -----------------------------------------------------------
+    def pop(self) -> Any:
+        """Remove and return the oldest item; raises on empty."""
+        if self.is_empty:
+            raise BufferUnderflow("pop from an empty ring buffer")
+        self.pops += 1
+        return self._evict_oldest()
 
     def peek(self) -> Any:
         """The oldest item without removing it; raises on empty."""

@@ -7,16 +7,19 @@ structure: a FIFO of fixed-size segments where capacity adjustments
 only add/remove segments at the tail — no copying, O(1) amortised per
 operation, and shrinking never discards buffered items (the capacity
 floor is the current occupancy).
+
+Overflow behaviour and accounting are shared with the other substrates
+via :class:`~repro.buffers.overflow.OverflowPolicyMixin`.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator, List, Optional
+from typing import Any, Callable, Iterator, List, Optional
 
-from repro.buffers.ring import BufferOverflow, BufferUnderflow
+from repro.buffers.overflow import BufferUnderflow, OverflowPolicyMixin
 
 
-class SegmentedBuffer:
+class SegmentedBuffer(OverflowPolicyMixin):
     """A bounded FIFO with O(1) capacity adjustment.
 
     Parameters
@@ -26,9 +29,20 @@ class SegmentedBuffer:
     segment_size:
         Items per linked segment (tuning knob only; semantics are
         independent of it).
+    policy, max_item_age_s, clock:
+        Overflow degradation policy (see :mod:`repro.buffers.overflow`).
     """
 
-    def __init__(self, capacity: int, segment_size: int = 16) -> None:
+    _kind = "segmented buffer"
+
+    def __init__(
+        self,
+        capacity: int,
+        segment_size: int = 16,
+        policy: str = "block",
+        max_item_age_s: Optional[float] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
         if capacity < 1:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         if segment_size < 1:
@@ -39,7 +53,7 @@ class SegmentedBuffer:
         self._head_idx = 0
         self.pushes = 0
         self.pops = 0
-        self.overflows = 0
+        self._init_overflow_policy(policy, max_item_age_s, clock)
         #: Capacity changes, for the avg-buffer-size metric.
         self.resize_events: List[tuple[int, int]] = []
 
@@ -92,34 +106,27 @@ class SegmentedBuffer:
             raise ValueError("shrink() takes a non-negative amount")
         return self.set_capacity(max(1, self._capacity - by))
 
-    # -- FIFO operations --------------------------------------------------------
-    def push(self, item: Any) -> None:
-        if self.is_full:
-            self.overflows += 1
-            raise BufferOverflow(f"segmented buffer full (capacity {self._capacity})")
+    # -- substrate hooks (push/try_push come from the mixin) -------------------
+    def _store(self, item: Any) -> None:
         self._items.append(item)
-        self.pushes += 1
 
-    def try_push(self, item: Any) -> bool:
-        if self.is_full:
-            self.overflows += 1
-            return False
-        self.push(item)
-        return True
-
-    def pop(self) -> Any:
-        if self.is_empty:
-            raise BufferUnderflow("pop from an empty segmented buffer")
+    def _evict_oldest(self) -> Any:
         item = self._items[self._head_idx]
         self._items[self._head_idx] = None
         self._head_idx += 1
-        self.pops += 1
         # Reclaim a whole "segment" of dead slots at once — the
         # linked-list segment recycling, amortised O(1).
         if self._head_idx >= self.segment_size:
             del self._items[: self._head_idx]
             self._head_idx = 0
         return item
+
+    # -- FIFO operations --------------------------------------------------------
+    def pop(self) -> Any:
+        if self.is_empty:
+            raise BufferUnderflow("pop from an empty segmented buffer")
+        self.pops += 1
+        return self._evict_oldest()
 
     def peek(self) -> Any:
         if self.is_empty:

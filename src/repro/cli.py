@@ -8,6 +8,7 @@ Installed as the ``repro`` console script (also ``python -m repro``)::
     repro profile                   # Figures 3 & 4 (the §III study)
     repro accounting                # §VI-C wakeup accounting scalars
     repro sanity                    # the paper's §III-C1 rig checks
+    repro chaos                     # fault-injection resilience matrix
     repro trace generate -o t.npz   # synthesise & archive a workload
     repro trace inspect t.npz       # summarise a workload's character
 
@@ -135,8 +136,34 @@ def cmd_sanity(args: argparse.Namespace) -> int:
         for rep in range(params.replicates)
     ]
     report = run_sanity_checks(runs, params)
-    _emit(args, report.render(), runs)
-    return 0 if report.all_passed else 1
+    _emit(args, report.to_json() if args.json else report.render(), runs)
+    if not report.all_passed:
+        for check in report.failures:
+            print(f"sanity: FAIL {check.name}: {check.detail}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Run the fault-injection scenario matrix and print the resilience
+    report; exit non-zero if any scenario leaked items or broke the
+    latency bound without shedding."""
+    from repro.faults import DEFAULT_SCENARIOS, SMOKE_SCENARIOS, run_chaos
+
+    scenarios = SMOKE_SCENARIOS if args.smoke else DEFAULT_SCENARIOS
+    report = run_chaos(
+        scenarios,
+        seed=args.seed,
+        duration_s=args.duration,
+        n_consumers=args.consumers,
+        progress=(None if args.json else (lambda m: print(m, flush=True))),
+    )
+    _emit(args, report.to_json() if args.json else report.render())
+    if not report.passed:
+        bad = [r.scenario for r in report.results if r.verdict not in ("OK", "SHED")]
+        print(f"chaos: resilience violations in: {', '.join(bad)}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def cmd_all(args: argparse.Namespace) -> int:
@@ -274,7 +301,25 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("sanity", help="the paper's §III-C1 rig checks")
     _add_common(p)
+    p.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
     p.set_defaults(func=cmd_sanity)
+
+    p = sub.add_parser(
+        "chaos", help="fault-injection matrix → markdown resilience report"
+    )
+    _add_common(p)
+    p.add_argument("--consumers", type=int, default=4)
+    p.add_argument(
+        "--smoke",
+        action="store_true",
+        help="reduced scenario set (clean, lost-signals, combined) for CI",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit the report as JSON"
+    )
+    p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("tune", help="auto-tune the slot size Δ for a workload")
     _add_common(p)

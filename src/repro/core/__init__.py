@@ -6,6 +6,7 @@ from repro.core.consumer import LatchingConsumer
 from repro.core.manager import CoreManager
 from repro.core.predictors import (
     EWMA,
+    HardenedPredictor,
     Kalman,
     MovingAverage,
     PREDICTORS,
@@ -26,6 +27,7 @@ from repro.core.system import PBPLSystem
 __all__ = [
     "CoreManager",
     "EWMA",
+    "HardenedPredictor",
     "Kalman",
     "LatchingConsumer",
     "MovingAverage",

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.buffers.overflow import OVERFLOW_POLICIES
 from repro.impls.base import PCConfig
 
 
@@ -42,6 +43,21 @@ class PBPLConfig(PCConfig):
     #: every under-prediction into an unscheduled wake, so a margin is
     #: needed to reach the paper's ~75 % scheduled-wakeup share.
     resize_margin: float = 0.5
+    #: Overflow degradation policy for consumer buffers: "block" (the
+    #: paper's back-pressure), "drop-oldest", "drop-newest" or
+    #: "shed-to-deadline" (see :mod:`repro.buffers.overflow`).
+    overflow_policy: str = "block"
+    #: Wrap the predictor in :class:`~repro.core.predictors.
+    #: HardenedPredictor` (outlier clamping + fast re-convergence after
+    #: stalls). Off by default to keep the paper's figures bit-stable.
+    harden_predictor: bool = False
+    #: Clamp band of the hardened predictor (observations outside
+    #: [r̂/k, r̂·k] are clamped; sustained → re-convergence).
+    predictor_clamp_factor: float = 8.0
+    #: Core-manager watchdog grace: maximum lateness of a slot fired by
+    #: the slot-recovery watchdog after a lost timer signal. None = one
+    #: slot Δ (the resilience latency bound); 0 disables the watchdog.
+    watchdog_grace_s: Optional[float] = None
 
     def __post_init__(self) -> None:
         super().__post_init__()
@@ -53,6 +69,15 @@ class PBPLConfig(PCConfig):
             raise ValueError("invalid cost parameters")
         if self.resize_margin < 0:
             raise ValueError("resize margin must be non-negative")
+        if self.overflow_policy not in OVERFLOW_POLICIES:
+            raise ValueError(
+                f"unknown overflow policy {self.overflow_policy!r}; "
+                f"choose from {list(OVERFLOW_POLICIES)}"
+            )
+        if self.predictor_clamp_factor <= 1:
+            raise ValueError("predictor clamp factor must be > 1")
+        if self.watchdog_grace_s is not None and self.watchdog_grace_s < 0:
+            raise ValueError("watchdog grace must be non-negative")
 
     def effective_slot_size(self) -> float:
         """Δ as the manager will use it."""

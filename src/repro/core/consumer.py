@@ -29,7 +29,7 @@ from repro.buffers.pool import GlobalBufferPool
 from repro.cpu.core import Core
 from repro.core.config import PBPLConfig
 from repro.core.manager import CoreManager
-from repro.core.predictors import RatePredictor, make_predictor
+from repro.core.predictors import HardenedPredictor, RatePredictor, make_predictor
 from repro.impls.base import PairStats, Producer
 from repro.impls.single import WAKE_CHECK_S
 from repro.workloads.trace import Trace
@@ -68,7 +68,25 @@ class LatchingConsumer:
                 else {}
             ),
         )
-        self.buffer = pool.register(owner)
+        if config.harden_predictor and not isinstance(
+            self.predictor, HardenedPredictor
+        ):
+            self.predictor = HardenedPredictor(
+                self.predictor, clamp_factor=config.predictor_clamp_factor
+            )
+        self.buffer = pool.register(
+            owner,
+            policy=config.overflow_policy,
+            max_item_age_s=(
+                config.max_response_latency_s
+                if config.overflow_policy == "shed-to-deadline"
+                else None
+            ),
+            clock=lambda: self.env.now,
+        )
+        #: Transient service-time multiplier (fault injectors raise it
+        #: during a consumer-slowdown window).
+        self.service_scale = 1.0
         self.in_flight = 0
         self._space_event = None
         self._activation = None
@@ -83,14 +101,29 @@ class LatchingConsumer:
 
     # -- producer side -----------------------------------------------------------
     def deliver(self, t: float):
-        """Delivery routine handed to the :class:`Producer`."""
+        """Delivery routine handed to the :class:`Producer`.
+
+        Under the default ``"block"`` policy a full buffer back-
+        pressures the producer (the paper's semantics). Lossy policies
+        never block: the buffer itself resolves the overflow (dropping
+        or shedding per its policy) and every discarded item is counted
+        into ``stats.items_shed`` — the resilience report's
+        conservation check depends on that accounting being exact.
+        """
         if self.buffer.is_full:
             self.stats.overflows += 1
             self._trigger_overflow()
-            while self.buffer.is_full:
-                self._space_event = self.env.event()
-                yield self._space_event
-        self.buffer.push(t)
+            if self.buffer.policy == "block":
+                while self.buffer.is_full:
+                    self._space_event = self.env.event()
+                    yield self._space_event
+                self.buffer.push(t)
+            else:
+                before = self.buffer.items_dropped
+                self.buffer.try_push(t)
+                self.stats.items_shed += self.buffer.items_dropped - before
+        else:
+            self.buffer.push(t)
         if self.buffer.is_full:
             self._trigger_overflow()
 
@@ -150,10 +183,13 @@ class LatchingConsumer:
             self.in_flight = len(batch)
             self._notify_space()
             for t in batch:
-                yield from hold.busy(cfg.service_time_s)
+                yield from hold.busy(cfg.service_time_s * self.service_scale)
                 self.stats.consumed += 1
                 self.stats.record_latency(
-                    env.now - t, cfg.max_response_latency_s, cfg.track_latencies
+                    env.now - t,
+                    cfg.max_response_latency_s,
+                    cfg.track_latencies,
+                    now_s=env.now,
                 )
                 self.in_flight -= 1
 

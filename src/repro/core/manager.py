@@ -8,11 +8,21 @@ changes while it sleeps re-arm the timer, and the manager feeds the
 core's idle logic the exact next-wake time — one of PBPL's quiet
 advantages, since a core that knows its wakeup horizon can pick a deep
 C-state.
+
+Robustness: the paper assumes every armed slot signal is delivered.
+Under the fault model (:meth:`repro.cpu.timers.TimerService.slot_alarm`
+may lose a signal) the original loop would sleep forever on
+``_changed`` while a reserved slot goes stale. A **slot-recovery
+watchdog** closes that hole: when the slot timer is lost, a recovery
+timeout fires the overdue slot after a grace period with bounded
+exponential backoff (base Δ/8, doubling per *consecutive* recovery,
+capped at one slot Δ — so a recovered consumer is never woken more
+than one slot late, which is what keeps the resilience latency bound).
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.cpu.core import Core
 from repro.cpu.timers import TimerService
@@ -21,6 +31,10 @@ from repro.core.slots import SlotTrack
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.environment import Environment
     from repro.core.consumer import LatchingConsumer
+
+#: Watchdog backoff starts at grace/WATCHDOG_BACKOFF_DIV and doubles per
+#: consecutive recovery until it reaches the full grace (one slot Δ).
+WATCHDOG_BACKOFF_DIV = 8
 
 
 class CoreManager:
@@ -33,6 +47,7 @@ class CoreManager:
         timers: TimerService,
         slot_size_s: float,
         grid_origin_s: float = 0.0,
+        watchdog_grace_s: Optional[float] = None,
     ) -> None:
         self.env = env
         self.core = core
@@ -49,6 +64,16 @@ class CoreManager:
         #: Consumer activations delivered (≥ scheduled_wakeups; the
         #: surplus is the latching win).
         self.activations = 0
+        #: Maximum watchdog lateness; None defaults to one slot Δ (the
+        #: resilience bound), 0 disables the watchdog entirely.
+        self.watchdog_grace_s = (
+            slot_size_s if watchdog_grace_s is None else watchdog_grace_s
+        )
+        #: Slot signals the fault model swallowed on this manager.
+        self.lost_signals = 0
+        #: Slots fired by the watchdog instead of their timer.
+        self.watchdog_recoveries = 0
+        self._consecutive_recoveries = 0
 
     # -- reservation interface (used by consumers) -----------------------------
     def reserve(self, consumer: "LatchingConsumer", slot_index: int) -> None:
@@ -74,6 +99,13 @@ class CoreManager:
             self._changed.succeed()
         self._changed = None
 
+    def _recovery_grace_s(self) -> float:
+        """Current watchdog grace: bounded exponential backoff."""
+        base = self.watchdog_grace_s / WATCHDOG_BACKOFF_DIV
+        return min(
+            self.watchdog_grace_s, base * (2 ** self._consecutive_recoveries)
+        )
+
     # -- the manager process ----------------------------------------------------
     def process(self):
         """The manager's simulation process (paper Fig. 7 loop)."""
@@ -97,13 +129,30 @@ class CoreManager:
                 changed = env.event()
                 self._changed = changed
                 # Slot timers are signal-driven (accurate) — PBPL is an
-                # evolution of SPBP, the study's best performer.
-                skew = self.timers._half_normal(self.timers.signal_jitter_s)
-                timer = env.timeout((when - env.now) + skew)
+                # evolution of SPBP, the study's best performer. The
+                # fault model may swallow the signal (timer is None).
+                timer = self.timers.slot_alarm(when)
+                recovering = False
+                if timer is None:
+                    self.lost_signals += 1
+                    if self.watchdog_grace_s <= 0:
+                        # Watchdog disabled: the legacy failure mode —
+                        # sleep until a reservation change saves us.
+                        yield changed
+                        continue
+                    timer = env.timeout(
+                        (when - env.now) + self._recovery_grace_s()
+                    )
+                    recovering = True
                 yield env.any_of([timer, changed])
                 if not timer.processed:
                     continue  # reservations changed: recompute target
                 self._changed = None
+                if recovering:
+                    self.watchdog_recoveries += 1
+                    self._consecutive_recoveries += 1
+                else:
+                    self._consecutive_recoveries = 0
 
             holders: List["LatchingConsumer"] = self.track.pop_slot(next_slot)
             if not holders:

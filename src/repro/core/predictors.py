@@ -139,6 +139,84 @@ class Kalman(RatePredictor):
         return f"Kalman(q={self.q}, r={self.r})"
 
 
+class HardenedPredictor(RatePredictor):
+    """Robustness wrapper over any predictor: clamp outliers, re-converge.
+
+    Two failure modes poison a bare moving average (and push
+    reservations past the latency bound):
+
+    * a **single outlier** — e.g. the catch-up burst after a producer
+      stall reads as an enormous instantaneous rate, or the silent gap
+      itself reads as ~0. One bad sample should not move r̂ much, so
+      observations outside ``[r̂/clamp_factor, r̂·clamp_factor]`` are
+      clamped to the band edge before being fed to the inner predictor;
+
+    * a **regime change** — when the out-of-band readings persist, they
+      are the new truth, and clamping forever would converge only as
+      fast as the window forgets. After ``reconverge_after`` consecutive
+      out-of-band observations the inner predictor is reset and re-fed
+      the raw recent readings, snapping r̂ to the new regime at once.
+
+    Counters (``clamped``, ``reconvergences``) feed the resilience
+    metrics.
+    """
+
+    def __init__(
+        self,
+        inner: RatePredictor,
+        clamp_factor: float = 8.0,
+        reconverge_after: int = 2,
+    ) -> None:
+        if clamp_factor <= 1:
+            raise ValueError("clamp factor must be > 1")
+        if reconverge_after < 1:
+            raise ValueError("reconverge_after must be >= 1")
+        self.inner = inner
+        self.clamp_factor = clamp_factor
+        self.reconverge_after = reconverge_after
+        self.clamped = 0
+        self.reconvergences = 0
+        self._outliers: Deque[float] = deque(maxlen=reconverge_after)
+
+    def observe(self, rate: float) -> None:
+        if rate < 0:
+            raise ValueError("rates are non-negative")
+        prediction = self.inner.predict()
+        if prediction is None or prediction <= 0:
+            self.inner.observe(rate)
+            return
+        lo = prediction / self.clamp_factor
+        hi = prediction * self.clamp_factor
+        if lo <= rate <= hi:
+            self._outliers.clear()
+            self.inner.observe(rate)
+            return
+        self._outliers.append(rate)
+        if len(self._outliers) >= self.reconverge_after:
+            # Sustained deviation = regime change: snap to the new level.
+            self.reconvergences += 1
+            self.inner.reset()
+            for r in self._outliers:
+                self.inner.observe(r)
+            self._outliers.clear()
+        else:
+            self.clamped += 1
+            self.inner.observe(min(max(rate, lo), hi))
+
+    def predict(self) -> Optional[float]:
+        return self.inner.predict()
+
+    def reset(self) -> None:
+        self.inner.reset()
+        self._outliers.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"HardenedPredictor({self.inner!r}, clamp={self.clamp_factor}, "
+            f"reconverge_after={self.reconverge_after})"
+        )
+
+
 #: Registry for configuration-by-name (ablation benches).
 PREDICTORS = {
     "moving-average": MovingAverage,

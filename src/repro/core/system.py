@@ -77,6 +77,7 @@ class PBPLSystem:
                 grid_origin_s=(
                     i * slot / len(distinct) if desync_grids else 0.0
                 ),
+                watchdog_grace_s=self.config.watchdog_grace_s,
             )
             for i, core_id in enumerate(distinct)
         }
@@ -121,8 +122,10 @@ class PBPLSystem:
             total.consumed += s.consumed
             total.invocations += s.invocations
             total.overflows += s.overflows
+            total.items_shed += s.items_shed
             total.overflow_wakeups += s.overflow_wakeups
             total.deadline_misses += s.deadline_misses
+            total.last_miss_s = max(total.last_miss_s, s.last_miss_s)
             total.latencies.extend(s.latencies)
             total._lat_sum += s._lat_sum
             total._lat_n += s._lat_n
@@ -131,6 +134,22 @@ class PBPLSystem:
             m.scheduled_wakeups for m in self.managers.values()
         )
         return total
+
+    @property
+    def watchdog_recoveries(self) -> int:
+        """Slots fired by the watchdog instead of their (lost) timer."""
+        return sum(m.watchdog_recoveries for m in self.managers.values())
+
+    @property
+    def lost_signals(self) -> int:
+        """Slot timer signals the fault model swallowed."""
+        return sum(m.lost_signals for m in self.managers.values())
+
+    def buffered_items(self) -> int:
+        """Items currently sitting (or in flight) in consumer buffers —
+        the remainder term of the conservation check
+        ``produced == consumed + shed + buffered``."""
+        return sum(len(c.buffer) + c.in_flight for c in self.consumers)
 
     @property
     def total_activations(self) -> int:

@@ -54,6 +54,15 @@ class TimerService:
         drawn — the occasional scheduler-induced delay that makes sleep
         lateness famously long-tailed on a loaded kernel. Signal
         delivery (a hardware timer interrupt) has no such tail.
+    signal_loss_prob:
+        Fault injection: probability that an armed one-shot signal is
+        never delivered (a lost wakeup). 0 (the default) keeps the RNG
+        draw sequence bit-identical to the fault-free service.
+    clock_drift_rate:
+        Fault injection: fractional drift of the timer clock against
+        simulated time — every armed delay is stretched by
+        ``(1 + drift)``. Fault injectors toggle both attributes
+        mid-run to confine faults to a window.
     """
 
     def __init__(
@@ -65,11 +74,17 @@ class TimerService:
         signal_jitter_s: float = 1e-4,
         nanosleep_tail_prob: float = 0.08,
         nanosleep_tail_scale_s: float = 8e-3,
+        signal_loss_prob: float = 0.0,
+        clock_drift_rate: float = 0.0,
     ) -> None:
         if min(nanosleep_overhead_s, nanosleep_jitter_s, signal_jitter_s) < 0:
             raise SimulationError("timer accuracy parameters must be >= 0")
         if not 0 <= nanosleep_tail_prob <= 1 or nanosleep_tail_scale_s < 0:
             raise SimulationError("invalid nanosleep tail parameters")
+        if not 0 <= signal_loss_prob <= 1:
+            raise SimulationError("signal loss probability must be in [0, 1]")
+        if clock_drift_rate <= -1:
+            raise SimulationError("clock drift must keep delays positive")
         self.env = env
         self.rng = rng
         self.nanosleep_overhead_s = nanosleep_overhead_s
@@ -77,12 +92,52 @@ class TimerService:
         self.signal_jitter_s = signal_jitter_s
         self.nanosleep_tail_prob = nanosleep_tail_prob
         self.nanosleep_tail_scale_s = nanosleep_tail_scale_s
+        self.signal_loss_prob = signal_loss_prob
+        self.clock_drift_rate = clock_drift_rate
+        #: Lifetime count of signals the fault model swallowed.
+        self.signals_lost = 0
 
     # -- one-shot sleeps ------------------------------------------------------
     def _half_normal(self, scale: float) -> float:
         if scale <= 0:
             return 0.0
         return abs(float(self.rng.normal(0.0, scale)))
+
+    def signal_skew(self) -> float:
+        """Draw one signal-delivery skew (half-normal, near-exact)."""
+        return self._half_normal(self.signal_jitter_s)
+
+    def signal_lost(self) -> bool:
+        """Fault draw: whether the next armed signal gets swallowed.
+
+        Guarded so that a fault-free service (probability 0) performs
+        no RNG draw at all — existing seeds stay bit-reproducible.
+        """
+        if self.signal_loss_prob <= 0:
+            return False
+        lost = bool(self.rng.random() < self.signal_loss_prob)
+        if lost:
+            self.signals_lost += 1
+        return lost
+
+    def drifted(self, delay_s: float) -> float:
+        """Apply the clock-drift fault to an armed delay."""
+        if self.clock_drift_rate == 0.0:
+            return delay_s
+        return delay_s * (1.0 + self.clock_drift_rate)
+
+    def slot_alarm(self, deadline_s: float):
+        """Arm a one-shot slot signal for absolute ``deadline_s``.
+
+        The core manager's timer primitive: returns the Timeout event
+        for the (skewed, possibly drifted) delivery, or ``None`` when
+        the fault model lost the signal — the caller's watchdog is then
+        the only thing that will fire the slot.
+        """
+        delay = max(0.0, deadline_s - self.env.now)
+        if self.signal_lost():
+            return None
+        return self.env.timeout(self.drifted(delay) + self.signal_skew())
 
     def nanosleep_lateness(self) -> float:
         """Draw one ``nanosleep`` lateness: overhead + half-normal noise
@@ -129,7 +184,7 @@ class TimerService:
         if delay_s < 0:
             raise SimulationError(f"negative alarm delay {delay_s!r}")
         skew = self._half_normal(self.signal_jitter_s)
-        yield self.env.timeout(delay_s + skew)
+        yield self.env.timeout(self.drifted(delay_s) + skew)
         return skew
 
 
@@ -183,8 +238,13 @@ class PeriodicSignalTimer:
         Generator — use as ``deadline = yield from timer.next_tick()``.
         """
         k, deadline = self._next()
+        if self.timers.signal_lost():
+            # A swallowed tick: the next delivery is the following
+            # boundary (periodic timers self-heal — one period late).
+            k += 1
+            deadline += self.period_s
         skew = self.timers._half_normal(self.timers.signal_jitter_s)
-        delay = (deadline - self.timers.env.now) + skew
+        delay = self.timers.drifted(deadline - self.timers.env.now) + skew
         yield self.timers.env.timeout(delay)
         self._k = k
         self._delivered += 1
@@ -199,10 +259,14 @@ class PeriodicSignalTimer:
         the next call, with missed boundaries skipped as usual.
         """
         k, deadline = self._next()
+        if self.timers.signal_lost():
+            k += 1
+            deadline += self.period_s
         skew = self.timers._half_normal(self.timers.signal_jitter_s)
         self._pending_k = k
         return self.timers.env.timeout(
-            (deadline - self.timers.env.now) + skew, value=deadline
+            self.timers.drifted(deadline - self.timers.env.now) + skew,
+            value=deadline,
         )
 
     def confirm(self) -> None:

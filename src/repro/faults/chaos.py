@@ -1,0 +1,324 @@
+"""The chaos harness: a deterministic fault-scenario matrix over PBPL.
+
+Each :class:`ChaosScenario` names a :class:`~repro.faults.spec.
+FaultPlan` builder; :func:`run_chaos` runs every scenario on a fresh
+instrumented rig with the degradation features armed (shed-to-deadline
+overflow policy, hardened predictor, watchdog at its default grace) and
+scores it into a :class:`~repro.metrics.resilience.ResilienceMetrics`.
+The result renders as a markdown resilience report.
+
+Everything is a pure function of ``(seed, duration, consumers)``: trace
+synthesis and burst extras come from named RNG streams, fault windows
+are duration fractions, and power is read from the exact energy ledger
+(not the noisy scope) — so the same seed yields a byte-identical
+report, which is what makes the report diffable in CI.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.faults.injectors import RuntimeInjector, perturb_traces
+from repro.faults.spec import (
+    BurstStorm,
+    ClockDrift,
+    ConsumerSlowdown,
+    FaultPlan,
+    LostSignals,
+    PoolContention,
+    ProducerStall,
+)
+from repro.harness.params import StandardParams
+from repro.harness.runner import CONSUMER_CORE, Rig
+from repro.impls.multi import phase_shifted_traces
+from repro.metrics.resilience import ResilienceMetrics
+from repro.core.system import PBPLSystem
+
+
+@dataclass(frozen=True)
+class ChaosScenario:
+    """A named fault composition, windows expressed as run fractions."""
+
+    name: str
+    summary: str
+    #: ``build(duration_s, n_consumers) -> FaultPlan``.
+    build: Callable[[float, int], FaultPlan]
+
+
+def _clean(T: float, M: int) -> FaultPlan:
+    return FaultPlan()
+
+
+def _stall(T: float, M: int) -> FaultPlan:
+    return FaultPlan([ProducerStall(start_s=0.25 * T, duration_s=0.15 * T)])
+
+
+def _lost_signals(T: float, M: int) -> FaultPlan:
+    return FaultPlan([LostSignals(start_s=0.20 * T, duration_s=0.30 * T, prob=0.5)])
+
+
+def _burst(T: float, M: int) -> FaultPlan:
+    return FaultPlan([BurstStorm(start_s=0.40 * T, duration_s=0.15 * T, factor=3.0)])
+
+
+def _drift(T: float, M: int) -> FaultPlan:
+    return FaultPlan([ClockDrift(start_s=0.20 * T, duration_s=0.40 * T, rate=0.05)])
+
+
+def _slowdown(T: float, M: int) -> FaultPlan:
+    return FaultPlan(
+        [ConsumerSlowdown(start_s=0.30 * T, duration_s=0.20 * T, factor=3.0)]
+    )
+
+
+def _contention(T: float, M: int) -> FaultPlan:
+    # Withhold every free slot: buffers keep their floor but cannot grow.
+    return FaultPlan(
+        [PoolContention(start_s=0.30 * T, duration_s=0.30 * T, slots=10**6)]
+    )
+
+
+def _combined(T: float, M: int) -> FaultPlan:
+    """The acceptance gauntlet: stall, then lost signals, then a storm."""
+    return FaultPlan(
+        [
+            ProducerStall(start_s=0.15 * T, duration_s=0.10 * T),
+            LostSignals(start_s=0.35 * T, duration_s=0.20 * T, prob=0.6),
+            BurstStorm(start_s=0.65 * T, duration_s=0.10 * T, factor=2.5),
+        ]
+    )
+
+
+#: The full matrix, clean run first (the control row).
+DEFAULT_SCENARIOS: Tuple[ChaosScenario, ...] = (
+    ChaosScenario("clean", "no faults (control)", _clean),
+    ChaosScenario("stall", "all producers silent, backlog deferred", _stall),
+    ChaosScenario("lost-signals", "50% of slot timers swallowed", _lost_signals),
+    ChaosScenario("burst", "3× arrival storm on every producer", _burst),
+    ChaosScenario("clock-drift", "+5% timer clock drift", _drift),
+    ChaosScenario("slowdown", "3× consumer service time", _slowdown),
+    ChaosScenario("contention", "all free pool slots withheld", _contention),
+    ChaosScenario("combined", "stall → lost signals → burst storm", _combined),
+)
+
+#: The CI gate: control plus the three acceptance faults, composed.
+SMOKE_SCENARIOS: Tuple[ChaosScenario, ...] = tuple(
+    s for s in DEFAULT_SCENARIOS if s.name in ("clean", "lost-signals", "combined")
+)
+
+
+# -- power under faults ---------------------------------------------------------
+
+
+def _merged_windows(plan: FaultPlan, duration_s: float) -> List[Tuple[float, float]]:
+    """Fault windows clipped to the run, overlaps coalesced (so joules
+    inside two overlapping windows are charged once)."""
+    merged: List[Tuple[float, float]] = []
+    for start, end in plan.windows():
+        start, end = max(0.0, start), min(end, duration_s)
+        if end <= start:
+            continue
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+class PowerProbe:
+    """Samples cumulative ledger energy at fault-window edges.
+
+    Differencing exact-energy samples gives mean power inside the fault
+    windows with zero measurement noise — the report must be
+    deterministic, so the noisy scope is the wrong instrument here.
+    """
+
+    def __init__(self, rig: Rig, plan: FaultPlan, duration_s: float) -> None:
+        self.rig = rig
+        self.duration_s = duration_s
+        self.windows = _merged_windows(plan, duration_s)
+        self._samples: Dict[float, float] = {}
+
+    def start(self) -> "PowerProbe":
+        for t in sorted({t for w in self.windows for t in w}):
+            if t < self.duration_s:  # run(until) never reaches t == end
+                self.rig.env.process(self._sample_at(t), name=f"power-probe-{t:g}")
+        return self
+
+    def _sample_at(self, t: float):
+        if self.rig.env.now < t:
+            yield self.rig.env.timeout(t - self.rig.env.now)
+        self._samples[t] = self.rig.ledger.energy_snapshot()
+
+    def power_under_faults_w(self) -> Optional[float]:
+        """Mean watts inside the fault windows (None without faults).
+        Call after the run; edges at the run's end read final energy."""
+        if not self.windows:
+            return None
+        final = self.rig.ledger.energy_snapshot()
+        joules = sum(
+            self._samples.get(end, final) - self._samples.get(start, final)
+            for start, end in self.windows
+        )
+        seconds = sum(end - start for start, end in self.windows)
+        return joules / seconds
+
+
+# -- one scenario, one rig ------------------------------------------------------
+
+
+def run_scenario(
+    scenario: ChaosScenario,
+    params: StandardParams,
+    n_consumers: int,
+    replicate: int = 0,
+    config_overrides: Optional[dict] = None,
+) -> ResilienceMetrics:
+    """Run one fault scenario on a fresh rig and score it."""
+    plan = scenario.build(params.duration_s, n_consumers)
+    rig = Rig.build(params, replicate)
+    traces = phase_shifted_traces(params.trace(rig.streams), n_consumers)
+    traces = perturb_traces(traces, plan, rig.streams.stream("chaos"))
+
+    overrides = dict(
+        overflow_policy="shed-to-deadline",
+        harden_predictor=True,
+    )
+    overrides.update(config_overrides or {})
+    config = params.pbpl_config(**overrides)
+    system = PBPLSystem(
+        rig.env, rig.machine, traces, config, consumer_cores=[CONSUMER_CORE]
+    ).start()
+    RuntimeInjector(rig.env, system, plan).start()
+    probe = PowerProbe(rig, plan, params.duration_s).start()
+    rig.env.run(until=params.duration_s)
+
+    stats = system.aggregate_stats()
+    rig.ledger.settle()
+    if plan and stats.last_miss_s > float("-inf"):
+        last_end = min(plan.last_fault_end_s, params.duration_s)
+        recovery_s = max(0.0, stats.last_miss_s - last_end)
+    else:
+        recovery_s = 0.0
+    return ResilienceMetrics(
+        scenario=scenario.name,
+        duration_s=params.duration_s,
+        max_response_latency_s=config.max_response_latency_s,
+        slot_size_s=config.effective_slot_size(),
+        produced=stats.produced,
+        consumed=stats.consumed,
+        items_shed=stats.items_shed,
+        buffered=system.buffered_items(),
+        deadline_misses=stats.deadline_misses,
+        max_latency_s=stats.max_latency_s,
+        lost_signals=system.lost_signals,
+        watchdog_recoveries=system.watchdog_recoveries,
+        overflow_wakeups=stats.overflow_wakeups,
+        scheduled_wakeups=stats.scheduled_wakeups,
+        recovery_time_s=recovery_s,
+        power_w=rig.ledger.average_power_w(params.duration_s),
+        power_under_faults_w=probe.power_under_faults_w(),
+        pool_contention_events=system.pool.contention_events,
+        notes=plan.describe(),
+    )
+
+
+# -- the report -----------------------------------------------------------------
+
+
+@dataclass
+class ChaosReport:
+    """Every scenario's resilience metrics, renderable as markdown."""
+
+    seed: int
+    duration_s: float
+    n_consumers: int
+    results: List[ResilienceMetrics] = field(default_factory=list)
+
+    @property
+    def passed(self) -> bool:
+        """No scenario leaked items or served anything past ``L + Δ``
+        without shedding."""
+        return all(r.verdict in ("OK", "SHED") for r in self.results)
+
+    def render(self) -> str:
+        lines = [
+            "# Resilience report",
+            "",
+            f"- seed {self.seed}, {self.duration_s:g} s, "
+            f"{self.n_consumers} consumers",
+            "- policy: shed-to-deadline overflow, hardened predictor, "
+            "watchdog grace Δ",
+            "",
+            "| scenario | verdict | produced | consumed | shed | buffered "
+            "| misses | max lat (ms) | bound (ms) | lost | recovered "
+            "| recovery (ms) | power (mW) | power@fault (mW) |",
+            "|---|---|---|---|---|---|---|---|---|---|---|---|---|---|",
+        ]
+        for r in self.results:
+            fault_mw = (
+                "—"
+                if r.power_under_faults_w is None
+                else f"{r.power_under_faults_w * 1000:.1f}"
+            )
+            lines.append(
+                f"| {r.scenario} | {r.verdict} | {r.produced} | {r.consumed} "
+                f"| {r.items_shed} | {r.buffered} | {r.deadline_misses} "
+                f"| {r.max_latency_s * 1000:.2f} | {r.latency_bound_s * 1000:.2f} "
+                f"| {r.lost_signals} | {r.watchdog_recoveries} "
+                f"| {r.recovery_time_s * 1000:.2f} | {r.power_w * 1000:.1f} "
+                f"| {fault_mw} |"
+            )
+        lines += ["", "## Injected faults", ""]
+        for r in self.results:
+            lines.append(f"- **{r.scenario}**")
+            if r.notes:
+                lines.extend(f"  - {note}" for note in r.notes)
+            else:
+                lines.append("  - none (control run)")
+        lines += [
+            "",
+            "Conservation (`produced = consumed + shed + buffered`) and the "
+            f"latency bound `L + Δ` hold in every row: "
+            f"**{'yes' if self.passed else 'NO'}**.",
+        ]
+        return "\n".join(lines)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "seed": self.seed,
+                "duration_s": self.duration_s,
+                "n_consumers": self.n_consumers,
+                "passed": self.passed,
+                "scenarios": [r.to_dict() for r in self.results],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+
+def run_chaos(
+    scenarios: Optional[Sequence[ChaosScenario]] = None,
+    *,
+    seed: int = 2014,
+    duration_s: float = 3.0,
+    n_consumers: int = 4,
+    config_overrides: Optional[dict] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> ChaosReport:
+    """Run the scenario matrix and assemble the resilience report."""
+    scenarios = tuple(scenarios) if scenarios is not None else DEFAULT_SCENARIOS
+    params = StandardParams(duration_s=duration_s, seed=seed)
+    report = ChaosReport(seed=seed, duration_s=duration_s, n_consumers=n_consumers)
+    for scenario in scenarios:
+        if progress is not None:
+            progress(f"chaos: {scenario.name} — {scenario.summary}")
+        report.results.append(
+            run_scenario(
+                scenario, params, n_consumers, config_overrides=config_overrides
+            )
+        )
+    return report

@@ -1,0 +1,140 @@
+"""Turn fault specs into trace transforms and live-system toggles.
+
+Two application surfaces:
+
+* :func:`perturb_traces` — applies the plan's producer faults (stalls,
+  burst storms) to the per-consumer traces *before* the system is
+  built; the perturbed workload is ordinary data, so no component needs
+  fault awareness.
+* :class:`RuntimeInjector` — spawns one tiny simulation process per
+  runtime fault that toggles the live component at the window edges:
+  :class:`~repro.faults.spec.LostSignals` / :class:`~repro.faults.
+  spec.ClockDrift` flip the :class:`~repro.cpu.timers.TimerService`
+  fault attributes, :class:`~repro.faults.spec.ConsumerSlowdown` scales
+  consumers' ``service_scale``, :class:`~repro.faults.spec.
+  PoolContention` withholds free slots from the global pool.
+
+Overlapping windows of the same fault type compose additively for
+drift/loss (last writer wins is avoided by restoring the *previous*
+value, not a hardcoded default).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Sequence
+
+import numpy as np
+
+from repro.faults.spec import (
+    BurstStorm,
+    ClockDrift,
+    ConsumerSlowdown,
+    FaultPlan,
+    LostSignals,
+    PoolContention,
+    ProducerStall,
+)
+from repro.workloads.perturb import inject_burst, inject_stall
+from repro.workloads.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.system import PBPLSystem
+    from repro.sim.environment import Environment
+
+
+def perturb_traces(
+    traces: Sequence[Trace], plan: FaultPlan, rng: np.random.Generator
+) -> List[Trace]:
+    """Apply the plan's producer faults to per-consumer traces."""
+    out = list(traces)
+    for fault in plan.trace_faults:
+        targets = (
+            range(len(out)) if fault.consumer is None else [fault.consumer]
+        )
+        for i in targets:
+            if not 0 <= i < len(out):
+                raise ValueError(
+                    f"fault targets consumer {i} but only {len(out)} traces exist"
+                )
+            if isinstance(fault, ProducerStall):
+                out[i] = inject_stall(
+                    out[i], fault.start_s, fault.duration_s, drop=fault.drop
+                )
+            elif isinstance(fault, BurstStorm):
+                out[i] = inject_burst(
+                    out[i], fault.start_s, fault.duration_s, fault.factor, rng
+                )
+    return out
+
+
+class RuntimeInjector:
+    """Drives the plan's runtime faults against a live PBPL system."""
+
+    def __init__(
+        self, env: "Environment", system: "PBPLSystem", plan: FaultPlan
+    ) -> None:
+        self.env = env
+        self.system = system
+        self.plan = plan
+        #: (time, description) log of every toggle, for the report.
+        self.events: List[tuple[float, str]] = []
+
+    def start(self) -> "RuntimeInjector":
+        for i, fault in enumerate(self.plan.runtime_faults):
+            self.env.process(
+                self._drive(fault), name=f"fault-injector-{i}"
+            )
+        return self
+
+    # -- one process per fault ---------------------------------------------------
+    def _drive(self, fault):
+        env = self.env
+        if env.now < fault.start_s:
+            yield env.timeout(fault.start_s - env.now)
+        undo = self._apply(fault)
+        self.events.append((env.now, f"inject: {fault.describe()}"))
+        yield env.timeout(fault.duration_s)
+        undo()
+        self.events.append((env.now, f"lift: {type(fault).__name__}"))
+
+    def _apply(self, fault):
+        timers = self.system.machine.timers
+        if isinstance(fault, LostSignals):
+            previous = timers.signal_loss_prob
+            timers.signal_loss_prob = fault.prob
+
+            def undo():
+                timers.signal_loss_prob = previous
+
+            return undo
+        if isinstance(fault, ClockDrift):
+            previous = timers.clock_drift_rate
+            timers.clock_drift_rate = previous + fault.rate
+
+            def undo():
+                timers.clock_drift_rate -= fault.rate
+
+            return undo
+        if isinstance(fault, ConsumerSlowdown):
+            consumers = (
+                self.system.consumers
+                if fault.consumer is None
+                else [self.system.consumers[fault.consumer]]
+            )
+            for consumer in consumers:
+                consumer.service_scale *= fault.factor
+
+            def undo():
+                for consumer in consumers:
+                    consumer.service_scale /= fault.factor
+
+            return undo
+        if isinstance(fault, PoolContention):
+            pool = self.system.pool
+            taken = pool.withhold(fault.slots)
+
+            def undo():
+                pool.restore(taken)
+
+            return undo
+        raise TypeError(f"not a runtime fault: {fault!r}")

@@ -1,0 +1,171 @@
+"""Declarative fault specifications.
+
+A fault is data, not behaviour: each spec names a failure mode, its
+window, and its magnitude. :mod:`repro.faults.injectors` turns a
+:class:`FaultPlan` (a composition of specs) into trace transforms and
+runtime toggles over a running system. Keeping specs declarative makes
+scenarios serialisable into the resilience report and trivially
+deterministic — the only randomness is the injector's named RNG
+stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple, Union
+
+
+@dataclass(frozen=True)
+class ProducerStall:
+    """Producer goes silent for a window; backlog released at the end
+    (or dropped upstream with ``drop=True``)."""
+
+    start_s: float
+    duration_s: float
+    #: Index of the targeted consumer's trace; None = every producer.
+    consumer: Optional[int] = None
+    drop: bool = False
+
+    def describe(self) -> str:
+        who = "all producers" if self.consumer is None else f"producer {self.consumer}"
+        how = "dropped" if self.drop else "deferred"
+        return (
+            f"stall {who} over [{self.start_s:g}, "
+            f"{self.start_s + self.duration_s:g})s, backlog {how}"
+        )
+
+
+@dataclass(frozen=True)
+class BurstStorm:
+    """Arrival rate multiplied by ``factor`` inside the window."""
+
+    start_s: float
+    duration_s: float
+    factor: float
+    consumer: Optional[int] = None
+
+    def describe(self) -> str:
+        who = "all producers" if self.consumer is None else f"producer {self.consumer}"
+        return (
+            f"burst ×{self.factor:g} on {who} over "
+            f"[{self.start_s:g}, {self.start_s + self.duration_s:g})s"
+        )
+
+
+@dataclass(frozen=True)
+class LostSignals:
+    """Timer signals are swallowed with probability ``prob`` in the window."""
+
+    start_s: float
+    duration_s: float
+    prob: float
+
+    def describe(self) -> str:
+        return (
+            f"lose {self.prob:.0%} of timer signals over "
+            f"[{self.start_s:g}, {self.start_s + self.duration_s:g})s"
+        )
+
+
+@dataclass(frozen=True)
+class ClockDrift:
+    """Timer clock drifts by ``rate`` (fraction) during the window."""
+
+    start_s: float
+    duration_s: float
+    rate: float
+
+    def describe(self) -> str:
+        return (
+            f"clock drift {self.rate:+.1%} over "
+            f"[{self.start_s:g}, {self.start_s + self.duration_s:g})s"
+        )
+
+
+@dataclass(frozen=True)
+class ConsumerSlowdown:
+    """Per-item service time multiplied by ``factor`` in the window."""
+
+    start_s: float
+    duration_s: float
+    factor: float
+    consumer: Optional[int] = None
+
+    def describe(self) -> str:
+        who = "all consumers" if self.consumer is None else f"consumer {self.consumer}"
+        return (
+            f"slow {who} ×{self.factor:g} over "
+            f"[{self.start_s:g}, {self.start_s + self.duration_s:g})s"
+        )
+
+
+@dataclass(frozen=True)
+class PoolContention:
+    """``slots`` free pool slots are withheld during the window."""
+
+    start_s: float
+    duration_s: float
+    slots: int
+
+    def describe(self) -> str:
+        return (
+            f"withhold {self.slots} pool slots over "
+            f"[{self.start_s:g}, {self.start_s + self.duration_s:g})s"
+        )
+
+
+#: Faults applied by rewriting the workload before the run starts.
+TraceFault = Union[ProducerStall, BurstStorm]
+#: Faults applied by toggling live components during the run.
+RuntimeFault = Union[LostSignals, ClockDrift, ConsumerSlowdown, PoolContention]
+Fault = Union[TraceFault, RuntimeFault]
+
+
+class FaultPlan:
+    """A composition of faults defining one chaos scenario."""
+
+    def __init__(self, faults: Sequence[Fault] = ()) -> None:
+        self.faults: Tuple[Fault, ...] = tuple(faults)
+        for fault in self.faults:
+            if fault.duration_s <= 0:
+                raise ValueError(f"fault window must be positive: {fault!r}")
+            if fault.start_s < 0:
+                raise ValueError(f"fault cannot start before t=0: {fault!r}")
+
+    @property
+    def trace_faults(self) -> List[TraceFault]:
+        return [f for f in self.faults if isinstance(f, (ProducerStall, BurstStorm))]
+
+    @property
+    def runtime_faults(self) -> List[RuntimeFault]:
+        return [
+            f
+            for f in self.faults
+            if isinstance(
+                f, (LostSignals, ClockDrift, ConsumerSlowdown, PoolContention)
+            )
+        ]
+
+    def windows(self) -> List[Tuple[float, float]]:
+        """Every fault's (start, end) window, sorted."""
+        return sorted(
+            (f.start_s, f.start_s + f.duration_s) for f in self.faults
+        )
+
+    @property
+    def last_fault_end_s(self) -> float:
+        """When the final fault window closes (-inf for a clean plan)."""
+        ends = [end for _start, end in self.windows()]
+        return max(ends) if ends else float("-inf")
+
+    def describe(self) -> List[str]:
+        return [f.describe() for f in self.faults]
+
+    def __bool__(self) -> bool:
+        return bool(self.faults)
+
+    def __iter__(self):
+        return iter(self.faults)
+
+    def __len__(self) -> int:
+        return len(self.faults)

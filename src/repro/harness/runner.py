@@ -133,6 +133,8 @@ def _fill_metrics(
     n_consumers: int,
     buffer_size: int,
     average_buffer: float,
+    lost_signals: int = 0,
+    watchdog_recoveries: int = 0,
 ) -> RunMetrics:
     duration = params.duration_s
     measured_w, true_w = rig.measure_power_w(duration)
@@ -155,6 +157,9 @@ def _fill_metrics(
         scheduled_wakeups=stats.scheduled_wakeups,
         overflow_wakeups=stats.overflow_wakeups,
         producer_overflows=stats.overflows,
+        items_dropped=stats.items_shed,
+        lost_signals=lost_signals,
+        watchdog_recoveries=watchdog_recoveries,
         average_buffer_size=average_buffer,
         deadline_misses=stats.deadline_misses,
         mean_latency_s=stats.mean_latency_s,
@@ -237,4 +242,6 @@ def run_multi(
         n_consumers=n_consumers,
         buffer_size=buf,
         average_buffer=average_buffer,
+        lost_signals=getattr(system, "lost_signals", 0),
+        watchdog_recoveries=getattr(system, "watchdog_recoveries", 0),
     )

@@ -50,6 +50,26 @@ class SanityReport:
         header = "Sanity checks (paper §III-C1)"
         return "\n".join([header, "-" * len(header)] + [str(c) for c in self.checks])
 
+    def to_json(self) -> str:
+        """Machine-readable dump for CI gates (``repro sanity --json``)."""
+        import json
+
+        return json.dumps(
+            {
+                "all_passed": self.all_passed,
+                "checks": [
+                    {"name": c.name, "passed": c.passed, "detail": c.detail}
+                    for c in self.checks
+                ],
+            },
+            indent=2,
+            sort_keys=True,
+        )
+
+    @property
+    def failures(self) -> List[SanityCheck]:
+        return [c for c in self.checks if not c.passed]
+
 
 def dual_spin_ceiling_w(params: StandardParams, replicate: int = 0) -> float:
     """Power of busy-wait loops on *both* cores — the paper's ceiling

@@ -84,6 +84,9 @@ class PairStats:
     invocations: int = 0
     #: Times the producer found the buffer full.
     overflows: int = 0
+    #: Items discarded by a lossy overflow policy (drop/shed); 0 under
+    #: the default blocking back-pressure.
+    items_shed: int = 0
     #: Batch-impl wakeups that happened on schedule (timer/slot).
     scheduled_wakeups: int = 0
     #: Batch-impl wakeups forced by a full buffer before the schedule.
@@ -100,14 +103,25 @@ class PairStats:
     _lat_n: int = 0
     #: Items that exceeded the configured max response latency.
     deadline_misses: int = 0
+    #: Simulation time of the most recent deadline miss (recovery-time
+    #: accounting); -inf until the first miss.
+    last_miss_s: float = float("-inf")
 
-    def record_latency(self, latency_s: float, deadline_s: float, keep_raw: bool) -> None:
+    def record_latency(
+        self,
+        latency_s: float,
+        deadline_s: float,
+        keep_raw: bool,
+        now_s: float = None,
+    ) -> None:
         self._lat_sum += latency_s
         self._lat_n += 1
         if latency_s > self._lat_max:
             self._lat_max = latency_s
         if latency_s > deadline_s:
             self.deadline_misses += 1
+            if now_s is not None and now_s > self.last_miss_s:
+                self.last_miss_s = now_s
         self.latency_stream.observe(latency_s)
         if keep_raw:
             self.latencies.append(latency_s)

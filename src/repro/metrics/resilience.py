@@ -1,0 +1,115 @@
+"""Resilience metrics: how a run behaved *under injected faults*.
+
+One :class:`ResilienceMetrics` captures what the power/latency metrics
+in :mod:`repro.metrics.run` deliberately ignore — what broke, what was
+lost, how fast the system came back, and what the recovery cost:
+
+* **latency** — deadline misses, worst latency against the bound
+  ``L + Δ`` (a watchdog-recovered slot may legally be one slot late);
+* **loss** — items shed by degradation policies, with the conservation
+  check ``produced == consumed + shed + buffered`` proving every
+  discarded item is accounted for;
+* **recovery** — lost timer signals vs watchdog recoveries, and the
+  time from the last fault window's end until the system stopped
+  missing deadlines;
+* **cost** — extra wakeups spent recovering and mean power during the
+  fault windows vs the whole run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ResilienceMetrics:
+    """Everything the chaos harness measures in one faulted run."""
+
+    scenario: str
+    duration_s: float
+    #: Response-latency bound L and slot size Δ the run was held to.
+    max_response_latency_s: float
+    slot_size_s: float
+
+    produced: int = 0
+    consumed: int = 0
+    #: Items discarded by overflow degradation policies.
+    items_shed: int = 0
+    #: Items still buffered (or mid-service) when the run ended.
+    buffered: int = 0
+
+    deadline_misses: int = 0
+    max_latency_s: float = 0.0
+    #: Slot timer signals the fault model swallowed.
+    lost_signals: int = 0
+    #: Slots fired late by the watchdog — wakeups spent recovering.
+    watchdog_recoveries: int = 0
+    #: Unscheduled (overflow) wakeups — burst/stall pressure shows here.
+    overflow_wakeups: int = 0
+    scheduled_wakeups: int = 0
+
+    #: Seconds from the end of the last fault window until the last
+    #: deadline miss (0 = recovered instantly or never misbehaved).
+    recovery_time_s: float = 0.0
+    #: Mean machine power over the whole run (exact ledger watts).
+    power_w: float = 0.0
+    #: Mean machine power during the fault windows only (None when the
+    #: scenario has no faults).
+    power_under_faults_w: Optional[float] = None
+    #: Upsize requests the pool denied (forced-contention visibility).
+    pool_contention_events: int = 0
+    #: Free-form per-fault notes ("stall 0.8-1.3s on consumer-0", ...).
+    notes: List[str] = field(default_factory=list)
+
+    # -- derived checks ---------------------------------------------------------
+    @property
+    def latency_bound_s(self) -> float:
+        """The resilience guarantee: L plus one watchdog-recovered slot."""
+        return self.max_response_latency_s + self.slot_size_s
+
+    @property
+    def latency_bound_ok(self) -> bool:
+        """No item exceeded ``L + Δ`` (shed items never count — they
+        were explicitly discarded, not served late)."""
+        return self.max_latency_s <= self.latency_bound_s + 1e-9
+
+    @property
+    def conservation_ok(self) -> bool:
+        """Every produced item is consumed, shed, or still buffered."""
+        return self.produced == self.consumed + self.items_shed + self.buffered
+
+    @property
+    def verdict(self) -> str:
+        """One-word row verdict for the resilience report."""
+        if not self.conservation_ok:
+            return "LEAKED"
+        if self.latency_bound_ok:
+            return "OK"
+        return "SHED" if self.items_shed > 0 else "VIOLATED"
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly dump (fields + derived checks)."""
+        return {
+            "scenario": self.scenario,
+            "duration_s": self.duration_s,
+            "produced": self.produced,
+            "consumed": self.consumed,
+            "items_shed": self.items_shed,
+            "buffered": self.buffered,
+            "deadline_misses": self.deadline_misses,
+            "max_latency_s": self.max_latency_s,
+            "latency_bound_s": self.latency_bound_s,
+            "lost_signals": self.lost_signals,
+            "watchdog_recoveries": self.watchdog_recoveries,
+            "overflow_wakeups": self.overflow_wakeups,
+            "scheduled_wakeups": self.scheduled_wakeups,
+            "recovery_time_s": self.recovery_time_s,
+            "power_w": self.power_w,
+            "power_under_faults_w": self.power_under_faults_w,
+            "pool_contention_events": self.pool_contention_events,
+            "latency_bound_ok": self.latency_bound_ok,
+            "conservation_ok": self.conservation_ok,
+            "verdict": self.verdict,
+            "notes": list(self.notes),
+        }

@@ -47,6 +47,10 @@ class RunMetrics:
     mean_latency_s: float = 0.0
     max_latency_s: float = 0.0
     p99_latency_s: float = 0.0
+    #: Resilience internals (0 on clean runs / non-PBPL implementations).
+    items_dropped: int = 0
+    lost_signals: int = 0
+    watchdog_recoveries: int = 0
 
     @property
     def total_batch_wakeups(self) -> int:
@@ -77,6 +81,9 @@ NUMERIC_FIELDS = (
     "mean_latency_s",
     "max_latency_s",
     "p99_latency_s",
+    "items_dropped",
+    "lost_signals",
+    "watchdog_recoveries",
 )
 
 

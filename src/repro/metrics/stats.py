@@ -74,7 +74,10 @@ def pearson(xs: Sequence[float], ys: Sequence[float]) -> float:
     sx, sy = x.std(), y.std()
     if sx == 0 or sy == 0:
         return 0.0
-    return float(((x - x.mean()) * (y - y.mean())).mean() / (sx * sy))
+    # Round-off in the two std/covariance passes can push |r| a hair
+    # past 1 (e.g. near-degenerate samples with subnormal spread).
+    r = ((x - x.mean()) * (y - y.mean())).mean() / (sx * sy)
+    return float(min(1.0, max(-1.0, r)))
 
 
 @dataclass(frozen=True)

@@ -145,6 +145,13 @@ class EnergyLedger(CoreListener):
                 out.add_residency(state, sec)
         return out
 
+    def energy_snapshot(self) -> float:
+        """Settle and return total joules so far — the window-power
+        primitive: the chaos harness samples this at fault-window edges
+        and differences the samples to get power-under-faults."""
+        self.settle()
+        return self.total_energy_j()
+
     def average_power_w(self, duration_s: float) -> float:
         """Mean machine power over ``duration_s`` (post-settle)."""
         if duration_s <= 0:

@@ -19,6 +19,7 @@ from repro.workloads.logparser import (
     trace_from_clf,
     write_clf,
 )
+from repro.workloads.perturb import inject_burst, inject_stall
 from repro.workloads.selfsimilar import estimate_hurst, pareto_onoff_trace
 from repro.workloads.trace import Trace, merge_traces
 
@@ -27,6 +28,8 @@ __all__ = [
     "Trace",
     "TraceSummary",
     "estimate_hurst",
+    "inject_burst",
+    "inject_stall",
     "iter_clf_arrival_times",
     "load_trace",
     "pareto_onoff_trace",

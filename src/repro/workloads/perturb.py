@@ -1,0 +1,95 @@
+"""Trace perturbation: producer-side fault injection (stalls, bursts).
+
+The fault model's producer faults are pure trace transforms — the
+perturbed workload is just another :class:`~repro.workloads.trace.
+Trace`, so every implementation and every harness entry point can be
+driven through a fault without knowing faults exist. All randomness
+comes from a caller-supplied generator (an
+:class:`~repro.sim.rng.RandomStreams` stream), keeping chaos runs
+bit-reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.trace import Trace
+
+
+def _window(trace: Trace, start_s: float, duration_s: float) -> tuple[float, float]:
+    if duration_s <= 0:
+        raise ValueError("fault duration must be positive")
+    if not 0 <= start_s < trace.duration_s:
+        raise ValueError(
+            f"fault start {start_s!r} outside the trace window "
+            f"[0, {trace.duration_s})"
+        )
+    return start_s, min(start_s + duration_s, trace.duration_s)
+
+
+def inject_stall(
+    trace: Trace,
+    start_s: float,
+    duration_s: float,
+    drop: bool = False,
+    name: str | None = None,
+) -> Trace:
+    """A producer stall over ``[start, start+duration)``.
+
+    The producer goes silent for the window. By default its backlog is
+    released as a catch-up burst the instant the stall ends (the usual
+    upstream-hiccup shape: a silent gap followed by a thundering herd);
+    with ``drop=True`` the stalled items are lost instead (e.g. an
+    upstream that sheds while down).
+    """
+    start, end = _window(trace, start_s, duration_s)
+    times = trace.times.copy()
+    mask = (times >= start) & (times < end)
+    if drop:
+        times = times[~mask]
+    else:
+        # The whole backlog lands at the stall's end, but never outside
+        # the trace window (the Trace invariant is t < duration).
+        release = min(end, np.nextafter(trace.duration_s, 0.0))
+        times[mask] = release
+        times = np.sort(times)
+    return Trace(
+        times,
+        trace.duration_s,
+        name or f"{trace.name}+stall[{start:g},{end:g})" + ("drop" if drop else ""),
+    )
+
+
+def inject_burst(
+    trace: Trace,
+    start_s: float,
+    duration_s: float,
+    factor: float,
+    rng: np.random.Generator,
+    name: str | None = None,
+) -> Trace:
+    """A burst storm: multiply the arrival rate in a window by ``factor``.
+
+    Extra arrivals are drawn uniformly over the window, Poisson in
+    count around ``(factor − 1) ×`` the window's existing arrivals (so
+    a storm on an already-busy window is proportionally heavier) — with
+    a floor based on the trace's mean rate so storms also hit quiet
+    windows.
+    """
+    if factor < 1:
+        raise ValueError("burst factor must be >= 1")
+    start, end = _window(trace, start_s, duration_s)
+    in_window = int(np.count_nonzero((trace.times >= start) & (trace.times < end)))
+    expected = max(in_window, trace.mean_rate * (end - start)) * (factor - 1.0)
+    n_extra = int(rng.poisson(expected)) if expected > 0 else 0
+    if n_extra == 0:
+        return Trace(trace.times.copy(), trace.duration_s, name or trace.name)
+    extra = rng.uniform(start, end, size=n_extra)
+    times = np.sort(np.concatenate([trace.times, extra]))
+    # Guard the Trace invariant against end == duration round-off.
+    times = np.clip(times, 0.0, np.nextafter(trace.duration_s, 0.0))
+    return Trace(
+        times,
+        trace.duration_s,
+        name or f"{trace.name}+burst×{factor:g}[{start:g},{end:g})",
+    )

@@ -161,3 +161,135 @@ def test_manager_waits_for_slow_consumer_before_next_slot():
     env.run(until=0.1)
     # fast's slot 2 (t=0.02) fires only after slow finished (t=0.035).
     assert fast.activations[0][0] >= 0.035
+
+
+# -- cancel/re-arm races while the slot timer is in flight -----------------------
+
+
+def test_cancel_at_fire_instant_leaves_slot_empty():
+    """The pop_slot-returns-empty path: the slot timer and the cancelling
+    process land on the same instant, the timer event wins the heap race,
+    and by the time the manager runs its slot has no holders left."""
+    env, machine, mgr = make_manager()
+    c = FakeConsumer(env, "a")
+    mgr.reserve(c, 3)
+
+    def cancel_exactly_at_fire(env):
+        yield env.timeout(0.03)  # the armed timer also fires at t=0.03
+        mgr.cancel(c)
+
+    env.process(cancel_exactly_at_fire(env))
+    env.run(until=0.1)
+    assert c.activations == []
+    assert mgr.scheduled_wakeups == 0
+    # The manager survives the empty fire and serves later reservations.
+    mgr.reserve(c, 12)
+    env.run(until=0.14)
+    assert c.activations == [(pytest.approx(0.12), 12)]
+
+
+def test_cancel_then_rereserve_while_timer_in_flight():
+    env, machine, mgr = make_manager()
+    c = FakeConsumer(env, "a")
+    mgr.reserve(c, 3)
+
+    def churn(env):
+        yield env.timeout(0.015)
+        mgr.cancel(c)
+        yield env.timeout(0.01)
+        mgr.reserve(c, 6)
+
+    env.process(churn(env))
+    env.run(until=0.1)
+    assert c.activations == [(pytest.approx(0.06), 6)]
+    assert mgr.scheduled_wakeups == 1
+
+
+def test_moving_reservation_later_while_timer_in_flight():
+    env, machine, mgr = make_manager()
+    c = FakeConsumer(env, "a")
+    mgr.reserve(c, 2)
+
+    def push_back(env):
+        yield env.timeout(0.015)
+        mgr.reserve(c, 7)  # replaces slot 2 before its timer fires
+
+    env.process(push_back(env))
+    env.run(until=0.1)
+    assert c.activations == [(pytest.approx(0.07), 7)]
+    assert mgr.scheduled_wakeups == 1
+
+
+# -- the slot-recovery watchdog --------------------------------------------------
+
+
+def make_lossy_manager(slot=0.01, loss_prob=1.0, grace=None):
+    env = Environment()
+    machine = Machine(
+        env,
+        n_cores=1,
+        streams=RandomStreams(seed=0),
+        timer_kwargs={"signal_jitter_s": 0.0, "signal_loss_prob": loss_prob},
+    )
+    mgr = CoreManager(
+        env, machine.core(0), machine.timers, slot, watchdog_grace_s=grace
+    ).start()
+    return env, machine, mgr
+
+
+def test_watchdog_fires_lost_slot_within_one_slot():
+    env, machine, mgr = make_lossy_manager()
+    c = FakeConsumer(env, "a")
+    mgr.reserve(c, 3)
+    env.run(until=0.1)
+    assert mgr.lost_signals == 1
+    assert mgr.watchdog_recoveries == 1
+    (when, slot) = c.activations[0]
+    assert slot == 3
+    # First recovery uses the smallest backoff: Δ/8 past the slot start,
+    # and never more than one full slot Δ late.
+    assert when == pytest.approx(0.03 + 0.01 / 8)
+    assert when <= 0.03 + 0.01 + 1e-12
+
+
+def test_watchdog_backoff_doubles_but_never_exceeds_slot():
+    env, machine, mgr = make_lossy_manager()
+    c = FakeConsumer(env, "a")
+
+    def keep_reserving(env):
+        for k in range(2, 12):
+            target = k * 2  # every other slot
+            now_slot = mgr.track.slot_of(env.now)
+            if target > now_slot:
+                mgr.reserve(c, target)
+                yield env.timeout(mgr.track.time_of(target) + 0.009 - env.now)
+
+    env.process(keep_reserving(env))
+    env.run(until=0.3)
+    assert mgr.watchdog_recoveries >= 3
+    # Every re-arm may lose its signal again, so losses ≥ recoveries.
+    assert mgr.lost_signals >= mgr.watchdog_recoveries
+    for (when, slot) in c.activations:
+        lateness = when - mgr.track.time_of(slot)
+        assert 0 <= lateness <= 0.01 + 1e-12  # bounded by one slot Δ
+
+
+def test_watchdog_disabled_restores_legacy_lost_wakeup():
+    env, machine, mgr = make_lossy_manager(grace=0.0)
+    c = FakeConsumer(env, "a")
+    mgr.reserve(c, 3)
+    env.run(until=0.2)
+    # Legacy failure mode: the slot goes stale until a reservation change.
+    assert c.activations == []
+    assert mgr.lost_signals >= 1
+    assert mgr.watchdog_recoveries == 0
+
+
+def test_watchdog_not_charged_when_signals_arrive():
+    env, machine, mgr = make_lossy_manager(loss_prob=0.0)
+    c = FakeConsumer(env, "a")
+    mgr.reserve(c, 3)
+    env.run(until=0.1)
+    assert c.activations == [(pytest.approx(0.03), 3)]
+    assert mgr.lost_signals == 0
+    assert mgr.watchdog_recoveries == 0

@@ -179,3 +179,66 @@ def test_kalman_tracks_bursty_rate_better_than_ma():
                 err_ma += abs(ma.predict() - true)
                 err_ka += abs(ka.predict() - true)
         assert err_ka < err_ma
+
+
+# -- HardenedPredictor (fault-tolerance wrapper) -------------------------------
+
+
+def steady(predictor, rate=100.0, n=8):
+    for _ in range(n):
+        predictor.observe(rate)
+    return predictor
+
+
+def test_hardened_clamps_a_single_outlier():
+    from repro.core import HardenedPredictor
+
+    p = steady(HardenedPredictor(MovingAverage(window=8), clamp_factor=8.0))
+    p.observe(1e6)  # the catch-up burst after a stall
+    assert p.clamped == 1
+    # The outlier moved r̂ by at most one clamped (8×) sample.
+    assert p.predict() <= 100.0 * 2
+    # A normal reading clears the outlier streak.
+    p.observe(100.0)
+    assert p.clamped == 1 and p.reconvergences == 0
+
+
+def test_hardened_passes_in_band_observations_through():
+    from repro.core import HardenedPredictor
+
+    plain = steady(MovingAverage(window=8))
+    hardened = steady(HardenedPredictor(MovingAverage(window=8)))
+    assert hardened.predict() == pytest.approx(plain.predict())
+    assert hardened.clamped == 0
+
+
+def test_hardened_reconverges_on_sustained_regime_change():
+    from repro.core import HardenedPredictor
+
+    p = steady(HardenedPredictor(MovingAverage(window=8), reconverge_after=2))
+    p.observe(5000.0)
+    p.observe(5000.0)  # second out-of-band reading = the new truth
+    assert p.reconvergences == 1
+    assert p.predict() == pytest.approx(5000.0)
+
+
+def test_hardened_reads_near_zero_regime():
+    from repro.core import HardenedPredictor
+
+    p = steady(HardenedPredictor(MovingAverage(window=8), reconverge_after=2))
+    p.observe(0.0)  # a stall window reads as silence
+    p.observe(0.0)
+    assert p.reconvergences == 1
+    assert p.predict() == pytest.approx(0.0)
+
+
+def test_hardened_reset_and_validation():
+    from repro.core import HardenedPredictor
+
+    with pytest.raises(ValueError):
+        HardenedPredictor(MovingAverage(), clamp_factor=1.0)
+    with pytest.raises(ValueError):
+        HardenedPredictor(MovingAverage(), reconverge_after=0)
+    p = steady(HardenedPredictor(MovingAverage()))
+    p.reset()
+    assert p.predict() is None

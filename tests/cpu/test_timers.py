@@ -217,3 +217,85 @@ def test_nanosleep_heavy_tail_occasionally_fires():
     draws = [timers.nanosleep_lateness() for _ in range(400)]
     tails = sum(1 for d in draws if d > 0)
     assert 100 < tails < 300  # ≈ half, well away from 0 and all
+
+
+# -- fault hooks: lost signals and clock drift ----------------------------------
+
+
+def test_no_rng_draw_when_loss_disabled():
+    """Fault-free services must stay bit-identical to the pre-fault code:
+    signal_lost() with probability 0 may not consume any randomness."""
+    env = Environment()
+    timers = make_timers(env)
+    before = timers.rng.bit_generator.state
+    for _ in range(10):
+        assert timers.signal_lost() is False
+    assert timers.rng.bit_generator.state == before
+
+
+def test_slot_alarm_returns_none_when_signal_lost():
+    env = Environment()
+    timers = make_timers(env, signal_loss_prob=1.0)
+    assert timers.slot_alarm(0.5) is None
+    assert timers.signals_lost == 1
+
+
+def test_slot_alarm_delivers_at_deadline_plus_skew():
+    env = Environment()
+    timers = make_timers(env, signal_jitter_s=0.0)
+    fired = []
+
+    def proc(env):
+        yield timers.slot_alarm(0.25)
+        fired.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=1.0)
+    assert fired == [pytest.approx(0.25)]
+
+
+def test_clock_drift_stretches_armed_delays():
+    env = Environment()
+    timers = make_timers(env, signal_jitter_s=0.0, clock_drift_rate=0.1)
+    assert timers.drifted(1.0) == pytest.approx(1.1)
+    fired = []
+
+    def proc(env):
+        yield timers.slot_alarm(0.2)
+        fired.append(env.now)
+
+    env.process(proc(env))
+    env.run(until=1.0)
+    assert fired == [pytest.approx(0.22)]
+
+
+def test_loss_prob_validation():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        make_timers(env, signal_loss_prob=1.5)
+    with pytest.raises(SimulationError):
+        make_timers(env, clock_drift_rate=-1.0)
+
+
+def test_periodic_timer_self_heals_one_period_after_lost_tick():
+    env = Environment()
+    timers = make_timers(env, signal_jitter_s=0.0, signal_loss_prob=1.0)
+    timer = PeriodicSignalTimer(timers, period_s=0.01)
+    ticks = []
+
+    def proc(env):
+        for _ in range(3):
+            deadline = yield from timer.next_tick()
+            ticks.append((env.now, deadline))
+
+    env.process(proc(env))
+    env.run(until=0.1)
+    # Every armed tick is swallowed, so delivery slips one period each
+    # time — the timer never strands its caller.
+    for now, deadline in ticks:
+        assert now == pytest.approx(deadline)
+    assert [d for _, d in ticks] == [
+        pytest.approx(0.02),
+        pytest.approx(0.04),
+        pytest.approx(0.06),
+    ]

@@ -1,0 +1,82 @@
+"""Trace perturbation: stalls and burst storms preserve Trace invariants."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import inject_burst, inject_stall, poisson_trace
+
+
+def make_trace(seed=1, rate=500.0, duration=2.0):
+    return poisson_trace(rate, duration, np.random.default_rng(seed))
+
+
+def window_count(trace, start, end):
+    return int(np.count_nonzero((trace.times >= start) & (trace.times < end)))
+
+
+def test_stall_empties_the_window_and_defers_backlog():
+    trace = make_trace()
+    out = inject_stall(trace, 0.5, 0.3)
+    assert window_count(out, 0.5, 0.8) == 0
+    # Nothing is lost: the backlog lands exactly at the stall's end.
+    assert len(out) == len(trace)
+    deferred = window_count(trace, 0.5, 0.8)
+    assert int(np.count_nonzero(out.times == 0.8)) == deferred
+
+
+def test_stall_with_drop_loses_the_window():
+    trace = make_trace()
+    stalled = window_count(trace, 0.5, 0.3 + 0.5)
+    out = inject_stall(trace, 0.5, 0.3, drop=True)
+    assert len(out) == len(trace) - stalled
+    assert window_count(out, 0.5, 0.8) == 0
+
+
+def test_stall_at_trace_end_stays_inside_the_window():
+    trace = make_trace()
+    out = inject_stall(trace, 1.5, 10.0)  # window clips to the trace end
+    assert len(out) == len(trace)
+    assert out.times.max() < trace.duration_s
+    assert np.all(np.diff(out.times) >= 0)
+
+
+def test_burst_adds_items_only_inside_the_window():
+    trace = make_trace()
+    rng = np.random.default_rng(7)
+    out = inject_burst(trace, 0.5, 0.4, factor=3.0, rng=rng)
+    assert len(out) > len(trace)
+    extra = len(out) - len(trace)
+    assert window_count(out, 0.5, 0.9) == window_count(trace, 0.5, 0.9) + extra
+    assert np.all(np.diff(out.times) >= 0)
+    assert out.times.max() < out.duration_s
+
+
+def test_burst_is_deterministic_per_rng():
+    trace = make_trace()
+    a = inject_burst(trace, 0.2, 0.5, 2.5, np.random.default_rng(42))
+    b = inject_burst(trace, 0.2, 0.5, 2.5, np.random.default_rng(42))
+    np.testing.assert_array_equal(a.times, b.times)
+
+
+def test_burst_factor_one_is_identity():
+    trace = make_trace()
+    out = inject_burst(trace, 0.2, 0.5, 1.0, np.random.default_rng(0))
+    np.testing.assert_array_equal(out.times, trace.times)
+
+
+def test_window_validation():
+    trace = make_trace()
+    with pytest.raises(ValueError, match="duration"):
+        inject_stall(trace, 0.5, 0.0)
+    with pytest.raises(ValueError, match="outside"):
+        inject_stall(trace, trace.duration_s + 1.0, 0.1)
+    with pytest.raises(ValueError, match="factor"):
+        inject_burst(trace, 0.5, 0.1, 0.5, np.random.default_rng(0))
+
+
+def test_perturbations_do_not_mutate_the_input():
+    trace = make_trace()
+    before = trace.times.copy()
+    inject_stall(trace, 0.5, 0.3)
+    inject_burst(trace, 0.5, 0.3, 2.0, np.random.default_rng(0))
+    np.testing.assert_array_equal(trace.times, before)

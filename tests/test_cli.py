@@ -123,3 +123,54 @@ def test_fig10_tiny_grid(capsys):
     assert main(["fig10", "--counts", "2,3", *COMMON]) == 0
     out = capsys.readouterr().out
     assert "2 consumers" in out and "3 consumers" in out
+
+
+def test_chaos_smoke_runs_and_passes(capsys, tmp_path):
+    out_file = tmp_path / "resilience.md"
+    code = main(
+        [
+            "chaos",
+            "--smoke",
+            "--consumers",
+            "2",
+            *COMMON,
+            "--out",
+            str(out_file),
+        ]
+    )
+    assert code == 0
+    captured = capsys.readouterr().out
+    assert "# Resilience report" in captured
+    assert "| combined |" in captured
+    assert out_file.exists()
+
+
+def test_chaos_json_mode(capsys):
+    import json
+
+    code = main(["chaos", "--smoke", "--consumers", "2", "--json", *COMMON])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["passed"] is True
+    assert {s["scenario"] for s in payload["scenarios"]} == {
+        "clean",
+        "lost-signals",
+        "combined",
+    }
+
+
+def test_chaos_reports_are_seed_deterministic(capsys):
+    args = ["chaos", "--smoke", "--consumers", "2", "--json", *COMMON]
+    assert main(args) == 0
+    first = capsys.readouterr().out
+    assert main(args) == 0
+    assert capsys.readouterr().out == first
+
+
+def test_sanity_json_mode(capsys):
+    import json
+
+    assert main(["sanity", "--json", *COMMON]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["all_passed"] is True
+    assert len(payload["checks"]) == 4

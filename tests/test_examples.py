@@ -61,3 +61,11 @@ def test_resource_aware_tuning_runs():
     out = run_example("resource_aware_tuning.py")
     assert "datacenter" in out and "interactive" in out and "embedded" in out
     assert "cuts mean latency" in out
+
+
+@pytest.mark.slow
+def test_chaos_injection_runs():
+    out = run_example("chaos_injection.py")
+    assert "With every safeguard armed:" in out
+    assert "balanced" in out and "LEAKED" not in out
+    assert "recovered by the watchdog" in out

@@ -17,7 +17,12 @@ Layered as the paper's system is:
 * :mod:`repro.core` — **PBPL**, the paper's contribution (slot track,
   core managers, rate prediction, latching, dynamic buffer resizing);
 * :mod:`repro.metrics` / :mod:`repro.harness` — measurements,
-  statistics, and one runner per paper figure.
+  statistics, and one runner per paper figure;
+* :mod:`repro.faults` — fault injection and the chaos resilience
+  matrix (PBPL and baselines);
+* :mod:`repro.trace` — event-trace observability: spans/instants/
+  counters with virtual-time stamps, Chrome/Perfetto export, and
+  trace-driven power attribution.
 
 Quickstart::
 

@@ -9,6 +9,9 @@ Installed as the ``repro`` console script (also ``python -m repro``)::
     repro accounting                # §VI-C wakeup accounting scalars
     repro sanity                    # the paper's §III-C1 rig checks
     repro chaos                     # fault-injection resilience matrix
+    repro chaos --baselines         # ... plus Mutex/Sem/BP/SPBP degradation
+    repro trace record -o t.json    # record an event trace (Perfetto JSON)
+    repro trace --smoke             # CI gate: validate + reconcile a trace
     repro trace generate -o t.npz   # synthesise & archive a workload
     repro trace inspect t.npz       # summarise a workload's character
 
@@ -149,6 +152,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     report; exit non-zero if any scenario leaked items or broke the
     latency bound without shedding."""
     from repro.faults import DEFAULT_SCENARIOS, SMOKE_SCENARIOS, run_chaos
+    from repro.faults.chaos import BASELINE_IMPLS
 
     scenarios = SMOKE_SCENARIOS if args.smoke else DEFAULT_SCENARIOS
     report = run_chaos(
@@ -156,6 +160,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         seed=args.seed,
         duration_s=args.duration,
         n_consumers=args.consumers,
+        baseline_impls=BASELINE_IMPLS if args.baselines else (),
         progress=(None if args.json else (lambda m: print(m, flush=True))),
     )
     _emit(args, report.to_json() if args.json else report.render())
@@ -263,6 +268,109 @@ def cmd_trace_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_record(args: argparse.Namespace) -> int:
+    """Run one implementation/scenario with the event tracer attached
+    and export the trace (Chrome/Perfetto JSON, optional text timeline)."""
+    from repro.trace import (
+        TraceQuery,
+        record_run,
+        reconcile,
+        to_chrome_json,
+        to_text_timeline,
+        trace_energy_j,
+    )
+
+    run = record_run(
+        args.impl,
+        args.scenario,
+        duration_s=args.duration,
+        n_consumers=args.consumers,
+        seed=args.seed,
+    )
+    query = TraceQuery(run.tracer)
+    out = args.output
+    out.write_text(to_chrome_json(run.tracer), encoding="utf-8")
+    if args.text is not None:
+        args.text.write_text(to_text_timeline(run.tracer), encoding="utf-8")
+    diff = reconcile(query, run.ledger_total_j)
+    print(
+        f"{run.impl} × {run.scenario}: {len(run.tracer.events)} events "
+        f"on {len(run.tracer.tracks())} tracks "
+        f"({run.tracer.dropped_events} dropped), "
+        f"{run.duration_s:g}s simulated"
+    )
+    print(
+        f"energy: ledger {run.ledger_total_j:.6f} J, "
+        f"trace {trace_energy_j(query):.6f} J (diff {diff:.2e})"
+    )
+    print(f"wrote {out} — open in https://ui.perfetto.dev or chrome://tracing")
+    if args.text is not None:
+        print(f"wrote {args.text}")
+    return 0
+
+
+#: Reconciliation tolerance the smoke gate holds trace energy to.
+SMOKE_ENERGY_TOL_J = 1e-9
+
+
+def cmd_trace_smoke(args: argparse.Namespace) -> int:
+    """CI gate: record short traces, validate the Chrome JSON against
+    the trace-event schema, and reconcile trace energy with the ledger."""
+    from repro.trace import (
+        TraceQuery,
+        record_run,
+        reconcile,
+        to_chrome_json,
+        validate_chrome_trace,
+    )
+
+    failures: List[str] = []
+    artifact_written = False
+    for impl, scenario in (("PBPL", "webserver"), ("SPBP", "lost-signals")):
+        run = record_run(impl, scenario, duration_s=0.5)
+        label = f"{impl} × {scenario}"
+        payload = to_chrome_json(run.tracer)
+        errors = validate_chrome_trace(payload)
+        diff = reconcile(TraceQuery(run.tracer), run.ledger_total_j)
+        if not run.tracer.events:
+            failures.append(f"{label}: empty trace")
+        if run.tracer.dropped_events:
+            failures.append(f"{label}: {run.tracer.dropped_events} events dropped")
+        failures.extend(f"{label}: {e}" for e in errors)
+        if diff > SMOKE_ENERGY_TOL_J:
+            failures.append(
+                f"{label}: energy reconciliation off by {diff:.3e} J "
+                f"(tolerance {SMOKE_ENERGY_TOL_J:g})"
+            )
+        print(
+            f"trace smoke: {label} — {len(run.tracer.events)} events, "
+            f"{len(errors)} schema errors, energy diff {diff:.2e} J"
+        )
+        if not artifact_written:
+            args.output.write_text(payload, encoding="utf-8")
+            print(f"trace smoke: artifact {args.output}")
+            artifact_written = True
+    if failures:
+        for f in failures:
+            print(f"trace smoke: FAIL {f}", file=sys.stderr)
+        return 1
+    print("trace smoke: OK")
+    return 0
+
+
+def cmd_trace_default(args: argparse.Namespace) -> int:
+    """``repro trace`` with no subcommand: ``--smoke`` runs the CI gate;
+    anything else is a usage error."""
+    if args.smoke:
+        return cmd_trace_smoke(args)
+    print(
+        "repro trace: choose a subcommand (record/generate/inspect) "
+        "or pass --smoke",
+        file=sys.stderr,
+    )
+    return 2
+
+
 # -- parser assembly --------------------------------------------------------------
 
 
@@ -317,6 +425,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduced scenario set (clean, lost-signals, combined) for CI",
     )
     p.add_argument(
+        "--baselines",
+        action="store_true",
+        help="also score Mutex/Sem/BP/SPBP under the same fault plans "
+        "(comparative degradation table)",
+    )
+    p.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
     p.set_defaults(func=cmd_chaos)
@@ -346,8 +460,54 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--width", type=int, default=72)
     p.set_defaults(func=cmd_waveform)
 
-    trace = sub.add_parser("trace", help="workload tooling")
-    tsub = trace.add_subparsers(dest="trace_command", required=True)
+    trace = sub.add_parser(
+        "trace", help="event traces (record/export) and workload tooling"
+    )
+    trace.add_argument(
+        "--smoke",
+        action="store_true",
+        help="CI gate: record short traces, validate the Chrome JSON, "
+        "reconcile energy with the ledger",
+    )
+    trace.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=Path("trace-smoke.json"),
+        help="smoke-mode artifact path (default trace-smoke.json)",
+    )
+    trace.set_defaults(func=cmd_trace_default)
+    tsub = trace.add_subparsers(dest="trace_command", required=False)
+
+    p = tsub.add_parser(
+        "record", help="run an implementation under a scenario, emit a trace"
+    )
+    p.add_argument(
+        "--impl",
+        default="PBPL",
+        help="implementation: PBPL or a §III name (Mutex, Sem, BP, SPBP, ...)",
+    )
+    p.add_argument(
+        "--scenario",
+        default="webserver",
+        help="webserver, clean, or any chaos scenario name "
+        "(stall, lost-signals, burst, clock-drift, slowdown, "
+        "contention, combined)",
+    )
+    p.add_argument("--duration", type=float, default=2.0)
+    p.add_argument("--consumers", type=int, default=4)
+    p.add_argument("--seed", type=int, default=2014)
+    p.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=Path("trace.json"),
+        help="Chrome trace-event JSON output (Perfetto-loadable)",
+    )
+    p.add_argument(
+        "--text", type=Path, default=None, help="also write a text timeline here"
+    )
+    p.set_defaults(func=cmd_trace_record)
 
     p = tsub.add_parser("generate", help="synthesise and archive a trace")
     p.add_argument(

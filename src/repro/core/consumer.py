@@ -32,10 +32,12 @@ from repro.core.manager import CoreManager
 from repro.core.predictors import HardenedPredictor, RatePredictor, make_predictor
 from repro.impls.base import PairStats, Producer
 from repro.impls.single import WAKE_CHECK_S
+from repro.trace.tracer import NULL_TRACER
 from repro.workloads.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.environment import Environment
+    from repro.trace.tracer import Tracer
 
 
 class LatchingConsumer:
@@ -51,6 +53,7 @@ class LatchingConsumer:
         config: PBPLConfig,
         owner: str = "consumer",
         predictor: Optional[RatePredictor] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.env = env
         self.core = core
@@ -59,6 +62,9 @@ class LatchingConsumer:
         self.trace = trace
         self.config = config
         self.owner = owner
+        #: Event tracer (the falsy NULL_TRACER when tracing is off);
+        #: the consumer's events live on the track named after it.
+        self.tracer = tracer or NULL_TRACER
         self.stats = PairStats()
         self.predictor = predictor or make_predictor(
             config.predictor,
@@ -114,6 +120,11 @@ class LatchingConsumer:
             self.stats.overflows += 1
             self._trigger_overflow()
             if self.buffer.policy == "block":
+                if self.tracer:
+                    self.tracer.instant(
+                        self.owner, "overflow", "buffer",
+                        policy="block", capacity=self.buffer.capacity,
+                    )
                 while self.buffer.is_full:
                     self._space_event = self.env.event()
                     yield self._space_event
@@ -121,7 +132,14 @@ class LatchingConsumer:
             else:
                 before = self.buffer.items_dropped
                 self.buffer.try_push(t)
-                self.stats.items_shed += self.buffer.items_dropped - before
+                shed = self.buffer.items_dropped - before
+                self.stats.items_shed += shed
+                if self.tracer:
+                    self.tracer.instant(
+                        self.owner, "overflow", "buffer",
+                        policy=self.buffer.policy, shed=shed,
+                        capacity=self.buffer.capacity,
+                    )
         else:
             self.buffer.push(t)
         if self.buffer.is_full:
@@ -177,6 +195,12 @@ class LatchingConsumer:
                 self.stats.scheduled_wakeups += 1
             self.stats.invocations += 1
 
+            batch_span = None
+            if self.tracer:
+                batch_span = self.tracer.begin(
+                    self.owner, "batch", "consumer",
+                    scheduled=scheduled, core=self.core.core_id,
+                )
             hold = yield from self.core.acquire(self.owner, after_block=True)
             yield from hold.busy(WAKE_CHECK_S)
             batch = self.buffer.drain()
@@ -196,15 +220,34 @@ class LatchingConsumer:
             # Prediction update (r_j over the inter-invocation gap).
             gap = env.now - self._last_invocation
             if gap > 0:
-                self.predictor.observe(len(batch) / gap)
+                self._observe_rate(len(batch) / gap)
             self._last_invocation = env.now
 
             self._make_reservation()
             hold.release()
+            if batch_span is not None:
+                self.tracer.end(batch_span, items=len(batch))
 
             if scheduled and self._done is not None:
                 self._done.succeed()
                 self._done = None
+
+    def _observe_rate(self, rate: float) -> None:
+        """Feed the predictor; trace clamp/re-convergence decisions."""
+        predictor = self.predictor
+        if self.tracer and isinstance(predictor, HardenedPredictor):
+            clamped, reconverged = predictor.clamped, predictor.reconvergences
+            predictor.observe(rate)
+            if predictor.clamped > clamped:
+                self.tracer.instant(
+                    self.owner, "predictor.clamp", "predictor", rate=rate,
+                )
+            if predictor.reconvergences > reconverged:
+                self.tracer.instant(
+                    self.owner, "predictor.reconverge", "predictor", rate=rate,
+                )
+        else:
+            predictor.observe(rate)
 
     # -- reservation & resizing ---------------------------------------------------
     def _rho(self, slot_index: int, now: float, r_hat: float) -> float:
@@ -234,8 +277,9 @@ class LatchingConsumer:
             horizon = cfg.max_response_latency_s
         else:
             horizon = min(plan_capacity / r_hat, cfg.max_response_latency_s)
-        chosen = self._pick_slot(now + horizon, now, current, r_hat)
+        chosen, latched = self._pick_slot(now + horizon, now, current, r_hat)
 
+        capped = False
         if cfg.enable_resizing:
             self._resize_for(chosen, r_hat)
             if r_hat is not None and r_hat > 0:
@@ -246,14 +290,31 @@ class LatchingConsumer:
                     # rate", §V-C): fall back to the latest slot the
                     # granted capacity *can* support.
                     supported = now + self.buffer.capacity / r_hat
-                    closer = self._pick_slot(supported, now, current, r_hat)
-                    chosen = min(chosen, closer)
+                    closer, closer_latched = self._pick_slot(
+                        supported, now, current, r_hat
+                    )
+                    if closer < chosen:
+                        chosen, latched, capped = closer, closer_latched, True
+        if self.tracer:
+            self.tracer.instant(
+                self.owner, "reserve.decision", "predictor",
+                slot=chosen,
+                r_hat=(0.0 if r_hat is None else r_hat),
+                latched=latched,
+                pool_capped=capped,
+                capacity=self.buffer.capacity,
+            )
         self.manager.reserve(self, chosen)
 
     def _pick_slot(
         self, target_time: float, now: float, current: int, r_hat: Optional[float]
-    ) -> int:
-        """Ideal slot for ``target_time``, latched via the ρ comparison."""
+    ) -> "tuple[int, bool]":
+        """Ideal slot for ``target_time``, latched via the ρ comparison.
+
+        Returns ``(slot, latched)`` — whether the chosen slot is an
+        existing reservation adopted over the ideal one (the paper's
+        latching move, with ``w = 0`` in Eq. 8).
+        """
         cfg = self.config
         track = self.manager.track
         ideal = track.slot_of(target_time)
@@ -266,8 +327,8 @@ class LatchingConsumer:
                 # Two candidates (constant-time backtracking): prefer the
                 # strictly cheaper per-item cost; ties go to latching.
                 if self._rho(latched, now, r_hat) <= self._rho(ideal, now, r_hat):
-                    chosen = latched
-        return chosen
+                    return latched, True
+        return chosen, False
 
     def _resize_for(self, slot_index: int, r_hat: Optional[float]) -> None:
         """Shrink to the predicted batch, or grow from the pool
@@ -292,6 +353,10 @@ class LatchingConsumer:
             now = self.env.now
             self._cap_weighted_sum += before * (now - self._cap_last_change)
             self._cap_last_change = now
+            if self.tracer:
+                self.tracer.counter(
+                    self.owner, "buffer.capacity", self.buffer.capacity, "buffer"
+                )
         if not self.buffer.is_full:
             # Growing the buffer frees space just like draining does; a
             # producer blocked on the old wall must learn about it.

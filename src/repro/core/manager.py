@@ -27,10 +27,12 @@ from typing import TYPE_CHECKING, List, Optional
 from repro.cpu.core import Core
 from repro.cpu.timers import TimerService
 from repro.core.slots import SlotTrack
+from repro.trace.tracer import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.environment import Environment
     from repro.core.consumer import LatchingConsumer
+    from repro.trace.tracer import Tracer
 
 #: Watchdog backoff starts at grace/WATCHDOG_BACKOFF_DIV and doubles per
 #: consecutive recovery until it reaches the full grace (one slot Δ).
@@ -48,10 +50,15 @@ class CoreManager:
         slot_size_s: float,
         grid_origin_s: float = 0.0,
         watchdog_grace_s: Optional[float] = None,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.env = env
         self.core = core
         self.timers = timers
+        #: Event tracer (the falsy NULL_TRACER when tracing is off).
+        self.tracer = tracer or NULL_TRACER
+        #: Trace track hosting this manager's slot lifecycle.
+        self.track_name = f"core{core.core_id}.mgr"
         # All managers default to a shared grid origin: on hardware with
         # cluster-level idle states, aligning slots *across* cores makes
         # the cores' idle windows coincide (see repro.cpu.cluster and
@@ -86,12 +93,27 @@ class CoreManager:
                 f"requested={slot_index})"
             )
         self.track.reserve(slot_index, consumer)
+        if self.tracer:
+            self.tracer.instant(
+                self.track_name,
+                "reserve",
+                "slot",
+                slot=slot_index,
+                at_s=self.track.time_of(slot_index),
+                consumer=consumer.owner,
+            )
         self._notify_change()
 
     def cancel(self, consumer: "LatchingConsumer") -> None:
         """Withdraw the consumer's reservation (e.g. it is handling an
         overflow right now and will re-reserve afterwards)."""
-        if self.track.cancel(consumer) is not None:
+        cancelled = self.track.cancel(consumer)
+        if cancelled is not None:
+            if self.tracer:
+                self.tracer.instant(
+                    self.track_name, "cancel", "slot",
+                    slot=cancelled, consumer=consumer.owner,
+                )
             self._notify_change()
 
     def _notify_change(self) -> None:
@@ -124,6 +146,7 @@ class CoreManager:
                 continue
 
             when = self.track.time_of(next_slot)
+            recovering = False
             if when > env.now:
                 self.core.set_next_wake_hint(when)
                 changed = env.event()
@@ -132,9 +155,13 @@ class CoreManager:
                 # evolution of SPBP, the study's best performer. The
                 # fault model may swallow the signal (timer is None).
                 timer = self.timers.slot_alarm(when)
-                recovering = False
                 if timer is None:
                     self.lost_signals += 1
+                    if self.tracer:
+                        self.tracer.instant(
+                            self.track_name, "signal.lost", "slot",
+                            slot=next_slot, due_s=when,
+                        )
                     if self.watchdog_grace_s <= 0:
                         # Watchdog disabled: the legacy failure mode —
                         # sleep until a reservation change saves us.
@@ -151,6 +178,12 @@ class CoreManager:
                 if recovering:
                     self.watchdog_recoveries += 1
                     self._consecutive_recoveries += 1
+                    if self.tracer:
+                        self.tracer.instant(
+                            self.track_name, "watchdog.recovery", "slot",
+                            slot=next_slot, due_s=when,
+                            late_s=env.now - when,
+                        )
                 else:
                     self._consecutive_recoveries = 0
 
@@ -158,6 +191,16 @@ class CoreManager:
             if not holders:
                 continue  # everyone cancelled while the timer was in flight
             self.scheduled_wakeups += 1
+            slot_span = None
+            if self.tracer:
+                slot_span = self.tracer.begin(
+                    self.track_name, "slot", "slot",
+                    slot=next_slot,
+                    due_s=when,
+                    consumers=len(holders),
+                    recovered=recovering,
+                    core=self.core.core_id,
+                )
             done_events = []
             for consumer in holders:
                 done = consumer.activate(next_slot)
@@ -168,6 +211,8 @@ class CoreManager:
                 # "After all registered consumers finish executing, the
                 # core manager determines the next slot to wake up."
                 yield env.all_of(done_events)
+            if slot_span is not None:
+                self.tracer.end(slot_span, activated=len(done_events))
 
     def start(self) -> "CoreManager":
         self.env.process(self.process(), name=f"core-manager-{self.core.core_id}")

@@ -23,6 +23,7 @@ from repro.workloads.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.environment import Environment
+    from repro.trace.tracer import Tracer
 
 
 class PBPLSystem:
@@ -57,12 +58,16 @@ class PBPLSystem:
         config: Optional[PBPLConfig] = None,
         consumer_cores: Optional[Sequence[int]] = None,
         desync_grids: bool = False,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         if not traces:
             raise ValueError("need at least one trace")
         self.env = env
         self.machine = machine
         self.config = config or PBPLConfig()
+        #: Event tracer threaded into every manager and consumer
+        #: (None keeps them on the zero-cost NULL_TRACER path).
+        self.tracer = tracer
         cores = list(consumer_cores) if consumer_cores else [0]
         slot = self.config.effective_slot_size()
 
@@ -78,6 +83,7 @@ class PBPLSystem:
                     i * slot / len(distinct) if desync_grids else 0.0
                 ),
                 watchdog_grace_s=self.config.watchdog_grace_s,
+                tracer=tracer,
             )
             for i, core_id in enumerate(distinct)
         }
@@ -90,6 +96,7 @@ class PBPLSystem:
                 trace,
                 self.config,
                 owner=f"consumer-{i}",
+                tracer=tracer,
             )
             for i, trace in enumerate(traces)
         ]
@@ -150,6 +157,21 @@ class PBPLSystem:
         the remainder term of the conservation check
         ``produced == consumed + shed + buffered``."""
         return sum(len(c.buffer) + c.in_flight for c in self.consumers)
+
+    @property
+    def predictor_clamps(self) -> int:
+        """HardenedPredictor clamp events across all consumers (0 when
+        the predictors are not hardened)."""
+        return sum(
+            getattr(c.predictor, "clamped", 0) for c in self.consumers
+        )
+
+    @property
+    def predictor_reconvergences(self) -> int:
+        """HardenedPredictor reconvergence events across all consumers."""
+        return sum(
+            getattr(c.predictor, "reconvergences", 0) for c in self.consumers
+        )
 
     @property
     def total_activations(self) -> int:

@@ -32,9 +32,14 @@ from repro.faults.spec import (
 )
 from repro.harness.params import StandardParams
 from repro.harness.runner import CONSUMER_CORE, Rig
-from repro.impls.multi import phase_shifted_traces
-from repro.metrics.resilience import ResilienceMetrics
+from repro.impls.multi import MultiPairSystem, phase_shifted_traces
+from repro.metrics.resilience import ConsumerResilience, ResilienceMetrics
 from repro.core.system import PBPLSystem
+
+#: Baseline implementations the comparative chaos run scores against
+#: PBPL (the blocking and batching families from the paper's study set;
+#: the spinners never sleep, so fault scenarios tell us nothing new).
+BASELINE_IMPLS: Tuple[str, ...] = ("Mutex", "Sem", "BP", "SPBP")
 
 
 @dataclass(frozen=True)
@@ -175,22 +180,44 @@ def run_scenario(
     n_consumers: int,
     replicate: int = 0,
     config_overrides: Optional[dict] = None,
+    impl: str = "PBPL",
 ) -> ResilienceMetrics:
-    """Run one fault scenario on a fresh rig and score it."""
+    """Run one fault scenario on a fresh rig and score it.
+
+    ``impl`` selects the system under test: ``"PBPL"`` (with the
+    degradation features armed) or any baseline registry name — the
+    same fault plan then drives a :class:`MultiPairSystem`, which is
+    what makes the report's degradation columns comparable.
+    """
     plan = scenario.build(params.duration_s, n_consumers)
     rig = Rig.build(params, replicate)
     traces = phase_shifted_traces(params.trace(rig.streams), n_consumers)
     traces = perturb_traces(traces, plan, rig.streams.stream("chaos"))
 
-    overrides = dict(
-        overflow_policy="shed-to-deadline",
-        harden_predictor=True,
-    )
-    overrides.update(config_overrides or {})
-    config = params.pbpl_config(**overrides)
-    system = PBPLSystem(
-        rig.env, rig.machine, traces, config, consumer_cores=[CONSUMER_CORE]
-    ).start()
+    if impl == "PBPL":
+        overrides = dict(
+            overflow_policy="shed-to-deadline",
+            harden_predictor=True,
+        )
+        overrides.update(config_overrides or {})
+        config = params.pbpl_config(**overrides)
+        system = PBPLSystem(
+            rig.env, rig.machine, traces, config, consumer_cores=[CONSUMER_CORE]
+        ).start()
+        slot_s = config.effective_slot_size()
+    else:
+        config = params.pc_config()
+        system = MultiPairSystem(
+            rig.env,
+            rig.machine,
+            impl,
+            traces,
+            config,
+            consumer_cores=[CONSUMER_CORE],
+        ).start()
+        # Baselines have no slot grid; their wake granularity (hence
+        # the Δ term of the bound they are held to) is the batch period.
+        slot_s = config.batch_period_s
     RuntimeInjector(rig.env, system, plan).start()
     probe = PowerProbe(rig, plan, params.duration_s).start()
     rig.env.run(until=params.duration_s)
@@ -202,25 +229,42 @@ def run_scenario(
         recovery_s = max(0.0, stats.last_miss_s - last_end)
     else:
         recovery_s = 0.0
+    pool = getattr(system, "pool", None)
+    per_consumer = [
+        ConsumerResilience(
+            owner=c.owner,
+            produced=c.stats.produced,
+            consumed=c.stats.consumed,
+            items_shed=c.stats.items_shed,
+            buffered=len(c.buffer) + c.in_flight,
+            deadline_misses=c.stats.deadline_misses,
+            max_latency_s=c.stats.max_latency_s,
+        )
+        for c in system.pairs
+    ]
     return ResilienceMetrics(
         scenario=scenario.name,
+        impl=impl,
         duration_s=params.duration_s,
         max_response_latency_s=config.max_response_latency_s,
-        slot_size_s=config.effective_slot_size(),
+        slot_size_s=slot_s,
         produced=stats.produced,
         consumed=stats.consumed,
         items_shed=stats.items_shed,
         buffered=system.buffered_items(),
         deadline_misses=stats.deadline_misses,
         max_latency_s=stats.max_latency_s,
-        lost_signals=system.lost_signals,
-        watchdog_recoveries=system.watchdog_recoveries,
+        lost_signals=getattr(system, "lost_signals", 0),
+        watchdog_recoveries=getattr(system, "watchdog_recoveries", 0),
         overflow_wakeups=stats.overflow_wakeups,
         scheduled_wakeups=stats.scheduled_wakeups,
         recovery_time_s=recovery_s,
         power_w=rig.ledger.average_power_w(params.duration_s),
         power_under_faults_w=probe.power_under_faults_w(),
-        pool_contention_events=system.pool.contention_events,
+        pool_contention_events=pool.contention_events if pool else 0,
+        predictor_clamps=getattr(system, "predictor_clamps", 0),
+        predictor_reconvergences=getattr(system, "predictor_reconvergences", 0),
+        per_consumer=per_consumer,
         notes=plan.describe(),
     )
 
@@ -236,11 +280,16 @@ class ChaosReport:
     duration_s: float
     n_consumers: int
     results: List[ResilienceMetrics] = field(default_factory=list)
+    #: Baseline rows (impl != "PBPL") for the comparative degradation
+    #: table. Kept out of ``results`` so ``passed`` keeps gating PBPL
+    #: only — a baseline VIOLATING under faults is the expected finding,
+    #: not a regression.
+    baselines: List[ResilienceMetrics] = field(default_factory=list)
 
     @property
     def passed(self) -> bool:
-        """No scenario leaked items or served anything past ``L + Δ``
-        without shedding."""
+        """No PBPL scenario leaked items or served anything past
+        ``L + Δ`` without shedding (baseline rows are informational)."""
         return all(r.verdict in ("OK", "SHED") for r in self.results)
 
     def render(self) -> str:
@@ -271,6 +320,46 @@ class ChaosReport:
                 f"| {r.recovery_time_s * 1000:.2f} | {r.power_w * 1000:.1f} "
                 f"| {fault_mw} |"
             )
+        if any(r.per_consumer for r in self.results):
+            lines += [
+                "",
+                "## Worst consumer per scenario",
+                "",
+                "| scenario | worst | misses | max lat (ms) | shed "
+                "| conserved | clamps | reconverged |",
+                "|---|---|---|---|---|---|---|---|",
+            ]
+            for r in self.results:
+                worst = r.worst_consumer
+                if worst is None:
+                    continue
+                lines.append(
+                    f"| {r.scenario} | {worst.owner} | {worst.deadline_misses} "
+                    f"| {worst.max_latency_s * 1000:.2f} | {worst.items_shed} "
+                    f"| {'yes' if worst.conservation_ok else 'NO'} "
+                    f"| {r.predictor_clamps} | {r.predictor_reconvergences} |"
+                )
+        if self.baselines:
+            lines += [
+                "",
+                "## Baseline degradation (same fault plans)",
+                "",
+                "| scenario | impl | verdict | misses | max lat (ms) "
+                "| bound (ms) | shed | power (mW) |",
+                "|---|---|---|---|---|---|---|---|",
+            ]
+            by_scenario: Dict[str, List[ResilienceMetrics]] = {}
+            for r in self.results + self.baselines:
+                by_scenario.setdefault(r.scenario, []).append(r)
+            for scenario, rows in by_scenario.items():
+                for r in rows:
+                    lines.append(
+                        f"| {scenario} | {r.impl} | {r.verdict} "
+                        f"| {r.deadline_misses} "
+                        f"| {r.max_latency_s * 1000:.2f} "
+                        f"| {r.latency_bound_s * 1000:.2f} "
+                        f"| {r.items_shed} | {r.power_w * 1000:.1f} |"
+                    )
         lines += ["", "## Injected faults", ""]
         for r in self.results:
             lines.append(f"- **{r.scenario}**")
@@ -294,6 +383,7 @@ class ChaosReport:
                 "n_consumers": self.n_consumers,
                 "passed": self.passed,
                 "scenarios": [r.to_dict() for r in self.results],
+                "baselines": [r.to_dict() for r in self.baselines],
             },
             indent=2,
             sort_keys=True,
@@ -307,9 +397,16 @@ def run_chaos(
     duration_s: float = 3.0,
     n_consumers: int = 4,
     config_overrides: Optional[dict] = None,
+    baseline_impls: Sequence[str] = (),
     progress: Optional[Callable[[str], None]] = None,
 ) -> ChaosReport:
-    """Run the scenario matrix and assemble the resilience report."""
+    """Run the scenario matrix and assemble the resilience report.
+
+    ``baseline_impls`` additionally scores each scenario against those
+    registry implementations (e.g. :data:`BASELINE_IMPLS`) for the
+    comparative degradation table; baseline verdicts never affect
+    ``passed``.
+    """
     scenarios = tuple(scenarios) if scenarios is not None else DEFAULT_SCENARIOS
     params = StandardParams(duration_s=duration_s, seed=seed)
     report = ChaosReport(seed=seed, duration_s=duration_s, n_consumers=n_consumers)
@@ -321,4 +418,10 @@ def run_chaos(
                 scenario, params, n_consumers, config_overrides=config_overrides
             )
         )
+        for impl in baseline_impls:
+            if progress is not None:
+                progress(f"chaos: {scenario.name} × {impl}")
+            report.baselines.append(
+                run_scenario(scenario, params, n_consumers, impl=impl)
+            )
     return report

@@ -21,7 +21,7 @@ value, not a hardcoded default).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
@@ -40,6 +40,10 @@ from repro.workloads.trace import Trace
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.system import PBPLSystem
     from repro.sim.environment import Environment
+    from repro.trace.tracer import Tracer
+
+#: Trace track hosting injected fault windows.
+FAULT_TRACK = "faults"
 
 
 def perturb_traces(
@@ -68,16 +72,31 @@ def perturb_traces(
 
 
 class RuntimeInjector:
-    """Drives the plan's runtime faults against a live PBPL system."""
+    """Drives the plan's runtime faults against a live system.
+
+    Works against :class:`~repro.core.system.PBPLSystem` and the
+    baseline :class:`~repro.impls.multi.MultiPairSystem` alike — both
+    expose ``machine`` and ``pairs``. Faults with no purchase on a
+    baseline (``PoolContention`` when there is no global pool) are
+    skipped and logged rather than raised, so one fault plan can score
+    every implementation.
+    """
 
     def __init__(
-        self, env: "Environment", system: "PBPLSystem", plan: FaultPlan
+        self,
+        env: "Environment",
+        system: "PBPLSystem",
+        plan: FaultPlan,
+        tracer: Optional["Tracer"] = None,
     ) -> None:
         self.env = env
         self.system = system
         self.plan = plan
+        self.tracer = tracer
         #: (time, description) log of every toggle, for the report.
         self.events: List[tuple[float, str]] = []
+        #: Runtime faults that could not act on this system type.
+        self.skipped: List[str] = []
 
     def start(self) -> "RuntimeInjector":
         for i, fault in enumerate(self.plan.runtime_faults):
@@ -92,9 +111,23 @@ class RuntimeInjector:
         if env.now < fault.start_s:
             yield env.timeout(fault.start_s - env.now)
         undo = self._apply(fault)
+        if undo is None:
+            self.skipped.append(fault.describe())
+            self.events.append((env.now, f"skip: {fault.describe()}"))
+            return
+        span = None
+        if self.tracer:
+            span = self.tracer.begin(
+                FAULT_TRACK,
+                type(fault).__name__,
+                "fault",
+                detail=fault.describe(),
+            )
         self.events.append((env.now, f"inject: {fault.describe()}"))
         yield env.timeout(fault.duration_s)
         undo()
+        if span is not None:
+            self.tracer.end(span)
         self.events.append((env.now, f"lift: {type(fault).__name__}"))
 
     def _apply(self, fault):
@@ -116,10 +149,11 @@ class RuntimeInjector:
 
             return undo
         if isinstance(fault, ConsumerSlowdown):
+            pairs = list(
+                getattr(self.system, "pairs", None) or self.system.consumers
+            )
             consumers = (
-                self.system.consumers
-                if fault.consumer is None
-                else [self.system.consumers[fault.consumer]]
+                pairs if fault.consumer is None else [pairs[fault.consumer]]
             )
             for consumer in consumers:
                 consumer.service_scale *= fault.factor
@@ -130,7 +164,9 @@ class RuntimeInjector:
 
             return undo
         if isinstance(fault, PoolContention):
-            pool = self.system.pool
+            pool = getattr(self.system, "pool", None)
+            if pool is None:
+                return None  # baselines have no global pool to contend
             taken = pool.withhold(fault.slots)
 
             def undo():

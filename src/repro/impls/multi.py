@@ -104,14 +104,21 @@ class MultiPairSystem:
             total.consumed += s.consumed
             total.invocations += s.invocations
             total.overflows += s.overflows
+            total.items_shed += s.items_shed
             total.scheduled_wakeups += s.scheduled_wakeups
             total.overflow_wakeups += s.overflow_wakeups
             total.deadline_misses += s.deadline_misses
+            total.last_miss_s = max(total.last_miss_s, s.last_miss_s)
             total.latencies.extend(s.latencies)
             total._lat_sum += s._lat_sum
             total._lat_n += s._lat_n
             total._lat_max = max(total._lat_max, s._lat_max)
         return total
+
+    def buffered_items(self) -> int:
+        """Items buffered or in flight — the remainder term of the
+        conservation check ``produced == consumed + shed + buffered``."""
+        return sum(len(p.buffer) + p.in_flight for p in self.pairs)
 
     def average_buffer_capacity(self) -> float:
         """Mean of the pairs' current buffer capacities (static for the

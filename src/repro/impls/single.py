@@ -62,6 +62,9 @@ class PCImplementation:
         self.config = config or PCConfig()
         self.owner = owner
         self.stats = PairStats()
+        #: Multiplier on per-item service time — the fault injector's
+        #: ConsumerSlowdown hook (mirrors LatchingConsumer's knob).
+        self.service_scale = 1.0
         self._space_event = None
         #: Items popped from the buffer but not yet fully processed —
         #: needed for conservation checks at an arbitrary cut-off time.
@@ -79,6 +82,11 @@ class PCImplementation:
         raise NotImplementedError
 
     # -- helpers ----------------------------------------------------------------
+    @property
+    def service_s(self) -> float:
+        """Per-item service time, including any injected slowdown."""
+        return self.config.service_time_s * self.service_scale
+
     def _notify_space(self) -> None:
         if self._space_event is not None and not self._space_event.triggered:
             self._space_event.succeed()
@@ -149,7 +157,7 @@ class BusyWaiting(PCImplementation):
                 t = self.buffer.pop()
                 self.in_flight = 1
                 self._notify_space()
-                yield from hold.busy(cfg.service_time_s)
+                yield from hold.busy(self.service_s)
                 self._record_consumed(t)
                 self.in_flight = 0
 
@@ -213,7 +221,7 @@ class MutexCondvar(PCImplementation):
                 self.stats.invocations += 1
             yield from self.core.execute(
                 self.owner,
-                cfg.service_time_s + cfg.sync_overhead_s * self.sync_cost_factor,
+                self.service_s + cfg.sync_overhead_s * self.sync_cost_factor,
                 after_block=blocked,
             )
             self._record_consumed(t)
@@ -249,7 +257,7 @@ class SemaphorePair(PCImplementation):
             self.empty.release()
             yield from self.core.execute(
                 self.owner,
-                cfg.service_time_s + cfg.sync_overhead_s,
+                self.service_s + cfg.sync_overhead_s,
                 after_block=blocked,
             )
             self._record_consumed(t)
@@ -279,7 +287,6 @@ class BatchProcessing(PCImplementation):
             self._full_event = None
 
     def _consumer(self):
-        cfg = self.config
         while True:
             slept = False
             if not self.buffer.is_full:
@@ -294,7 +301,7 @@ class BatchProcessing(PCImplementation):
             self.in_flight = len(batch)
             self._notify_space()
             for t in batch:
-                yield from hold.busy(cfg.service_time_s)
+                yield from hold.busy(self.service_s)
                 self._record_consumed(t)
                 self.in_flight -= 1
             hold.release()
@@ -338,7 +345,6 @@ class _PeriodicBatchBase(PCImplementation):
             self._overflow_event = None
 
     def _consumer(self):
-        cfg = self.config
         while True:
             # One pass of this outer loop = one period: the timer for the
             # next boundary stays armed across any overflow handling in
@@ -371,7 +377,7 @@ class _PeriodicBatchBase(PCImplementation):
                 self.in_flight = len(batch)
                 self._notify_space()
                 for t in batch:
-                    yield from hold.busy(cfg.service_time_s)
+                    yield from hold.busy(self.service_s)
                     self._record_consumed(t)
                     self.in_flight -= 1
                 hold.release()

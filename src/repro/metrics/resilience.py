@@ -23,6 +23,41 @@ from typing import Dict, List, Optional
 
 
 @dataclass
+class ConsumerResilience:
+    """One consumer's share of a faulted run (report breakdown row)."""
+
+    owner: str
+    produced: int = 0
+    consumed: int = 0
+    items_shed: int = 0
+    buffered: int = 0
+    deadline_misses: int = 0
+    max_latency_s: float = 0.0
+
+    @property
+    def conservation_ok(self) -> bool:
+        return self.produced == self.consumed + self.items_shed + self.buffered
+
+    #: Sort key: the "worst" consumer missed the most deadlines, then
+    #: served the latest item, then shed the most.
+    @property
+    def badness(self):
+        return (self.deadline_misses, self.max_latency_s, self.items_shed)
+
+    def to_dict(self) -> Dict:
+        return {
+            "owner": self.owner,
+            "produced": self.produced,
+            "consumed": self.consumed,
+            "items_shed": self.items_shed,
+            "buffered": self.buffered,
+            "deadline_misses": self.deadline_misses,
+            "max_latency_s": self.max_latency_s,
+            "conservation_ok": self.conservation_ok,
+        }
+
+
+@dataclass
 class ResilienceMetrics:
     """Everything the chaos harness measures in one faulted run."""
 
@@ -59,6 +94,16 @@ class ResilienceMetrics:
     power_under_faults_w: Optional[float] = None
     #: Upsize requests the pool denied (forced-contention visibility).
     pool_contention_events: int = 0
+    #: Implementation under test ("PBPL" or a baseline label).
+    impl: str = "PBPL"
+    #: HardenedPredictor clamp events (rate spikes rejected as outliers;
+    #: 0 for unhardened predictors and the baselines).
+    predictor_clamps: int = 0
+    #: HardenedPredictor re-convergences (clamp streaks accepted as a
+    #: genuine level shift).
+    predictor_reconvergences: int = 0
+    #: Per-consumer breakdown rows (empty when not collected).
+    per_consumer: List[ConsumerResilience] = field(default_factory=list)
     #: Free-form per-fault notes ("stall 0.8-1.3s on consumer-0", ...).
     notes: List[str] = field(default_factory=list)
 
@@ -88,10 +133,20 @@ class ResilienceMetrics:
             return "OK"
         return "SHED" if self.items_shed > 0 else "VIOLATED"
 
+    @property
+    def worst_consumer(self) -> Optional[ConsumerResilience]:
+        """The consumer that fared worst (most misses, then latest item,
+        then most shed); None when no breakdown was collected."""
+        if not self.per_consumer:
+            return None
+        return max(self.per_consumer, key=lambda c: c.badness)
+
     def to_dict(self) -> Dict:
         """JSON-friendly dump (fields + derived checks)."""
+        worst = self.worst_consumer
         return {
             "scenario": self.scenario,
+            "impl": self.impl,
             "duration_s": self.duration_s,
             "produced": self.produced,
             "consumed": self.consumed,
@@ -108,8 +163,12 @@ class ResilienceMetrics:
             "power_w": self.power_w,
             "power_under_faults_w": self.power_under_faults_w,
             "pool_contention_events": self.pool_contention_events,
+            "predictor_clamps": self.predictor_clamps,
+            "predictor_reconvergences": self.predictor_reconvergences,
             "latency_bound_ok": self.latency_bound_ok,
             "conservation_ok": self.conservation_ok,
             "verdict": self.verdict,
+            "per_consumer": [c.to_dict() for c in self.per_consumer],
+            "worst_consumer": worst.owner if worst else None,
             "notes": list(self.notes),
         }

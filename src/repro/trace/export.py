@@ -1,0 +1,196 @@
+"""Trace exporters: Chrome trace-event JSON (Perfetto-loadable) + text.
+
+Two formats, both **byte-stable** for a given event list (the
+determinism tests diff them across runs):
+
+* :func:`to_chrome_json` — the Chrome trace-event "JSON object format"
+  (``{"traceEvents": [...]}``) that both ``chrome://tracing`` and
+  https://ui.perfetto.dev open directly. Tracks map to threads of one
+  process, named via ``thread_name`` metadata events; timestamps are
+  virtual-time microseconds.
+* :func:`to_text_timeline` — a plain-text timeline (one line per
+  event, chronological) for terminals, diffs and golden tests.
+
+:func:`validate_chrome_trace` is a dependency-free structural check of
+the trace-event schema, used by the CLI smoke gate and CI.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List, Union
+
+from repro.trace.tracer import COUNTER, INSTANT, SPAN, TraceEvent, Tracer
+
+#: The single simulated process all tracks live under.
+PID = 1
+
+_EventsOrTracer = Union[Tracer, List[TraceEvent]]
+
+
+def _events(source: _EventsOrTracer) -> List[TraceEvent]:
+    if isinstance(source, Tracer):
+        source.finalize()
+        return source.events
+    return sorted(source, key=TraceEvent.sort_key)
+
+
+def _track_ids(events: List[TraceEvent]) -> Dict[str, int]:
+    """Stable track → tid mapping (sorted by name; tids start at 1)."""
+    return {track: i + 1 for i, track in enumerate(sorted({e.track for e in events}))}
+
+
+def _json_safe(value: Any) -> Any:
+    """Clamp arg values to JSON-safe scalars (deterministic repr)."""
+    if isinstance(value, (bool, int, str)) or value is None:
+        return value
+    if isinstance(value, float):
+        # NaN/Inf are not JSON; stringify them rather than emit invalid output.
+        if value != value or value in (float("inf"), float("-inf")):
+            return repr(value)
+        return value
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    return str(value)
+
+
+def chrome_trace_dict(source: _EventsOrTracer) -> Dict[str, Any]:
+    """The trace as a Chrome trace-event JSON object (not yet a string)."""
+    events = _events(source)
+    tids = _track_ids(events)
+    out: List[Dict[str, Any]] = []
+    for track in sorted(tids):
+        out.append(
+            {
+                "ph": "M",
+                "pid": PID,
+                "tid": tids[track],
+                "name": "thread_name",
+                "args": {"name": track},
+            }
+        )
+    for e in events:
+        record: Dict[str, Any] = {
+            "ph": e.phase,
+            "pid": PID,
+            "tid": tids[e.track],
+            "ts": e.ts_s * 1e6,
+            "name": e.name,
+            "cat": e.category,
+        }
+        if e.phase == SPAN:
+            record["dur"] = (e.dur_s or 0.0) * 1e6
+            record["args"] = _json_safe(e.args)
+        elif e.phase == INSTANT:
+            record["s"] = "t"  # thread-scoped instant
+            record["args"] = _json_safe(e.args)
+        elif e.phase == COUNTER:
+            record["args"] = {e.name: _json_safe(e.args.get("value", 0))}
+        out.append(record)
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {"clock": "virtual", "source": "repro.trace"},
+    }
+
+
+def to_chrome_json(source: _EventsOrTracer) -> str:
+    """Serialise to the Chrome trace-event JSON format (byte-stable)."""
+    return json.dumps(
+        chrome_trace_dict(source), sort_keys=True, separators=(",", ":")
+    )
+
+
+def to_text_timeline(source: _EventsOrTracer) -> str:
+    """A human-readable, byte-stable timeline (one event per line)."""
+    events = _events(source)
+    width = max((len(e.track) for e in events), default=5)
+    lines = []
+    for e in events:
+        stamp = f"{e.ts_s * 1e3:12.6f}"
+        if e.phase == SPAN:
+            body = f"[span] {e.name} ({(e.dur_s or 0.0) * 1e3:.6f} ms)"
+        elif e.phase == COUNTER:
+            value = e.args.get("value", 0)
+            value_text = f"{value:g}" if isinstance(value, float) else str(value)
+            body = f"[ctr ] {e.name} = {value_text}"
+        else:
+            body = f"[inst] {e.name}"
+        extra = {} if e.phase == COUNTER else e.args
+        if extra:
+            parts = ", ".join(
+                f"{k}={_format_arg(v)}" for k, v in sorted(extra.items())
+            )
+            body += f" {{{parts}}}"
+        lines.append(f"{stamp} ms  {e.track:<{width}}  {body}")
+    return "\n".join(lines)
+
+
+def _format_arg(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+# -- schema validation -----------------------------------------------------------
+
+_PHASES = {"X", "B", "E", "i", "I", "C", "M", "b", "e", "n", "s", "t", "f"}
+
+
+def validate_chrome_trace(trace: Union[str, Dict[str, Any]]) -> List[str]:
+    """Structural validation against the trace-event format.
+
+    Returns a list of human-readable problems (empty = valid). Checks
+    the constraints Perfetto's importer actually relies on: the
+    top-level shape, required per-event fields, phase vocabulary,
+    non-negative timestamps/durations, and counter-args numericness.
+    """
+    errors: List[str] = []
+    if isinstance(trace, str):
+        try:
+            trace = json.loads(trace)
+        except json.JSONDecodeError as exc:
+            return [f"not valid JSON: {exc}"]
+    if not isinstance(trace, dict):
+        return ["top level must be a JSON object with 'traceEvents'"]
+    events = trace.get("traceEvents")
+    if not isinstance(events, list):
+        return ["'traceEvents' must be a list"]
+    for i, e in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(e, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        phase = e.get("ph")
+        if phase not in _PHASES:
+            errors.append(f"{where}: unknown phase {phase!r}")
+            continue
+        if not isinstance(e.get("name"), str) or not e["name"]:
+            errors.append(f"{where}: missing/empty 'name'")
+        if not isinstance(e.get("pid"), int):
+            errors.append(f"{where}: 'pid' must be an int")
+        if not isinstance(e.get("tid"), int):
+            errors.append(f"{where}: 'tid' must be an int")
+        if phase == "M":
+            args = e.get("args")
+            if not isinstance(args, dict) or not args:
+                errors.append(f"{where}: metadata event needs args")
+            continue
+        ts = e.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0:
+            errors.append(f"{where}: 'ts' must be a non-negative number")
+        if phase == "X":
+            dur = e.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: complete event needs 'dur' >= 0")
+        if phase == "C":
+            args = e.get("args")
+            if not isinstance(args, dict) or not args:
+                errors.append(f"{where}: counter event needs args")
+            elif not all(isinstance(v, (int, float)) for v in args.values()):
+                errors.append(f"{where}: counter args must be numeric")
+    if len(errors) > 20:
+        errors = errors[:20] + [f"... and {len(errors) - 20} more"]
+    return errors

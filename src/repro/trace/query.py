@@ -1,0 +1,170 @@
+"""Trace querying: filter, join and assert over recorded events.
+
+Tests use :class:`TraceQuery` to state **temporal invariants** that
+aggregate counters cannot express — e.g. "no consumer-core wakeup
+happens without a reservation or an overflow preceding it", or "a
+watchdog recovery fires at most one slot Δ after its lost signal".
+The helpers are deliberately small: filters return plain lists of
+:class:`~repro.trace.tracer.TraceEvent`, so anything else is a list
+comprehension away.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.trace.tracer import COUNTER, INSTANT, SPAN, TraceEvent, Tracer
+
+
+class TraceQuery:
+    """Read-only view over a tracer's (or raw) event list."""
+
+    def __init__(self, source: Union[Tracer, Sequence[TraceEvent]]) -> None:
+        if isinstance(source, Tracer):
+            source.finalize()
+            events = source.events
+        else:
+            events = sorted(source, key=TraceEvent.sort_key)
+        self._events: List[TraceEvent] = events
+        self._starts: List[float] = [e.ts_s for e in events]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    # -- filters ------------------------------------------------------------------
+    def _filter(
+        self,
+        phase: Optional[str] = None,
+        name: Optional[str] = None,
+        track: Optional[str] = None,
+        category: Optional[str] = None,
+        where: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> List[TraceEvent]:
+        out = []
+        for e in self._events:
+            if phase is not None and e.phase != phase:
+                continue
+            if name is not None and e.name != name:
+                continue
+            if track is not None and e.track != track:
+                continue
+            if category is not None and e.category != category:
+                continue
+            if where is not None and not where(e):
+                continue
+            out.append(e)
+        return out
+
+    def spans(self, name=None, track=None, category=None, where=None):
+        """All complete spans matching the filters."""
+        return self._filter(SPAN, name, track, category, where)
+
+    def instants(self, name=None, track=None, category=None, where=None):
+        """All instant events matching the filters."""
+        return self._filter(INSTANT, name, track, category, where)
+
+    def counter_series(
+        self, name: str, track: Optional[str] = None
+    ) -> List[Tuple[float, float]]:
+        """A counter's (timestamp, value) samples in time order."""
+        return [
+            (e.ts_s, e.args.get("value", 0))
+            for e in self._filter(COUNTER, name, track)
+        ]
+
+    def tracks(self) -> List[str]:
+        return sorted({e.track for e in self._events})
+
+    # -- temporal joins -------------------------------------------------------------
+    def between(self, t0: float, t1: float) -> List[TraceEvent]:
+        """Events starting in ``[t0, t1)``."""
+        lo = bisect_left(self._starts, t0)
+        hi = bisect_left(self._starts, t1)
+        return self._events[lo:hi]
+
+    def last_before(
+        self, t: float, *, inclusive: bool = False, **filters
+    ) -> Optional[TraceEvent]:
+        """Latest matching event starting before ``t`` (or at ``t``)."""
+        cut = bisect_right(self._starts, t) if inclusive else bisect_left(
+            self._starts, t
+        )
+        for e in reversed(self._events[:cut]):
+            if self._matches(e, **filters):
+                return e
+        return None
+
+    def first_after(
+        self, t: float, *, inclusive: bool = False, **filters
+    ) -> Optional[TraceEvent]:
+        """Earliest matching event starting after ``t`` (or at ``t``)."""
+        cut = bisect_left(self._starts, t) if inclusive else bisect_right(
+            self._starts, t
+        )
+        for e in self._events[cut:]:
+            if self._matches(e, **filters):
+                return e
+        return None
+
+    def covering(self, t: float, **filters) -> List[TraceEvent]:
+        """Spans whose interval contains ``t``."""
+        return [
+            e
+            for e in self._filter(SPAN, **filters)
+            if e.ts_s <= t <= e.end_s
+        ]
+
+    @staticmethod
+    def _matches(
+        e: TraceEvent,
+        phase: Optional[str] = None,
+        name: Optional[str] = None,
+        track: Optional[str] = None,
+        category: Optional[str] = None,
+        where: Optional[Callable[[TraceEvent], bool]] = None,
+    ) -> bool:
+        if phase is not None and e.phase != phase:
+            return False
+        if name is not None and e.name != name:
+            return False
+        if track is not None and e.track != track:
+            return False
+        if category is not None and e.category != category:
+            return False
+        if where is not None and not where(e):
+            return False
+        return True
+
+    # -- invariant helpers ------------------------------------------------------------
+    def assert_each_preceded_by(
+        self,
+        events: Sequence[TraceEvent],
+        within_s: float,
+        **antecedent_filters,
+    ) -> None:
+        """Assert every event has a matching antecedent within ``within_s``.
+
+        The workhorse of causality invariants ("every X is explained by
+        an earlier Y"): raises :class:`AssertionError` naming the first
+        orphaned event.
+        """
+        for e in events:
+            prior = self.last_before(e.ts_s, inclusive=True, **antecedent_filters)
+            if prior is None or e.ts_s - prior.ts_s > within_s:
+                raise AssertionError(
+                    f"{e!r} at t={e.ts_s:g} has no antecedent matching "
+                    f"{antecedent_filters} within {within_s:g}s "
+                    f"(closest: {prior!r})"
+                )
+
+    def assert_no_overlap(self, spans: Sequence[TraceEvent]) -> None:
+        """Assert the given spans are pairwise disjoint in time."""
+        ordered = sorted(spans, key=TraceEvent.sort_key)
+        for a, b in zip(ordered, ordered[1:]):
+            if b.ts_s < a.end_s - 1e-12:
+                raise AssertionError(f"{a!r} overlaps {b!r}")

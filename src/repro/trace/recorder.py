@@ -1,0 +1,163 @@
+"""Record an event trace from any implementation / scenario.
+
+One entry point, :func:`record_run`, builds a fully instrumented rig
+(the same :class:`~repro.harness.runner.Rig` the figures use), attaches
+a :class:`~repro.trace.tracer.Tracer` plus the power listener, runs the
+chosen implementation under the chosen scenario, and returns the trace
+together with the exact ledger totals — so callers (the ``repro trace``
+CLI, the determinism tests, the smoke gate) can export and reconcile
+without re-deriving any wiring.
+
+Scenarios:
+
+* ``"clean"`` — the standard paper workload, no faults;
+* ``"webserver"`` — the §I motivating case: a day-compressed HTTP log
+  with flash crowds, split across the consumers;
+* any chaos scenario name (``"stall"``, ``"lost-signals"``, ...) — the
+  corresponding :class:`~repro.faults.chaos.ChaosScenario` fault plan
+  on the standard workload, with the degradation features armed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.system import PBPLSystem
+from repro.faults.chaos import DEFAULT_SCENARIOS
+from repro.faults.injectors import RuntimeInjector, perturb_traces
+from repro.faults.spec import FaultPlan
+from repro.harness.params import StandardParams
+from repro.harness.runner import CONSUMER_CORE, Rig
+from repro.impls.base import PairStats
+from repro.impls.multi import MultiPairSystem, phase_shifted_traces
+from repro.trace.power import TracePowerListener
+from repro.trace.tracer import Tracer
+from repro.workloads.generators import worldcup_like_trace
+
+#: Track hosting fault-window spans.
+FAULT_TRACK = "faults"
+
+_CHAOS_BY_NAME = {s.name: s for s in DEFAULT_SCENARIOS}
+
+#: Every scenario name ``record_run`` accepts.
+SCENARIOS = ("webserver",) + tuple(_CHAOS_BY_NAME)
+
+
+@dataclass
+class RecordedRun:
+    """A finished, finalized trace run plus its ground-truth totals."""
+
+    tracer: Tracer
+    impl: str
+    scenario: str
+    seed: int
+    duration_s: float
+    n_consumers: int
+    #: Exact machine joules from the energy ledger (the reconciliation
+    #: reference for the trace's per-span energies).
+    ledger_total_j: float
+    stats: PairStats
+    #: Wakeups of the consumer core over the run.
+    consumer_core_wakeups: int
+
+
+def _fault_plan(scenario: str, duration_s: float, n_consumers: int) -> FaultPlan:
+    if scenario in ("clean", "webserver"):
+        return FaultPlan()
+    try:
+        chaos = _CHAOS_BY_NAME[scenario]
+    except KeyError:
+        raise ValueError(
+            f"unknown scenario {scenario!r}; choose from {sorted(SCENARIOS)}"
+        ) from None
+    return chaos.build(duration_s, n_consumers)
+
+
+def record_run(
+    impl: str = "PBPL",
+    scenario: str = "webserver",
+    *,
+    duration_s: float = 2.0,
+    n_consumers: int = 4,
+    seed: int = 2014,
+    buffer_size: Optional[int] = None,
+    capacity: int = 1_000_000,
+    config_overrides: Optional[Dict] = None,
+) -> RecordedRun:
+    """Run ``impl`` under ``scenario`` with the tracer attached."""
+    params = StandardParams(duration_s=duration_s, seed=seed)
+    plan = _fault_plan(scenario, duration_s, n_consumers)
+    rig = Rig.build(params, replicate=0)
+    tracer = Tracer(rig.env, capacity=capacity)
+    power_listener = TracePowerListener(rig.env, rig.model, tracer)
+    rig.machine.add_listener(power_listener)
+    for core in rig.machine.cores:
+        power_listener.watch(core)
+
+    if scenario == "webserver":
+        base = worldcup_like_trace(
+            params.mean_rate_per_s,
+            duration_s,
+            rig.streams.stream("http-log"),
+            n_flash_crowds=2,
+            flash_magnitude=5.0,
+            diurnal_depth=0.5,
+        )
+    else:
+        base = params.trace(rig.streams)
+    traces = phase_shifted_traces(base, n_consumers)
+    traces = perturb_traces(traces, plan, rig.streams.stream("chaos"))
+
+    buf = buffer_size or params.buffer_size
+    if impl == "PBPL":
+        overrides = dict(overflow_policy="shed-to-deadline", harden_predictor=True)
+        overrides.update(config_overrides or {})
+        system = PBPLSystem(
+            rig.env,
+            rig.machine,
+            traces,
+            params.pbpl_config(buf, **overrides),
+            consumer_cores=[CONSUMER_CORE],
+            tracer=tracer,
+        ).start()
+    else:
+        system = MultiPairSystem(
+            rig.env,
+            rig.machine,
+            impl,
+            traces,
+            params.pc_config(buf),
+            consumer_cores=[CONSUMER_CORE],
+        ).start()
+
+    # Trace faults were applied by rewriting the workload before the
+    # run; their windows are still real events on the fault timeline.
+    for fault in plan.trace_faults:
+        tracer.complete(
+            FAULT_TRACK,
+            type(fault).__name__,
+            fault.start_s,
+            min(fault.start_s + fault.duration_s, duration_s),
+            "fault",
+            detail=fault.describe(),
+        )
+    if plan.runtime_faults:
+        RuntimeInjector(rig.env, system, plan, tracer=tracer).start()
+
+    rig.env.run(until=duration_s)
+    power_listener.finalize()
+    tracer.finalize()
+    rig.ledger.settle()
+
+    return RecordedRun(
+        tracer=tracer,
+        impl=impl,
+        scenario=scenario,
+        seed=seed,
+        duration_s=duration_s,
+        n_consumers=n_consumers,
+        ledger_total_j=rig.ledger.total_energy_j(),
+        stats=system.aggregate_stats(),
+        consumer_core_wakeups=rig.machine.core(CONSUMER_CORE).total_wakeups,
+    )

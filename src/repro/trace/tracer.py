@@ -1,0 +1,303 @@
+"""The structured event tracer: bounded collector, virtual-time stamps.
+
+The tracer is the repro's flight recorder. Components emit three kinds
+of events onto named *tracks* (one track per logical timeline — a core,
+a core manager, a consumer, the fault injector):
+
+* **spans** — an interval with a begin and an end (a fired slot, a
+  batch drain, a C-state residency, a fault window). Recorded as one
+  complete event when the span closes, carrying its duration;
+* **instants** — a point event (a reservation, a lost signal, a
+  watchdog recovery, an overflow action);
+* **counters** — a sampled value (buffer capacity, predicted rate,
+  core power) drawn as a step function by trace viewers.
+
+Design constraints, in order:
+
+1. **Zero-cost when disabled.** Every instrumentation site guards with
+   ``if self.tracer:`` against the shared :data:`NULL_TRACER`
+   singleton, whose ``__bool__`` is ``False`` — a disabled run pays one
+   attribute load and one truthiness test per site, nothing else. No
+   argument dicts are built, no strings formatted.
+2. **Deterministic.** Timestamps are the simulation clock (virtual
+   seconds), sequence numbers break ties in emission order, and no
+   wall-clock or id()-derived values ever enter an event — the same
+   seed and config yield a byte-identical export.
+3. **Bounded.** Events live in a ring buffer of ``capacity`` events;
+   when full, the oldest events are discarded and counted in
+   :attr:`Tracer.dropped_events` (never silently).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.environment import Environment
+
+#: Event phases, mirroring the Chrome trace-event vocabulary.
+SPAN = "X"  # complete event (start + duration)
+INSTANT = "i"
+COUNTER = "C"
+
+
+class TraceEvent:
+    """One recorded event (immutable once stored).
+
+    ``ts_s``/``dur_s`` are virtual-time seconds; ``dur_s`` is ``None``
+    for instants and counters. ``args`` is a (possibly empty) dict of
+    JSON-safe values; counters store their value under ``"value"``.
+    """
+
+    __slots__ = ("ts_s", "dur_s", "phase", "category", "track", "name", "seq", "args")
+
+    def __init__(
+        self,
+        ts_s: float,
+        dur_s: Optional[float],
+        phase: str,
+        category: str,
+        track: str,
+        name: str,
+        seq: int,
+        args: Dict[str, Any],
+    ) -> None:
+        self.ts_s = ts_s
+        self.dur_s = dur_s
+        self.phase = phase
+        self.category = category
+        self.track = track
+        self.name = name
+        self.seq = seq
+        self.args = args
+
+    @property
+    def end_s(self) -> float:
+        """Span end time (== ``ts_s`` for point events)."""
+        return self.ts_s + (self.dur_s or 0.0)
+
+    def sort_key(self):
+        return (self.ts_s, self.seq)
+
+    def __repr__(self) -> str:
+        dur = "" if self.dur_s is None else f" dur={self.dur_s:g}"
+        return (
+            f"<TraceEvent {self.phase} {self.track}/{self.name} "
+            f"t={self.ts_s:g}{dur}>"
+        )
+
+
+class Span:
+    """An open span handle returned by :meth:`Tracer.begin`.
+
+    Close it with :meth:`Tracer.end`; any span still open when the
+    tracer is finalised is closed at the finalisation time (so a trace
+    cut mid-slot still shows the slot).
+    """
+
+    __slots__ = ("track", "name", "category", "start_s", "args", "seq", "closed")
+
+    def __init__(
+        self,
+        track: str,
+        name: str,
+        category: str,
+        start_s: float,
+        args: Dict[str, Any],
+        seq: int,
+    ) -> None:
+        self.track = track
+        self.name = name
+        self.category = category
+        self.start_s = start_s
+        self.args = args
+        self.seq = seq
+        self.closed = False
+
+    def __repr__(self) -> str:
+        state = "closed" if self.closed else "open"
+        return f"<Span {self.track}/{self.name} from {self.start_s:g} {state}>"
+
+
+class NullTracer:
+    """The disabled tracer: every operation is a no-op.
+
+    Falsy, so hot paths can skip argument construction entirely::
+
+        if self.tracer:
+            self.tracer.instant("core0.mgr", "watchdog.recovery", slot=k)
+    """
+
+    enabled = False
+    dropped_events = 0
+
+    _NULL_SPAN = Span("", "", "", 0.0, {}, -1)
+
+    def __bool__(self) -> bool:
+        return False
+
+    def instant(self, track, name, category="event", **args) -> None:
+        pass
+
+    def counter(self, track, name, value, category="counter") -> None:
+        pass
+
+    def begin(self, track, name, category="span", **args) -> Span:
+        return self._NULL_SPAN
+
+    def end(self, span, **args) -> None:
+        pass
+
+    def complete(self, track, name, start_s, end_s, category="span", **args) -> None:
+        pass
+
+    def finalize(self) -> None:
+        pass
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return []
+
+    def __repr__(self) -> str:
+        return "<NullTracer>"
+
+
+#: The shared disabled tracer. Components default their ``tracer``
+#: attribute to this, so instrumentation is always safe to call.
+NULL_TRACER = NullTracer()
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records in a bounded ring buffer.
+
+    Parameters
+    ----------
+    env:
+        Simulation environment (the virtual clock).
+    capacity:
+        Maximum retained events; the oldest are dropped beyond it
+        (counted in :attr:`dropped_events`).
+    """
+
+    enabled = True
+
+    def __init__(self, env: "Environment", capacity: int = 1_000_000) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.env = env
+        self.capacity = capacity
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self._seq = 0
+        self.dropped_events = 0
+        self._open_spans: List[Span] = []
+        self._finalized = False
+
+    def __bool__(self) -> bool:
+        return True
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    # -- emission -------------------------------------------------------------
+    def _append(self, event: TraceEvent) -> None:
+        if len(self._events) == self.capacity:
+            self.dropped_events += 1
+        self._events.append(event)
+
+    def _next_seq(self) -> int:
+        seq = self._seq
+        self._seq += 1
+        return seq
+
+    def instant(self, track: str, name: str, category: str = "event", **args) -> None:
+        """Record a point event."""
+        self._append(
+            TraceEvent(
+                self.env.now, None, INSTANT, category, track, name,
+                self._next_seq(), args,
+            )
+        )
+
+    def counter(
+        self, track: str, name: str, value: float, category: str = "counter"
+    ) -> None:
+        """Record a counter sample (drawn as a step function)."""
+        self._append(
+            TraceEvent(
+                self.env.now, None, COUNTER, category, track, name,
+                self._next_seq(), {"value": value},
+            )
+        )
+
+    def begin(self, track: str, name: str, category: str = "span", **args) -> Span:
+        """Open a span; pair with :meth:`end`."""
+        span = Span(track, name, category, self.env.now, args, self._next_seq())
+        self._open_spans.append(span)
+        return span
+
+    def end(self, span: Span, **args) -> None:
+        """Close ``span`` at the current time, merging extra ``args``."""
+        if span.closed:
+            return
+        span.closed = True
+        try:
+            self._open_spans.remove(span)
+        except ValueError:
+            pass
+        if args:
+            span.args.update(args)
+        self._append(
+            TraceEvent(
+                span.start_s,
+                max(0.0, self.env.now - span.start_s),
+                SPAN, span.category, span.track, span.name, span.seq, span.args,
+            )
+        )
+
+    def complete(
+        self,
+        track: str,
+        name: str,
+        start_s: float,
+        end_s: float,
+        category: str = "span",
+        **args,
+    ) -> None:
+        """Record an already-finished span in one call."""
+        if end_s < start_s:
+            raise ValueError(f"span ends before it starts: [{start_s}, {end_s}]")
+        self._append(
+            TraceEvent(
+                start_s, end_s - start_s, SPAN, category, track, name,
+                self._next_seq(), args,
+            )
+        )
+
+    # -- reading ----------------------------------------------------------------
+    def finalize(self) -> None:
+        """Close any still-open spans at the current time (idempotent)."""
+        if self._finalized:
+            return
+        for span in list(self._open_spans):
+            self.end(span, truncated=True)
+        self._finalized = True
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """Retained events, sorted by (timestamp, emission order).
+
+        Spans sort by their *start* time, so a trace reads as a
+        timeline even though spans are recorded when they close.
+        """
+        return sorted(self._events, key=TraceEvent.sort_key)
+
+    def tracks(self) -> List[str]:
+        """Distinct track names, sorted."""
+        return sorted({e.track for e in self._events})
+
+    def __repr__(self) -> str:
+        return (
+            f"<Tracer {len(self._events)}/{self.capacity} events "
+            f"dropped={self.dropped_events}>"
+        )

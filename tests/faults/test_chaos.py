@@ -122,3 +122,51 @@ def test_merged_windows_coalesce_overlaps_and_clip():
         (0.1, pytest.approx(0.6)),
         (0.9, 1.0),
     ]
+
+
+def test_baseline_scenario_scoring():
+    params = StandardParams(duration_s=DURATION, seed=11)
+    result = run_scenario(combined(), params, CONSUMERS, impl="Sem")
+    assert result.impl == "Sem"
+    assert result.conservation_ok
+    # Baselines never touch the slot machinery or the hardened predictor.
+    assert result.lost_signals == 0
+    assert result.watchdog_recoveries == 0
+    assert result.predictor_clamps == 0
+    assert len(result.per_consumer) == CONSUMERS
+    assert all(row.conservation_ok for row in result.per_consumer)
+
+
+def test_per_consumer_rows_and_predictor_counters():
+    params = StandardParams(duration_s=DURATION, seed=11)
+    result = run_scenario(combined(), params, CONSUMERS)
+    assert len(result.per_consumer) == CONSUMERS
+    assert {row.owner for row in result.per_consumer} == {
+        f"consumer-{i}" for i in range(CONSUMERS)
+    }
+    assert sum(row.produced for row in result.per_consumer) == result.produced
+    assert sum(row.items_shed for row in result.per_consumer) == result.items_shed
+    worst = result.worst_consumer
+    assert worst is not None and worst.badness == max(
+        row.badness for row in result.per_consumer
+    )
+    # The burst storm makes the hardened predictor clamp at least once.
+    assert result.predictor_clamps > 0
+    dumped = result.to_dict()
+    assert dumped["worst_consumer"] == worst.owner
+    assert len(dumped["per_consumer"]) == CONSUMERS
+
+
+def test_report_passed_ignores_baseline_verdicts():
+    from repro.faults.chaos import ChaosReport
+    from repro.metrics.resilience import ResilienceMetrics
+
+    ok = ResilienceMetrics("s", 1.0, 0.04, 0.005, produced=1, consumed=1)
+    bad = ResilienceMetrics(
+        "s", 1.0, 0.04, 0.005, impl="Sem", produced=2, consumed=1,
+        max_latency_s=9.0,
+    )
+    report = ChaosReport(seed=0, duration_s=1.0, n_consumers=1, results=[ok])
+    report.baselines.append(bad)
+    assert report.passed  # baseline LEAKED/VIOLATED rows are informational
+    assert "Baseline degradation" in report.render()

@@ -1,0 +1,100 @@
+"""Property-based chaos: conservation holds for *generated* fault plans.
+
+The scenario matrix checks hand-picked compositions; this test lets
+hypothesis search the fault space — arbitrary stalls, storms, signal
+loss, drift, slowdowns and pool contention at arbitrary windows — and
+asserts the invariant that must survive all of them:
+
+    produced == consumed + shed + in-buffer
+
+i.e. degradation may *shed* items (accounted), but never *leak* them.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.faults import FaultPlan, run_scenario
+from repro.faults.chaos import ChaosScenario
+from repro.faults.spec import (
+    BurstStorm,
+    ClockDrift,
+    ConsumerSlowdown,
+    LostSignals,
+    PoolContention,
+    ProducerStall,
+)
+from repro.harness.params import StandardParams
+
+#: Short runs keep the search affordable; windows are run fractions.
+DURATION = 0.5
+CONSUMERS = 2
+
+
+def windows():
+    """(start_fraction, duration_fraction) with the window inside the run."""
+    return st.tuples(
+        st.floats(0.05, 0.7), st.floats(0.05, 0.25)
+    ).map(lambda w: (w[0] * DURATION, w[1] * DURATION))
+
+
+def faults():
+    stall = windows().flatmap(
+        lambda w: st.booleans().map(
+            lambda drop: ProducerStall(w[0], w[1], drop=drop)
+        )
+    )
+    burst = st.tuples(windows(), st.floats(1.5, 4.0)).map(
+        lambda t: BurstStorm(t[0][0], t[0][1], factor=t[1])
+    )
+    lost = st.tuples(windows(), st.floats(0.1, 0.9)).map(
+        lambda t: LostSignals(t[0][0], t[0][1], prob=t[1])
+    )
+    drift = st.tuples(windows(), st.floats(-0.1, 0.1)).map(
+        lambda t: ClockDrift(t[0][0], t[0][1], rate=t[1])
+    )
+    slow = st.tuples(windows(), st.floats(1.5, 5.0)).map(
+        lambda t: ConsumerSlowdown(t[0][0], t[0][1], factor=t[1])
+    )
+    contention = st.tuples(windows(), st.integers(1, 10**6)).map(
+        lambda t: PoolContention(t[0][0], t[0][1], slots=t[1])
+    )
+    return st.one_of(stall, burst, lost, drift, slow, contention)
+
+
+def plans():
+    return st.lists(faults(), min_size=0, max_size=3).map(FaultPlan)
+
+
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+@given(plan=plans(), seed=st.integers(0, 2**16))
+def test_generated_fault_plans_conserve_items(plan, seed):
+    scenario = ChaosScenario("generated", "hypothesis plan", lambda T, M: plan)
+    params = StandardParams(duration_s=DURATION, seed=seed)
+    result = run_scenario(scenario, params, CONSUMERS)
+    assert result.conservation_ok, (
+        f"leak under {plan.describe()}: produced={result.produced} != "
+        f"consumed={result.consumed} + shed={result.items_shed} "
+        f"+ buffered={result.buffered}"
+    )
+    # Shedding is the only sanctioned loss: the verdict never LEAKED.
+    assert result.verdict != "LEAKED"
+    # Per-consumer rows conserve individually, not just in aggregate.
+    for row in result.per_consumer:
+        assert row.conservation_ok, row.to_dict()
+
+
+@settings(max_examples=6, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(plan=plans(), seed=st.integers(0, 2**16))
+def test_generated_fault_plans_conserve_on_baseline(plan, seed):
+    scenario = ChaosScenario("generated", "hypothesis plan", lambda T, M: plan)
+    params = StandardParams(duration_s=DURATION, seed=seed)
+    result = run_scenario(scenario, params, CONSUMERS, impl="Sem")
+    assert result.conservation_ok
+    assert result.verdict != "LEAKED"

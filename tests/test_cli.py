@@ -174,3 +174,53 @@ def test_sanity_json_mode(capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["all_passed"] is True
     assert len(payload["checks"]) == 4
+
+
+def test_chaos_baselines_table(capsys):
+    code = main(
+        ["chaos", "--smoke", "--baselines", "--consumers", "2",
+         "--duration", "0.5", "--replicates", "1", "--seed", "3"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "## Baseline degradation" in out
+    for impl in ("Mutex", "Sem", "BP", "SPBP"):
+        assert f"| {impl} |" in out
+    assert "## Worst consumer per scenario" in out
+
+
+def test_trace_record_writes_perfetto_json(capsys, tmp_path):
+    import json
+
+    out = tmp_path / "trace.json"
+    text = tmp_path / "trace.txt"
+    code = main(
+        ["trace", "record", "--duration", "0.3", "--impl", "PBPL",
+         "--scenario", "clean", "-o", str(out), "--text", str(text)]
+    )
+    assert code == 0
+    doc = json.loads(out.read_text())
+    assert doc["traceEvents"]
+    assert text.read_text().splitlines()
+    printed = capsys.readouterr().out
+    assert "events" in printed and "diff" in printed
+
+
+def test_trace_record_rejects_unknown_scenario(tmp_path):
+    with pytest.raises(ValueError, match="unknown scenario"):
+        main(["trace", "record", "--scenario", "nope",
+              "-o", str(tmp_path / "t.json")])
+
+
+def test_trace_smoke_gate(capsys, tmp_path):
+    artifact = tmp_path / "smoke.json"
+    code = main(["trace", "--smoke", "-o", str(artifact)])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "trace smoke: OK" in out
+    assert artifact.exists()
+
+
+def test_trace_without_subcommand_or_smoke_errors(capsys):
+    assert main(["trace"]) == 2
+    assert "choose a subcommand" in capsys.readouterr().err

@@ -1,0 +1,12 @@
+"""Shared fixtures: one instrumented run reused across trace tests."""
+
+import pytest
+
+from repro.trace import record_run
+
+
+@pytest.fixture(scope="session")
+def webserver_run():
+    """A short PBPL webserver run with the tracer attached (expensive —
+    recorded once per session, read-only everywhere)."""
+    return record_run("PBPL", "webserver", duration_s=0.5)

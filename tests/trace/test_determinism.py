@@ -1,0 +1,20 @@
+"""Same seed + config ⇒ byte-identical trace exports, twice over."""
+
+import pytest
+
+from repro.trace import record_run, to_chrome_json, to_text_timeline
+
+
+@pytest.mark.parametrize("impl,scenario", [("PBPL", "webserver"), ("Sem", "combined")])
+def test_exports_are_byte_identical_across_runs(impl, scenario):
+    a = record_run(impl, scenario, duration_s=0.4, seed=7)
+    b = record_run(impl, scenario, duration_s=0.4, seed=7)
+    assert to_chrome_json(a.tracer) == to_chrome_json(b.tracer)
+    assert to_text_timeline(a.tracer) == to_text_timeline(b.tracer)
+    assert a.ledger_total_j == b.ledger_total_j
+
+
+def test_different_seeds_differ():
+    a = record_run("PBPL", "webserver", duration_s=0.4, seed=1)
+    b = record_run("PBPL", "webserver", duration_s=0.4, seed=2)
+    assert to_chrome_json(a.tracer) != to_chrome_json(b.tracer)

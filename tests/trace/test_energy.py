@@ -1,0 +1,79 @@
+"""Trace-driven power attribution against the exact energy ledger."""
+
+import pytest
+
+from repro.trace import (
+    TraceQuery,
+    attribute_span,
+    attribute_spans,
+    consumer_energy_table,
+    energy_by_track,
+    reconcile,
+    trace_energy_j,
+)
+
+#: The acceptance tolerance: per-span energies summed over the trace
+#: must reconcile with the ledger aggregate to within 1e-9 J.
+TOLERANCE_J = 1e-9
+
+
+@pytest.fixture(scope="module")
+def query(webserver_run):
+    return TraceQuery(webserver_run.tracer)
+
+
+def test_trace_energy_reconciles_with_ledger(webserver_run, query):
+    assert webserver_run.ledger_total_j > 0
+    assert reconcile(query, webserver_run.ledger_total_j) < TOLERANCE_J
+
+
+def test_energy_by_track_sums_to_total(query):
+    per_track = energy_by_track(query)
+    assert set(per_track) == {"core0", "core1"}
+    assert all(v > 0 for v in per_track.values())
+    assert sum(per_track.values()) == pytest.approx(
+        trace_energy_j(query), abs=TOLERANCE_J
+    )
+
+
+def test_attribute_batch_spans(query):
+    batches = query.spans(name="batch", category="consumer")
+    assert batches, "webserver run must contain consumer batches"
+    energies = attribute_spans(query, batches)
+    for span, e in zip(batches, energies):
+        assert e.track == span.track and e.name == "batch"
+        assert e.residency_j >= 0 and e.wakeup_j >= 0
+        assert e.total_j == pytest.approx(e.residency_j + e.wakeup_j)
+    # Batches run on the (active, powered) consumer core: energy flows.
+    assert sum(e.total_j for e in energies) > 0
+
+
+def test_attribution_never_exceeds_core_total(query):
+    batches = query.spans(name="batch", category="consumer")
+    per_track = energy_by_track(query)
+    attributed = sum(e.residency_j for e in attribute_spans(query, batches))
+    # Batches on one consumer can overlap another's on the same core, so
+    # per-consumer sums may double-charge shared intervals — but a single
+    # consumer's serial batches cannot exceed the whole core's joules.
+    one = sum(
+        e.residency_j
+        for e in attribute_spans(
+            query, query.spans(name="batch", track="consumer-0")
+        )
+    )
+    assert one <= per_track["core0"] + TOLERANCE_J
+    assert attributed > 0
+
+
+def test_consumer_energy_table_covers_all_consumers(webserver_run, query):
+    table = consumer_energy_table(query)
+    expected = {f"consumer-{i}" for i in range(webserver_run.n_consumers)}
+    assert set(table) == expected
+    assert all(v > 0 for v in table.values())
+
+
+def test_explicit_core_track_override(query):
+    [batch] = query.spans(name="batch", track="consumer-0")[:1]
+    via_default = attribute_span(query, batch)
+    via_override = attribute_span(query, batch, core_track="core0")
+    assert via_default.total_j == pytest.approx(via_override.total_j)

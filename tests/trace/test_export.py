@@ -1,0 +1,105 @@
+"""Exporters: Chrome trace-event structure, byte stability, validation."""
+
+import json
+
+import pytest
+
+from repro.trace import (
+    Tracer,
+    chrome_trace_dict,
+    to_chrome_json,
+    to_text_timeline,
+    validate_chrome_trace,
+)
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def small_tracer():
+    clock = Clock()
+    tracer = Tracer(clock)
+    tracer.counter("core0", "power_w", 0.12)
+    tracer.instant("mgr", "reserve", "slot", slot=2, consumer="c-0")
+    span = tracer.begin("mgr", "slot", "slot", slot=2)
+    clock.now = 0.005
+    tracer.end(span, activated=1)
+    return tracer
+
+
+def test_chrome_dict_structure():
+    doc = chrome_trace_dict(small_tracer())
+    events = doc["traceEvents"]
+    metas = [e for e in events if e["ph"] == "M"]
+    assert {m["args"]["name"] for m in metas} == {"core0", "mgr"}
+    # tids are 1-based, assigned by sorted track name
+    tids = {m["args"]["name"]: m["tid"] for m in metas}
+    assert tids == {"core0": 1, "mgr": 2}
+
+    spans = [e for e in events if e["ph"] == "X"]
+    assert len(spans) == 1
+    assert spans[0]["ts"] == 0.0
+    assert spans[0]["dur"] == pytest.approx(5000.0)  # µs
+    assert spans[0]["args"] == {"slot": 2, "activated": 1}
+
+    instants = [e for e in events if e["ph"] == "i"]
+    assert instants[0]["s"] == "t"
+
+    counters = [e for e in events if e["ph"] == "C"]
+    assert counters[0]["args"] == {"power_w": 0.12}
+
+
+def test_chrome_json_is_byte_stable():
+    assert to_chrome_json(small_tracer()) == to_chrome_json(small_tracer())
+
+
+def test_chrome_json_passes_own_validation():
+    payload = to_chrome_json(small_tracer())
+    assert validate_chrome_trace(payload) == []
+    assert validate_chrome_trace(json.loads(payload)) == []
+
+
+def test_text_timeline_format_and_stability():
+    text = to_text_timeline(small_tracer())
+    assert text == to_text_timeline(small_tracer())
+    lines = text.splitlines()
+    assert len(lines) == 3
+    assert "[ctr ] power_w = 0.12" in lines[0]
+    assert "[inst] reserve" in lines[1]
+    assert "consumer=c-0" in lines[1]  # args sorted, formatted
+    assert "[span] slot (5.000000 ms)" in lines[2]
+
+
+def test_non_finite_floats_are_stringified():
+    tracer = Tracer(Clock())
+    tracer.instant("t", "odd", value=float("nan"), hi=float("inf"))
+    payload = to_chrome_json(tracer)
+    doc = json.loads(payload)  # must stay strictly valid JSON
+    [inst] = [e for e in doc["traceEvents"] if e["ph"] == "i"]
+    assert inst["args"] == {"value": "nan", "hi": "inf"}
+
+
+def test_validator_catches_structural_problems():
+    assert validate_chrome_trace("{not json") != []
+    assert validate_chrome_trace({"nope": 1}) != []
+    bad_events = {
+        "traceEvents": [
+            {"ph": "?", "pid": 1, "tid": 1, "name": "x", "ts": 0},
+            {"ph": "X", "pid": 1, "tid": 1, "name": "x", "ts": -1},
+            {"ph": "C", "pid": 1, "tid": 1, "name": "c", "ts": 0,
+             "args": {"v": "high"}},
+        ]
+    }
+    errors = validate_chrome_trace(bad_events)
+    assert any("unknown phase" in e for e in errors)
+    assert any("'dur'" in e for e in errors)
+    assert any("numeric" in e for e in errors)
+
+
+def test_validator_caps_error_list():
+    events = [{"ph": "?"} for _ in range(50)]
+    errors = validate_chrome_trace({"traceEvents": events})
+    assert len(errors) <= 21
+    assert "more" in errors[-1]

@@ -1,0 +1,105 @@
+"""Temporal invariants asserted over recorded traces.
+
+These are the properties aggregate counters cannot state: *ordering*
+between reservations, slot firings, batches and power transitions.
+"""
+
+import pytest
+
+from repro.trace import TraceQuery, record_run
+from repro.trace.power import RESIDENCY, WAKEUP
+
+#: Generous causality horizon: a reservation is never further than the
+#: response bound L (40 ms) plus one slot Δ ahead of its slot firing.
+HORIZON_S = 0.1
+
+
+@pytest.fixture(scope="module")
+def query(webserver_run):
+    return TraceQuery(webserver_run.tracer)
+
+
+def test_every_slot_firing_was_reserved(query):
+    slots = query.spans(name="slot", category="slot")
+    assert slots, "expected fired slots in a webserver run"
+    query.assert_each_preceded_by(
+        slots, HORIZON_S, name="reserve", track="core0.mgr"
+    )
+
+
+def test_batches_follow_their_slot_or_overflow(query):
+    for consumer in ("consumer-0", "consumer-1"):
+        batches = query.spans(name="batch", track=consumer)
+        assert batches
+        # A batch is triggered by a fired slot or by an overflow wake.
+        for b in batches:
+            slot = query.last_before(
+                b.ts_s, inclusive=True, name="slot", category="slot"
+            )
+            overflow = query.last_before(
+                b.ts_s, inclusive=True, name="overflow", track=consumer
+            )
+            anchors = [e.ts_s for e in (slot, overflow) if e is not None]
+            assert anchors and b.ts_s - max(anchors) <= HORIZON_S
+
+
+def test_batches_on_one_consumer_never_overlap(query):
+    for consumer in ("consumer-0", "consumer-1", "consumer-2", "consumer-3"):
+        query.assert_no_overlap(query.spans(name="batch", track=consumer))
+
+
+def test_residency_segments_tile_the_run(webserver_run, query):
+    for core in ("core0", "core1"):
+        segments = query.spans(category=RESIDENCY, track=core)
+        assert segments
+        query.assert_no_overlap(segments)
+        assert segments[0].ts_s == 0.0
+        assert segments[-1].end_s == pytest.approx(webserver_run.duration_s)
+        for a, b in zip(segments, segments[1:]):
+            assert b.ts_s == pytest.approx(a.end_s)
+
+
+def test_wakeups_match_ledger_count(webserver_run, query):
+    wakeups = query.instants(category=WAKEUP, track="core0")
+    assert len(wakeups) == webserver_run.consumer_core_wakeups
+
+
+def test_wakeups_are_explained_by_reservations_or_overflows(query):
+    wakeups = query.instants(category=WAKEUP, track="core0")
+    assert wakeups
+    for w in wakeups:
+        reserve = query.last_before(
+            w.ts_s, inclusive=True, name="reserve", track="core0.mgr"
+        )
+        overflow = query.last_before(
+            w.ts_s, inclusive=True, name="overflow", category="buffer"
+        )
+        anchors = [e.ts_s for e in (reserve, overflow) if e is not None]
+        assert anchors and w.ts_s - max(anchors) <= HORIZON_S, (
+            f"unexplained core wakeup at t={w.ts_s:g}"
+        )
+
+
+def test_watchdog_recoveries_bounded_by_one_slot():
+    """Under lost signals, a watchdog-recovered slot is at most one
+    slot Δ late (the resilience latency bound's extra term)."""
+    run = record_run("PBPL", "lost-signals", duration_s=0.8)
+    q = TraceQuery(run.tracer)
+    lost = q.instants(name="signal.lost")
+    recoveries = q.instants(name="watchdog.recovery")
+    assert lost, "lost-signals scenario must lose signals"
+    assert recoveries, "watchdog must recover lost slots"
+    slot_s = 5e-3  # StandardParams slot size Δ
+    for r in recoveries:
+        assert 0 <= r.args["late_s"] <= slot_s + 1e-9
+    # Every recovery pairs with an earlier lost signal on its track.
+    q.assert_each_preceded_by(recoveries, HORIZON_S, name="signal.lost")
+
+
+def test_fault_windows_recorded_for_chaos_scenarios():
+    run = record_run("PBPL", "stall", duration_s=0.6)
+    q = TraceQuery(run.tracer)
+    windows = q.spans(category="fault", track="faults")
+    assert [w.name for w in windows] == ["ProducerStall"]
+    w = windows[0]
+    assert 0 <= w.ts_s < w.end_s <= run.duration_s

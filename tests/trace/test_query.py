@@ -1,0 +1,89 @@
+"""TraceQuery: filters, temporal joins, and invariant helpers."""
+
+import pytest
+
+from repro.trace import Tracer, TraceQuery
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+
+@pytest.fixture
+def query():
+    clock = Clock()
+    tracer = Tracer(clock)
+    tracer.instant("mgr", "reserve", "slot", slot=1)
+    tracer.counter("c-0", "depth", 3)
+    span = tracer.begin("mgr", "slot", "slot", slot=1)
+    clock.now = 0.01
+    tracer.end(span)
+    clock.now = 0.012
+    batch = tracer.begin("c-0", "batch", "consumer")
+    clock.now = 0.02
+    tracer.end(batch, items=5)
+    tracer.counter("c-0", "depth", 9)
+    tracer.instant("mgr", "reserve", "slot", slot=4)
+    return TraceQuery(tracer)
+
+
+def test_filters(query):
+    assert len(query.events) == len(query) == 6
+    assert [e.name for e in query.spans()] == ["slot", "batch"]
+    assert [e.args["slot"] for e in query.instants(name="reserve")] == [1, 4]
+    assert query.spans(track="c-0")[0].args == {"items": 5}
+    big = query.instants(where=lambda e: e.args.get("slot", 0) > 2)
+    assert [e.args["slot"] for e in big] == [4]
+
+
+def test_counter_series(query):
+    assert query.counter_series("depth", "c-0") == [(0.0, 3), (0.02, 9)]
+    assert query.counter_series("missing") == []
+
+
+def test_between_is_half_open(query):
+    names = [e.name for e in query.between(0.0, 0.012)]
+    assert "batch" not in names  # starts exactly at 0.012
+    assert "slot" in names
+    assert [e.name for e in query.between(0.012, 1.0)][0] == "batch"
+
+
+def test_last_before_and_first_after(query):
+    before = query.last_before(0.012, name="reserve")
+    assert before is not None and before.args["slot"] == 1
+    # inclusive picks up events at exactly t
+    at = query.last_before(0.0, inclusive=True, name="reserve")
+    assert at is not None
+    assert query.last_before(0.0, name="reserve") is None
+    after = query.first_after(0.01, name="reserve")
+    assert after is not None and after.args["slot"] == 4
+
+
+def test_covering(query):
+    covering = query.covering(0.015)
+    assert [e.name for e in covering] == ["batch"]
+    assert query.covering(0.5) == []
+
+
+def test_assert_each_preceded_by(query):
+    slots = query.spans(name="slot")
+    query.assert_each_preceded_by(slots, 0.1, name="reserve")
+    batches = query.spans(name="batch")
+    with pytest.raises(AssertionError, match="no antecedent"):
+        query.assert_each_preceded_by(batches, 0.001, name="reserve")
+
+
+def test_assert_no_overlap(query):
+    query.assert_no_overlap(query.spans())  # slot ends as batch starts: ok
+    clock = Clock()
+    tracer = Tracer(clock)
+    a = tracer.begin("t", "a")
+    clock.now = 0.5
+    b = tracer.begin("t", "b")
+    clock.now = 1.0
+    tracer.end(a)
+    tracer.end(b)
+    q = TraceQuery(tracer)
+    with pytest.raises(AssertionError, match="overlaps"):
+        q.assert_no_overlap(q.spans())

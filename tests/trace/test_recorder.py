@@ -1,0 +1,40 @@
+"""record_run: scenario routing, baseline impls, bounded collection."""
+
+import pytest
+
+from repro.trace import SCENARIOS, TraceQuery, record_run, reconcile
+
+
+def test_scenario_names():
+    assert "webserver" in SCENARIOS
+    assert "clean" in SCENARIOS
+    assert "combined" in SCENARIOS
+
+
+def test_unknown_scenario_rejected():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        record_run("PBPL", "earthquake", duration_s=0.1)
+
+
+def test_run_metadata(webserver_run):
+    assert webserver_run.impl == "PBPL"
+    assert webserver_run.scenario == "webserver"
+    assert webserver_run.stats.produced > 0
+    assert webserver_run.stats.consumed > 0
+    assert webserver_run.consumer_core_wakeups > 0
+    assert webserver_run.tracer.dropped_events == 0
+
+
+def test_baseline_impl_records_and_reconciles():
+    run = record_run("SPBP", "clean", duration_s=0.4)
+    assert run.tracer.events
+    # Baselines carry no manager/predictor tracks, but cores still do.
+    assert "core0" in run.tracer.tracks()
+    assert "core0.mgr" not in run.tracer.tracks()
+    assert reconcile(TraceQuery(run.tracer), run.ledger_total_j) < 1e-9
+
+
+def test_capacity_bounds_collection():
+    run = record_run("PBPL", "webserver", duration_s=0.3, capacity=100)
+    assert len(run.tracer.events) <= 100
+    assert run.tracer.dropped_events > 0

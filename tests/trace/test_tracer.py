@@ -1,0 +1,109 @@
+"""Tracer unit behaviour: phases, ring bound, finalize, null path."""
+
+import pytest
+
+from repro.trace import NULL_TRACER, NullTracer, Tracer
+from repro.trace.tracer import COUNTER, INSTANT, SPAN
+
+
+class Clock:
+    """Minimal stand-in for the simulation environment (only ``now``)."""
+
+    def __init__(self):
+        self.now = 0.0
+
+
+def test_null_tracer_is_falsy_and_inert():
+    assert not NULL_TRACER
+    assert isinstance(NULL_TRACER, NullTracer)
+    NULL_TRACER.instant("t", "x")
+    NULL_TRACER.counter("t", "c", 1.0)
+    span = NULL_TRACER.begin("t", "s")
+    NULL_TRACER.end(span, extra=1)
+    NULL_TRACER.complete("t", "s", 0.0, 1.0)
+    NULL_TRACER.finalize()
+    assert NULL_TRACER.events == []
+    assert NULL_TRACER.dropped_events == 0
+
+
+def test_instant_counter_and_span_phases():
+    clock = Clock()
+    tracer = Tracer(clock)
+    assert tracer  # enabled tracer is truthy
+    tracer.instant("track", "hello", "cat", k=1)
+    tracer.counter("track", "depth", 7)
+    span = tracer.begin("track", "work", "cat", slot=3)
+    clock.now = 0.25
+    tracer.end(span, items=4)
+
+    by_phase = {e.phase: e for e in tracer.events}
+    inst, ctr, spn = by_phase[INSTANT], by_phase[COUNTER], by_phase[SPAN]
+    assert inst.name == "hello" and inst.args == {"k": 1}
+    assert inst.dur_s is None and inst.end_s == inst.ts_s
+    assert ctr.args == {"value": 7}
+    assert spn.ts_s == 0.0 and spn.dur_s == pytest.approx(0.25)
+    assert spn.args == {"slot": 3, "items": 4}
+    assert spn.end_s == pytest.approx(0.25)
+
+
+def test_events_sorted_by_start_time_then_seq():
+    clock = Clock()
+    tracer = Tracer(clock)
+    outer = tracer.begin("t", "outer")
+    clock.now = 1.0
+    tracer.instant("t", "mid")
+    clock.now = 2.0
+    tracer.end(outer)  # recorded last, but starts first
+    names = [e.name for e in tracer.events]
+    assert names == ["outer", "mid"]
+
+
+def test_ring_buffer_drops_oldest_and_counts():
+    clock = Clock()
+    tracer = Tracer(clock, capacity=3)
+    for i in range(5):
+        tracer.instant("t", f"e{i}")
+    assert len(tracer) == 3
+    assert tracer.dropped_events == 2
+    assert [e.name for e in tracer.events] == ["e2", "e3", "e4"]
+
+
+def test_finalize_truncates_open_spans_idempotently():
+    clock = Clock()
+    tracer = Tracer(clock)
+    tracer.begin("t", "unfinished")
+    clock.now = 0.5
+    tracer.finalize()
+    tracer.finalize()  # no double-record
+    spans = [e for e in tracer.events if e.phase == SPAN]
+    assert len(spans) == 1
+    assert spans[0].args.get("truncated") is True
+    assert spans[0].dur_s == pytest.approx(0.5)
+
+
+def test_end_twice_records_once():
+    clock = Clock()
+    tracer = Tracer(clock)
+    span = tracer.begin("t", "once")
+    tracer.end(span)
+    tracer.end(span)
+    assert len(tracer.events) == 1
+
+
+def test_complete_rejects_negative_interval():
+    tracer = Tracer(Clock())
+    with pytest.raises(ValueError):
+        tracer.complete("t", "bad", 1.0, 0.5)
+
+
+def test_capacity_must_be_positive():
+    with pytest.raises(ValueError):
+        Tracer(Clock(), capacity=0)
+
+
+def test_tracks_are_sorted_unique():
+    tracer = Tracer(Clock())
+    tracer.instant("b", "x")
+    tracer.instant("a", "y")
+    tracer.instant("b", "z")
+    assert tracer.tracks() == ["a", "b"]

@@ -11,6 +11,10 @@ Installed as the ``repro`` console script (also ``python -m repro``)::
     repro chaos                     # fault-injection resilience matrix
     repro chaos --baselines         # ... plus Mutex/Sem/BP/SPBP degradation
     repro trace record -o t.json    # record an event trace (Perfetto JSON)
+    repro trace record --stream -o t.jsonl  # spill-to-disk JSONL (full fidelity)
+    repro trace diff a.jsonl b.jsonl  # structural diff: slots/latching/energy
+    repro trace report t.jsonl      # terminal flamegraph (self time, joules)
+    repro trace bless               # regenerate the golden regression trace
     repro trace --smoke             # CI gate: validate + reconcile a trace
     repro trace generate -o t.npz   # synthesise & archive a workload
     repro trace inspect t.npz       # summarise a workload's character
@@ -268,10 +272,35 @@ def cmd_trace_inspect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_writable(path: Path) -> Optional[str]:
+    """Why ``path`` cannot be written, or None if it can.
+
+    Called *before* a recording run, so a typo'd output directory fails
+    in milliseconds instead of after the whole simulation.
+    """
+    import os
+
+    parent = path.parent if str(path.parent) else Path(".")
+    if not parent.is_dir():
+        return f"output directory {parent} does not exist"
+    if not os.access(parent, os.W_OK):
+        return f"output directory {parent} is not writable"
+    if path.exists() and not os.access(path, os.W_OK):
+        return f"output file {path} is not writable"
+    return None
+
+
 def cmd_trace_record(args: argparse.Namespace) -> int:
     """Run one implementation/scenario with the event tracer attached
-    and export the trace (Chrome/Perfetto JSON, optional text timeline)."""
+    and export the trace.
+
+    Default output is Chrome/Perfetto JSON; ``--stream`` switches to the
+    incremental JSONL format (written during the run, before ring
+    eviction — the full-fidelity path for long runs). ``-o -`` emits the
+    trace to stdout (run summary moves to stderr so pipes stay clean).
+    """
     from repro.trace import (
+        StreamingTraceWriter,
         TraceQuery,
         record_run,
         reconcile,
@@ -280,16 +309,49 @@ def cmd_trace_record(args: argparse.Namespace) -> int:
         trace_energy_j,
     )
 
+    to_stdout = str(args.output) == "-"
+    if not to_stdout:
+        problem = _check_writable(args.output)
+        if problem is None and args.text is not None:
+            problem = _check_writable(args.text)
+        if problem is not None:
+            print(f"trace record: {problem}", file=sys.stderr)
+            return 2
+    info = sys.stderr if to_stdout else sys.stdout
+
+    writer = None
+    if args.stream:
+        meta = dict(
+            impl=args.impl,
+            scenario=args.scenario,
+            seed=args.seed,
+            duration_s=args.duration,
+            n_consumers=args.consumers,
+            capacity=args.capacity,
+        )
+        writer = StreamingTraceWriter(
+            sys.stdout if to_stdout else args.output, meta=meta
+        )
     run = record_run(
         args.impl,
         args.scenario,
         duration_s=args.duration,
         n_consumers=args.consumers,
         seed=args.seed,
+        capacity=args.capacity,
+        stream=writer,
     )
     query = TraceQuery(run.tracer)
-    out = args.output
-    out.write_text(to_chrome_json(run.tracer), encoding="utf-8")
+    if writer is not None:
+        streamed = writer.events_written
+        writer.close(
+            dropped=run.tracer.dropped_events,
+            ledger_total_j=run.ledger_total_j,
+        )
+    elif to_stdout:
+        print(to_chrome_json(run.tracer))
+    else:
+        args.output.write_text(to_chrome_json(run.tracer), encoding="utf-8")
     if args.text is not None:
         args.text.write_text(to_text_timeline(run.tracer), encoding="utf-8")
     diff = reconcile(query, run.ledger_total_j)
@@ -297,16 +359,153 @@ def cmd_trace_record(args: argparse.Namespace) -> int:
         f"{run.impl} × {run.scenario}: {len(run.tracer.events)} events "
         f"on {len(run.tracer.tracks())} tracks "
         f"({run.tracer.dropped_events} dropped), "
-        f"{run.duration_s:g}s simulated"
+        f"{run.duration_s:g}s simulated",
+        file=info,
     )
     print(
         f"energy: ledger {run.ledger_total_j:.6f} J, "
-        f"trace {trace_energy_j(query):.6f} J (diff {diff:.2e})"
+        f"trace {trace_energy_j(query):.6f} J (diff {diff:.2e})",
+        file=info,
     )
-    print(f"wrote {out} — open in https://ui.perfetto.dev or chrome://tracing")
+    if writer is not None:
+        where = "stdout" if to_stdout else str(args.output)
+        print(
+            f"streamed {streamed} events to {where} (JSONL, full fidelity "
+            f"even past the {args.capacity}-event ring)",
+            file=info,
+        )
+    elif not to_stdout:
+        print(
+            f"wrote {args.output} — open in https://ui.perfetto.dev "
+            f"or chrome://tracing",
+            file=info,
+        )
     if args.text is not None:
-        print(f"wrote {args.text}")
+        print(f"wrote {args.text}", file=info)
     return 0
+
+
+#: The golden-trace recording spec: what `repro trace bless` records and
+#: what the CI trace-regression job re-records to diff against. Short
+#: enough to run in seconds, long enough to exercise latching, resizing
+#: and both cores.
+GOLDEN_SPEC = dict(
+    impl="PBPL",
+    scenario="webserver",
+    duration_s=0.3,
+    n_consumers=3,
+    seed=2014,
+)
+
+#: Where the blessed golden trace lives in the repository.
+GOLDEN_TRACE_PATH = Path("results/golden/pbpl_smoke.trace.jsonl")
+
+
+def _record_golden(output: Path) -> None:
+    """Record the GOLDEN_SPEC run as streaming JSONL at ``output``."""
+    from repro.trace import StreamingTraceWriter, record_run
+
+    writer = StreamingTraceWriter(output, meta=dict(GOLDEN_SPEC))
+    run = record_run(
+        GOLDEN_SPEC["impl"],
+        GOLDEN_SPEC["scenario"],
+        duration_s=GOLDEN_SPEC["duration_s"],
+        n_consumers=GOLDEN_SPEC["n_consumers"],
+        seed=GOLDEN_SPEC["seed"],
+        stream=writer,
+    )
+    writer.close(
+        dropped=run.tracer.dropped_events, ledger_total_j=run.ledger_total_j
+    )
+
+
+def cmd_trace_bless(args: argparse.Namespace) -> int:
+    """Regenerate the golden trace the CI regression gate diffs against.
+
+    Run after an *intentional* behaviour change, commit the result, and
+    explain the drift in the PR — that is the whole review story the
+    diff gate enforces."""
+    out = args.output
+    problem = _check_writable(out)
+    if problem is not None:
+        print(f"trace bless: {problem}", file=sys.stderr)
+        return 2
+    _record_golden(out)
+    spec = ", ".join(f"{k}={v}" for k, v in GOLDEN_SPEC.items())
+    print(f"blessed {out} ({spec})")
+    print("commit this file; `repro trace diff` gates CI against it")
+    return 0
+
+
+def _load_jsonl_events(path: Path):
+    """Events from a JSONL trace, or exit-able error text."""
+    from repro.trace import TraceReader, TraceSchemaError
+
+    try:
+        reader = TraceReader(path)
+    except FileNotFoundError:
+        raise SystemExit(f"trace: {path}: no such file")
+    except TraceSchemaError as exc:
+        raise SystemExit(f"trace: {exc}")
+    events = reader.read()
+    return events, reader
+
+
+def cmd_trace_diff(args: argparse.Namespace) -> int:
+    """Structurally diff two JSONL traces; non-zero exit on drift.
+
+    Reports which consumers lost/gained latching, which reserved slots
+    appeared/disappeared, and how energy moved between phases (deltas
+    above ``--threshold-j``). Exit 0 = no drift, 1 = drift (the CI
+    gate), 2 = unreadable input."""
+    import json as json_mod
+
+    from repro.trace import diff_events
+
+    events_a, _ = _load_jsonl_events(args.trace_a)
+    events_b, _ = _load_jsonl_events(args.trace_b)
+    diff = diff_events(
+        events_a, events_b, energy_threshold_j=args.threshold_j
+    )
+    if args.json:
+        print(json_mod.dumps(diff.to_dict(), sort_keys=True, indent=2))
+    else:
+        print(diff.render())
+    if not diff.is_empty and not args.json:
+        print(
+            "trace diff: drift detected — if intentional, re-bless the "
+            "golden (`repro trace bless`) and commit it",
+            file=sys.stderr,
+        )
+    return 0 if diff.is_empty else 1
+
+
+def cmd_trace_report(args: argparse.Namespace) -> int:
+    """Render the per-track self-time/joules flamegraph of a JSONL
+    trace in the terminal — no browser, no Perfetto."""
+    from repro.trace import render_report
+
+    events, reader = _load_jsonl_events(args.file)
+    meta = reader.meta
+    title_bits = [
+        str(meta.get("impl", "?")),
+        "×",
+        str(meta.get("scenario", "?")),
+    ]
+    if "duration_s" in meta:
+        title_bits.append(f"{meta['duration_s']:g}s")
+    title = f"trace report — {' '.join(title_bits)}, {len(events)} events"
+    text = render_report(events, top=args.top, title=title)
+    if reader.footer and "ledger_total_j" in reader.footer:
+        text += f"\n\nledger total: {reader.footer['ledger_total_j']:.6f} J"
+    _emit_simple(args, text)
+    return 0
+
+
+def _emit_simple(args: argparse.Namespace, text: str) -> None:
+    print(text)
+    if getattr(args, "out", None) is not None:
+        args.out.write_text(text + "\n", encoding="utf-8")
 
 
 #: Reconciliation tolerance the smoke gate holds trace energy to.
@@ -364,8 +563,8 @@ def cmd_trace_default(args: argparse.Namespace) -> int:
     if args.smoke:
         return cmd_trace_smoke(args)
     print(
-        "repro trace: choose a subcommand (record/generate/inspect) "
-        "or pass --smoke",
+        "repro trace: choose a subcommand (record/diff/report/bless/"
+        "generate/inspect) or pass --smoke",
         file=sys.stderr,
     )
     return 2
@@ -502,12 +701,69 @@ def build_parser() -> argparse.ArgumentParser:
         "--output",
         type=Path,
         default=Path("trace.json"),
-        help="Chrome trace-event JSON output (Perfetto-loadable)",
+        help="output path ('-' = stdout; Chrome JSON, or JSONL with --stream)",
+    )
+    p.add_argument(
+        "--stream",
+        action="store_true",
+        help="write incremental JSONL during the run (full fidelity even "
+        "when the ring buffer overflows; diffable with `repro trace diff`)",
+    )
+    p.add_argument(
+        "--capacity",
+        type=int,
+        default=1_000_000,
+        help="in-memory ring-buffer capacity in events (the JSONL stream "
+        "is not bounded by it)",
     )
     p.add_argument(
         "--text", type=Path, default=None, help="also write a text timeline here"
     )
     p.set_defaults(func=cmd_trace_record)
+
+    p = tsub.add_parser(
+        "diff",
+        help="structurally diff two JSONL traces (slots, latching, energy "
+        "per phase); exit 1 on drift — the CI regression gate",
+    )
+    p.add_argument("trace_a", type=Path, help="baseline JSONL trace")
+    p.add_argument("trace_b", type=Path, help="candidate JSONL trace")
+    p.add_argument(
+        "--threshold-j",
+        type=float,
+        default=0.0,
+        help="ignore per-phase energy deltas at or below this many joules "
+        "(default 0: bit-exact)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit the diff as JSON"
+    )
+    p.set_defaults(func=cmd_trace_diff)
+
+    p = tsub.add_parser(
+        "report",
+        help="terminal flamegraph of a JSONL trace: per-track self time, "
+        "joules per span, top wakeup causes",
+    )
+    p.add_argument("file", type=Path, help="JSONL trace (from record --stream)")
+    p.add_argument("--top", type=int, default=15, help="rows per table")
+    p.add_argument(
+        "--out", type=Path, default=None, help="also write the report here"
+    )
+    p.set_defaults(func=cmd_trace_report)
+
+    p = tsub.add_parser(
+        "bless",
+        help="re-record the golden trace the CI diff gate compares against",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=GOLDEN_TRACE_PATH,
+        help=f"where to write the golden (default {GOLDEN_TRACE_PATH})",
+    )
+    p.set_defaults(func=cmd_trace_bless)
 
     p = tsub.add_parser("generate", help="synthesise and archive a trace")
     p.add_argument(

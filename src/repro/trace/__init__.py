@@ -24,11 +24,26 @@ A disabled tracer (the default everywhere) is the falsy
 truthiness check and nothing else.
 """
 
+from repro.trace.aggregate import (
+    PowerIndex,
+    SpanAggregate,
+    WakeupCause,
+    aggregate_spans,
+    render_report,
+    wakeup_causes,
+)
+from repro.trace.diff import (
+    TraceDiff,
+    TraceStructure,
+    diff_events,
+    extract_structure,
+)
 from repro.trace.energy import (
     SpanEnergy,
     attribute_span,
     attribute_spans,
     consumer_energy_table,
+    energy_by_phase,
     energy_by_track,
     reconcile,
     trace_energy_j,
@@ -41,6 +56,14 @@ from repro.trace.export import (
 )
 from repro.trace.power import TracePowerListener, core_track
 from repro.trace.query import TraceQuery
+from repro.trace.stream import (
+    SCHEMA_VERSION,
+    StreamingTraceWriter,
+    TraceReader,
+    TraceSchemaError,
+    read_trace,
+    to_jsonl,
+)
 from repro.trace.tracer import NULL_TRACER, NullTracer, Span, TraceEvent, Tracer
 
 #: Lazy exports (PEP 562): the recorder pulls in the full system stack
@@ -59,24 +82,41 @@ def __getattr__(name):
 __all__ = [
     "NULL_TRACER",
     "NullTracer",
+    "PowerIndex",
     "RecordedRun",
     "SCENARIOS",
+    "SCHEMA_VERSION",
     "Span",
+    "SpanAggregate",
     "SpanEnergy",
+    "StreamingTraceWriter",
+    "TraceDiff",
     "TraceEvent",
     "TracePowerListener",
     "TraceQuery",
+    "TraceReader",
+    "TraceSchemaError",
+    "TraceStructure",
     "Tracer",
+    "WakeupCause",
+    "aggregate_spans",
     "attribute_span",
     "attribute_spans",
     "chrome_trace_dict",
     "consumer_energy_table",
     "core_track",
+    "diff_events",
+    "energy_by_phase",
     "energy_by_track",
+    "extract_structure",
+    "read_trace",
     "reconcile",
     "record_run",
+    "render_report",
     "to_chrome_json",
+    "to_jsonl",
     "to_text_timeline",
     "trace_energy_j",
     "validate_chrome_trace",
+    "wakeup_causes",
 ]

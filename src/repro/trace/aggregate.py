@@ -1,0 +1,250 @@
+"""Span aggregation: a terminal flamegraph over a recorded trace.
+
+Perfetto answers "what happened at t=1.23s"; this module answers "where
+did the time and the joules go" without a browser. It rolls every span
+up by ``(track, span name)``:
+
+* **inclusive time** — the span's full duration;
+* **self time** — inclusive minus the time covered by child spans
+  nested inside it *on the same track* (interval containment — the
+  trace has no explicit parent pointers, and doesn't need them);
+* **joules** — for energy-carrying spans (core residency segments) the
+  exact recorded ``energy_j``; for activity spans (consumer batches,
+  manager slots) the energy attributed by integrating the owning
+  core's power record over the span, via a binary-searched index that
+  makes attribution O(log n) per span instead of O(n).
+
+:func:`render_report` prints the sorted table plus the top-N wakeup
+causes (who woke which core, how often, at what ω cost) — the trace
+analogue of a flamegraph plus PowerTop's top-list, as one screen of
+monospace text.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.trace.power import RESIDENCY, WAKEUP, core_track
+from repro.trace.tracer import SPAN, TraceEvent
+
+
+class PowerIndex:
+    """Per-core power record with prefix sums for O(log n) attribution."""
+
+    def __init__(self, events: Sequence[TraceEvent]) -> None:
+        # track -> parallel arrays (segment starts, ends, prefix joules,
+        # power watts); wakeups -> (timestamps, prefix joules).
+        self._segments: Dict[str, Tuple[List[float], List[float], List[float], List[float]]] = {}
+        self._wakeups: Dict[str, Tuple[List[float], List[float]]] = {}
+        by_track_segs: Dict[str, List[TraceEvent]] = {}
+        by_track_wakes: Dict[str, List[TraceEvent]] = {}
+        for e in events:
+            if e.phase == SPAN and e.category == RESIDENCY:
+                by_track_segs.setdefault(e.track, []).append(e)
+            elif e.category == WAKEUP:
+                by_track_wakes.setdefault(e.track, []).append(e)
+        for track, segs in by_track_segs.items():
+            segs.sort(key=TraceEvent.sort_key)
+            starts, ends, prefix, watts = [], [], [0.0], []
+            for s in segs:
+                starts.append(s.ts_s)
+                ends.append(s.end_s)
+                watts.append(s.args.get("power_w", 0.0))
+                prefix.append(prefix[-1] + s.args.get("energy_j", 0.0))
+            self._segments[track] = (starts, ends, prefix, watts)
+        for track, wakes in by_track_wakes.items():
+            wakes.sort(key=TraceEvent.sort_key)
+            ts, prefix = [], [0.0]
+            for w in wakes:
+                ts.append(w.ts_s)
+                prefix.append(prefix[-1] + w.args.get("energy_j", 0.0))
+            self._wakeups[track] = (ts, prefix)
+
+    def energy_j(self, track: str, t0: float, t1: float) -> float:
+        """Joules drawn by ``track`` over ``[t0, t1]`` (residency + ω)."""
+        total = 0.0
+        segs = self._segments.get(track)
+        if segs is not None:
+            starts, ends, prefix, watts = segs
+            lo = bisect_right(ends, t0)
+            hi = bisect_left(starts, t1)
+            if lo < hi:
+                # Whole segments strictly inside get the prefix sum; the
+                # two boundary segments are partial-overlap corrected.
+                total += prefix[hi] - prefix[lo]
+                first_over = max(starts[lo], t0) - starts[lo]
+                total -= watts[lo] * first_over
+                last_cut = ends[hi - 1] - min(ends[hi - 1], t1)
+                total -= watts[hi - 1] * last_cut
+        wakes = self._wakeups.get(track)
+        if wakes is not None:
+            ts, prefix = wakes
+            total += prefix[bisect_right(ts, t1)] - prefix[bisect_left(ts, t0)]
+        return total
+
+
+@dataclass
+class SpanAggregate:
+    """All spans sharing one (track, name), rolled up."""
+
+    track: str
+    name: str
+    count: int = 0
+    inclusive_s: float = 0.0
+    self_s: float = 0.0
+    energy_j: float = 0.0
+    truncated: int = 0
+
+    @property
+    def key(self) -> Tuple[str, str]:
+        return (self.track, self.name)
+
+
+def _self_times(spans: List[TraceEvent]) -> List[float]:
+    """Self time per span: duration minus same-track nested child time.
+
+    Spans sorted by (start, -duration) visit parents before children;
+    a stack of open ancestors attributes each span's duration to its
+    nearest enclosing parent — the classic flamegraph walk.
+    """
+    order = sorted(
+        range(len(spans)),
+        key=lambda i: (spans[i].ts_s, -(spans[i].dur_s or 0.0), spans[i].seq),
+    )
+    selfs = [0.0] * len(spans)
+    stack: List[int] = []  # indices of open ancestors
+    eps = 1e-12
+    for i in order:
+        span = spans[i]
+        while stack and spans[stack[-1]].end_s <= span.ts_s + eps:
+            stack.pop()
+        selfs[i] = span.dur_s or 0.0
+        if stack and span.end_s <= spans[stack[-1]].end_s + eps:
+            selfs[stack[-1]] -= span.dur_s or 0.0
+        stack.append(i)
+    return [max(0.0, s) for s in selfs]
+
+
+def aggregate_spans(
+    events: Sequence[TraceEvent],
+    power: Optional[PowerIndex] = None,
+) -> List[SpanAggregate]:
+    """Roll all spans up by (track, name), sorted by self time desc.
+
+    Residency spans keep their exact recorded energy; other spans are
+    attributed against the core named by their ``core`` arg (falling
+    back to their own track, which yields 0 J when the track carries no
+    power record).
+    """
+    if power is None:
+        power = PowerIndex(events)
+    spans = [e for e in events if e.phase == SPAN]
+    by_track: Dict[str, List[TraceEvent]] = {}
+    for s in spans:
+        by_track.setdefault(s.track, []).append(s)
+    aggregates: Dict[Tuple[str, str], SpanAggregate] = {}
+    for track, track_spans in by_track.items():
+        selfs = _self_times(track_spans)
+        for span, self_s in zip(track_spans, selfs):
+            agg = aggregates.setdefault(
+                (track, span.name), SpanAggregate(track, span.name)
+            )
+            agg.count += 1
+            agg.inclusive_s += span.dur_s or 0.0
+            agg.self_s += self_s
+            agg.truncated += 1 if span.args.get("truncated") else 0
+            if span.category == RESIDENCY:
+                agg.energy_j += span.args.get("energy_j", 0.0)
+            else:
+                core = span.args.get("core")
+                agg.energy_j += power.energy_j(
+                    core_track(core) if core is not None else span.track,
+                    span.ts_s,
+                    span.end_s,
+                )
+    return sorted(
+        aggregates.values(), key=lambda a: (-a.self_s, a.track, a.name)
+    )
+
+
+@dataclass
+class WakeupCause:
+    """One owner's share of a core's wakeups."""
+
+    track: str
+    owner: str
+    count: int = 0
+    energy_j: float = 0.0
+
+
+def wakeup_causes(events: Sequence[TraceEvent]) -> List[WakeupCause]:
+    """Wakeups grouped by (core track, owner), most frequent first."""
+    causes: Dict[Tuple[str, str], WakeupCause] = {}
+    for e in events:
+        if e.category != WAKEUP:
+            continue
+        owner = str(e.args.get("owner", "?"))
+        cause = causes.setdefault(
+            (e.track, owner), WakeupCause(e.track, owner)
+        )
+        cause.count += 1
+        cause.energy_j += e.args.get("energy_j", 0.0)
+    return sorted(
+        causes.values(), key=lambda c: (-c.count, c.track, c.owner)
+    )
+
+
+def render_report(
+    events: Sequence[TraceEvent],
+    *,
+    top: int = 15,
+    width: int = 24,
+    title: Optional[str] = None,
+) -> str:
+    """The terminal flamegraph: self-time table + top wakeup causes.
+
+    ``top`` bounds both tables; ``width`` is the bar column in cells.
+    Deterministic for a given event list (ties broken by name).
+    """
+    aggregates = aggregate_spans(events)
+    causes = wakeup_causes(events)
+    total_self = sum(a.self_s for a in aggregates) or 1.0
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    shown = aggregates[:top]
+    name_w = max([len(f"{a.track}/{a.name}") for a in shown] or [10])
+    header = (
+        f"{'span':<{name_w}}  {'count':>6}  {'incl ms':>10}  "
+        f"{'self ms':>10}  {'self%':>6}  {'joules':>12}  flame"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for a in shown:
+        share = a.self_s / total_self
+        bar = "█" * max(1 if a.self_s > 0 else 0, round(share * width))
+        mark = " (truncated)" if a.truncated else ""
+        lines.append(
+            f"{a.track + '/' + a.name:<{name_w}}  {a.count:>6}  "
+            f"{a.inclusive_s * 1e3:>10.3f}  {a.self_s * 1e3:>10.3f}  "
+            f"{share * 100:>5.1f}%  {a.energy_j:>12.6f}  {bar}{mark}"
+        )
+    if len(aggregates) > top:
+        rest = aggregates[top:]
+        lines.append(
+            f"... {len(rest)} more span groups "
+            f"({sum(a.self_s for a in rest) * 1e3:.3f} ms self)"
+        )
+    if causes:
+        lines.append("")
+        lines.append(f"top wakeup causes (of {sum(c.count for c in causes)}):")
+        for c in causes[:top]:
+            lines.append(
+                f"  {c.track:<8} {c.count:>6} × {c.owner}  "
+                f"({c.energy_j:.6f} J)"
+            )
+        if len(causes) > top:
+            lines.append(f"  ... {len(causes) - top} more owners")
+    return "\n".join(lines)

@@ -1,0 +1,310 @@
+"""Structural trace diffing: did a change move wakeups, slots or joules?
+
+The paper's properties regress *structurally* before they regress in
+the aggregate figures: a predictor tweak makes one consumer stop
+latching onto shared slots long before mean power visibly drifts. This
+module aligns two traces by ``(track, span name, slot index)`` and
+reports exactly that kind of movement:
+
+* **reserved slots** that appeared in B or disappeared from A, per
+  manager track, with the consumers that reserved them (from the
+  ``reserve`` instants);
+* **fired slots** (the ``slot`` spans the core manager actually woke
+  for) that appeared/disappeared;
+* **latching** gained/lost per consumer (the ``latched`` flag on
+  ``reserve.decision`` instants) plus decision counts;
+* **energy movement between phases** — joules per ``(track, phase)``
+  from :func:`repro.trace.energy.energy_by_phase`, reported when the
+  absolute delta exceeds a configurable joule threshold;
+* **wakeup counts** per core track.
+
+:func:`diff_events` is pure (two event lists in, a :class:`TraceDiff`
+out); the ``repro trace diff`` CLI wraps it with JSONL loading and
+turns a non-empty diff into a non-zero exit for CI gating. Two
+identical-seed runs diff to exactly empty — the recorder is
+deterministic and energies are compared bit-for-bit, so the zero
+threshold for "no drift" really is zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence, Set, Tuple
+
+from repro.trace.energy import energy_by_phase
+from repro.trace.query import TraceQuery
+from repro.trace.tracer import TraceEvent
+
+#: Default joule threshold below which a per-phase delta is noise.
+DEFAULT_ENERGY_THRESHOLD_J = 0.0
+
+
+@dataclass
+class TraceStructure:
+    """The alignable skeleton of one trace."""
+
+    #: (mgr track, slot index) -> consumers that reserved it.
+    reserved: Dict[Tuple[str, int], Set[str]] = field(default_factory=dict)
+    #: (mgr track, slot index) -> holders count of the fired slot span.
+    fired: Dict[Tuple[str, int], int] = field(default_factory=dict)
+    #: consumer track -> latched reserve.decision count.
+    latched: Dict[str, int] = field(default_factory=dict)
+    #: consumer track -> total reserve.decision count.
+    decisions: Dict[str, int] = field(default_factory=dict)
+    #: (track, phase name) -> joules.
+    energy_j: Dict[Tuple[str, str], float] = field(default_factory=dict)
+    #: core track -> wakeup instants.
+    wakeups: Dict[str, int] = field(default_factory=dict)
+    #: total events examined.
+    events: int = 0
+
+
+def extract_structure(events: Sequence[TraceEvent]) -> TraceStructure:
+    """Build the diffable skeleton of ``events``."""
+    query = TraceQuery(events)
+    s = TraceStructure(events=len(query))
+    for e in query.instants(name="reserve", category="slot"):
+        key = (e.track, int(e.args.get("slot", -1)))
+        s.reserved.setdefault(key, set()).add(str(e.args.get("consumer", "?")))
+    for e in query.spans(name="slot", category="slot"):
+        key = (e.track, int(e.args.get("slot", -1)))
+        s.fired[key] = s.fired.get(key, 0) + int(e.args.get("consumers", 1))
+    for e in query.instants(name="reserve.decision"):
+        s.decisions[e.track] = s.decisions.get(e.track, 0) + 1
+        if e.args.get("latched"):
+            s.latched[e.track] = s.latched.get(e.track, 0) + 1
+    from repro.trace.power import WAKEUP
+
+    for e in query.instants(category=WAKEUP):
+        s.wakeups[e.track] = s.wakeups.get(e.track, 0) + 1
+    s.energy_j = energy_by_phase(query)
+    return s
+
+
+@dataclass
+class SlotDelta:
+    """Reserved or fired slots present in only one trace."""
+
+    kind: str  # "reserved" | "fired"
+    track: str
+    slot: int
+    present_in: str  # "A" | "B"
+    consumers: Tuple[str, ...] = ()
+
+    def render(self) -> str:
+        direction = "disappeared" if self.present_in == "A" else "appeared"
+        who = f" ({', '.join(self.consumers)})" if self.consumers else ""
+        return f"{self.kind} slot {self.track}#{self.slot} {direction}{who}"
+
+
+@dataclass
+class LatchDelta:
+    """A consumer whose latching behaviour changed."""
+
+    track: str
+    latched_a: int
+    latched_b: int
+    decisions_a: int
+    decisions_b: int
+
+    def render(self) -> str:
+        verb = "lost" if self.latched_b < self.latched_a else "gained"
+        return (
+            f"{self.track} {verb} latching: {self.latched_a} -> "
+            f"{self.latched_b} latched of {self.decisions_a} -> "
+            f"{self.decisions_b} decisions"
+        )
+
+
+@dataclass
+class EnergyDelta:
+    """Joules that moved into/out of one (track, phase)."""
+
+    track: str
+    phase: str
+    a_j: float
+    b_j: float
+
+    @property
+    def delta_j(self) -> float:
+        return self.b_j - self.a_j
+
+    def render(self) -> str:
+        return (
+            f"{self.track}/{self.phase}: {self.a_j:.6f} J -> {self.b_j:.6f} J "
+            f"({self.delta_j:+.6f} J)"
+        )
+
+
+@dataclass
+class WakeupDelta:
+    """A core whose wakeup count changed."""
+
+    track: str
+    a: int
+    b: int
+
+    def render(self) -> str:
+        return f"{self.track} wakeups: {self.a} -> {self.b} ({self.b - self.a:+d})"
+
+
+@dataclass
+class TraceDiff:
+    """Everything that structurally differs between traces A and B."""
+
+    slot_deltas: List[SlotDelta]
+    latch_deltas: List[LatchDelta]
+    energy_deltas: List[EnergyDelta]
+    wakeup_deltas: List[WakeupDelta]
+    energy_threshold_j: float
+    events_a: int
+    events_b: int
+
+    @property
+    def is_empty(self) -> bool:
+        """True when no structural or energy drift was detected."""
+        return not (
+            self.slot_deltas
+            or self.latch_deltas
+            or self.energy_deltas
+            or self.wakeup_deltas
+        )
+
+    @property
+    def affected_consumers(self) -> List[str]:
+        """Consumer tracks named by any delta, sorted."""
+        names: Set[str] = {d.track for d in self.latch_deltas}
+        for d in self.slot_deltas:
+            names.update(d.consumers)
+        return sorted(names)
+
+    def render(self) -> str:
+        lines = [f"trace diff: {self.events_a} events (A) vs {self.events_b} (B)"]
+        if self.is_empty:
+            lines.append("  no structural or energy drift")
+            return "\n".join(lines)
+        sections = (
+            ("slots", self.slot_deltas),
+            ("latching", self.latch_deltas),
+            (f"energy (threshold {self.energy_threshold_j:g} J)",
+             self.energy_deltas),
+            ("wakeups", self.wakeup_deltas),
+        )
+        for title, deltas in sections:
+            if not deltas:
+                continue
+            lines.append(f"  {title}:")
+            lines.extend(f"    {d.render()}" for d in deltas)
+        if self.affected_consumers:
+            lines.append(
+                f"  affected consumers: {', '.join(self.affected_consumers)}"
+            )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready summary (stable ordering, machine-consumable)."""
+        return {
+            "empty": self.is_empty,
+            "events": {"a": self.events_a, "b": self.events_b},
+            "energy_threshold_j": self.energy_threshold_j,
+            "slots": [
+                {
+                    "kind": d.kind,
+                    "track": d.track,
+                    "slot": d.slot,
+                    "present_in": d.present_in,
+                    "consumers": list(d.consumers),
+                }
+                for d in self.slot_deltas
+            ],
+            "latching": [
+                {
+                    "track": d.track,
+                    "latched": [d.latched_a, d.latched_b],
+                    "decisions": [d.decisions_a, d.decisions_b],
+                }
+                for d in self.latch_deltas
+            ],
+            "energy": [
+                {
+                    "track": d.track,
+                    "phase": d.phase,
+                    "a_j": d.a_j,
+                    "b_j": d.b_j,
+                    "delta_j": d.delta_j,
+                }
+                for d in self.energy_deltas
+            ],
+            "wakeups": [
+                {"track": d.track, "a": d.a, "b": d.b}
+                for d in self.wakeup_deltas
+            ],
+            "affected_consumers": self.affected_consumers,
+        }
+
+
+def diff_events(
+    events_a: Sequence[TraceEvent],
+    events_b: Sequence[TraceEvent],
+    *,
+    energy_threshold_j: float = DEFAULT_ENERGY_THRESHOLD_J,
+) -> TraceDiff:
+    """Structurally diff two event lists (A = baseline, B = candidate)."""
+    a = extract_structure(events_a)
+    b = extract_structure(events_b)
+
+    slot_deltas: List[SlotDelta] = []
+    for kind, map_a, map_b in (
+        ("reserved", a.reserved, b.reserved),
+        ("fired", a.fired, b.fired),
+    ):
+        for key in sorted(set(map_a) - set(map_b)):
+            consumers = tuple(sorted(map_a[key])) if kind == "reserved" else ()
+            slot_deltas.append(
+                SlotDelta(kind, key[0], key[1], "A", consumers)
+            )
+        for key in sorted(set(map_b) - set(map_a)):
+            consumers = tuple(sorted(map_b[key])) if kind == "reserved" else ()
+            slot_deltas.append(
+                SlotDelta(kind, key[0], key[1], "B", consumers)
+            )
+
+    latch_deltas = [
+        LatchDelta(
+            track,
+            a.latched.get(track, 0),
+            b.latched.get(track, 0),
+            a.decisions.get(track, 0),
+            b.decisions.get(track, 0),
+        )
+        for track in sorted(set(a.decisions) | set(b.decisions))
+        if a.latched.get(track, 0) != b.latched.get(track, 0)
+        or a.decisions.get(track, 0) != b.decisions.get(track, 0)
+    ]
+
+    energy_deltas = [
+        EnergyDelta(track, phase, a.energy_j.get((track, phase), 0.0),
+                    b.energy_j.get((track, phase), 0.0))
+        for track, phase in sorted(set(a.energy_j) | set(b.energy_j))
+        if abs(
+            b.energy_j.get((track, phase), 0.0)
+            - a.energy_j.get((track, phase), 0.0)
+        )
+        > energy_threshold_j
+    ]
+
+    wakeup_deltas = [
+        WakeupDelta(track, a.wakeups.get(track, 0), b.wakeups.get(track, 0))
+        for track in sorted(set(a.wakeups) | set(b.wakeups))
+        if a.wakeups.get(track, 0) != b.wakeups.get(track, 0)
+    ]
+
+    return TraceDiff(
+        slot_deltas=slot_deltas,
+        latch_deltas=latch_deltas,
+        energy_deltas=energy_deltas,
+        wakeup_deltas=wakeup_deltas,
+        energy_threshold_j=energy_threshold_j,
+        events_a=a.events,
+        events_b=b.events,
+    )

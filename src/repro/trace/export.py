@@ -111,14 +111,20 @@ def to_text_timeline(source: _EventsOrTracer) -> str:
     for e in events:
         stamp = f"{e.ts_s * 1e3:12.6f}"
         if e.phase == SPAN:
-            body = f"[span] {e.name} ({(e.dur_s or 0.0) * 1e3:.6f} ms)"
+            # Spans cut by the end of the run carry truncated=True (set
+            # by Tracer.finalize); surface it in the duration field
+            # rather than burying it in the args dict.
+            cut = ", truncated" if e.args.get("truncated") else ""
+            body = f"[span] {e.name} ({(e.dur_s or 0.0) * 1e3:.6f} ms{cut})"
         elif e.phase == COUNTER:
             value = e.args.get("value", 0)
             value_text = f"{value:g}" if isinstance(value, float) else str(value)
             body = f"[ctr ] {e.name} = {value_text}"
         else:
             body = f"[inst] {e.name}"
-        extra = {} if e.phase == COUNTER else e.args
+        extra = {} if e.phase == COUNTER else {
+            k: v for k, v in e.args.items() if k != "truncated"
+        }
         if extra:
             parts = ", ".join(
                 f"{k}={_format_arg(v)}" for k, v in sorted(extra.items())

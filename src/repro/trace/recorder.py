@@ -32,6 +32,7 @@ from repro.harness.runner import CONSUMER_CORE, Rig
 from repro.impls.base import PairStats
 from repro.impls.multi import MultiPairSystem, phase_shifted_traces
 from repro.trace.power import TracePowerListener
+from repro.trace.stream import StreamingTraceWriter
 from repro.trace.tracer import Tracer
 from repro.workloads.generators import worldcup_like_trace
 
@@ -84,12 +85,22 @@ def record_run(
     buffer_size: Optional[int] = None,
     capacity: int = 1_000_000,
     config_overrides: Optional[Dict] = None,
+    stream: Optional["StreamingTraceWriter"] = None,
 ) -> RecordedRun:
-    """Run ``impl`` under ``scenario`` with the tracer attached."""
+    """Run ``impl`` under ``scenario`` with the tracer attached.
+
+    ``stream`` (a :class:`~repro.trace.stream.StreamingTraceWriter`) is
+    attached as a tracer sink *before* any event fires, so the JSONL
+    file receives every event even when the run overflows the ring
+    buffer. The caller closes the writer (the footer wants the ledger
+    total, which only exists after the run).
+    """
     params = StandardParams(duration_s=duration_s, seed=seed)
     plan = _fault_plan(scenario, duration_s, n_consumers)
     rig = Rig.build(params, replicate=0)
     tracer = Tracer(rig.env, capacity=capacity)
+    if stream is not None:
+        stream.attach(tracer)
     power_listener = TracePowerListener(rig.env, rig.model, tracer)
     rig.machine.add_listener(power_listener)
     for core in rig.machine.cores:

@@ -1,0 +1,275 @@
+"""Streaming JSONL trace export: spill-to-disk before ring eviction.
+
+The in-memory :class:`~repro.trace.tracer.Tracer` bounds memory with a
+ring buffer, which means hour-long runs lose their oldest events. This
+module trades disk for fidelity: :class:`StreamingTraceWriter` attaches
+to the tracer as a sink (see :meth:`~repro.trace.tracer.Tracer.add_sink`)
+and writes every *completed* event to a JSONL file the moment it is
+appended — strictly before the ring can evict it — so the file is a
+superset of whatever the ring still holds at run end.
+
+File format (one JSON object per line, byte-stable: sorted keys, fixed
+separators, no whitespace):
+
+* line 1 — the **header**: ``{"meta": {...}, "schema": "repro.trace",
+  "schema_version": "1.0"}``. ``meta`` carries the run provenance the
+  CLI records (impl, scenario, seed, duration, consumers, capacity).
+* one line per **event**: ``{"args": {...}, "cat": ..., "dur": ...,
+  "name": ..., "ph": ..., "seq": ..., "track": ..., "ts": ...}`` —
+  ``dur`` is ``null`` for instants and counters; timestamps are
+  virtual-time seconds (not the Chrome export's microseconds).
+* optional last line — the **footer**: ``{"footer": {"dropped": ...,
+  "events": ..., "ledger_total_j": ...}}``, written by
+  :meth:`StreamingTraceWriter.close` so readers can reconcile the
+  replayed energy against the ledger without re-running anything.
+
+Versioning: ``schema_version`` is ``"MAJOR.MINOR"``. Readers accept any
+minor of the supported major and reject newer majors with
+:class:`TraceSchemaError` (a clear error, not a ``KeyError`` three
+layers down). Additive changes bump the minor; anything that changes
+the meaning of an existing field bumps the major.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import IO, Any, Dict, Iterator, List, Optional, Union
+
+from repro.trace.export import _json_safe
+from repro.trace.tracer import TraceEvent, Tracer
+
+#: Identifies a repro trace JSONL header.
+SCHEMA = "repro.trace"
+
+#: Current (major, minor) of the JSONL schema written by this module.
+SCHEMA_VERSION = (1, 0)
+
+
+def schema_version_str(version: "tuple[int, int]" = SCHEMA_VERSION) -> str:
+    return f"{version[0]}.{version[1]}"
+
+
+class TraceSchemaError(ValueError):
+    """The file is not a readable repro trace (wrong shape or too new)."""
+
+
+def event_to_dict(event: TraceEvent) -> Dict[str, Any]:
+    """One event as its JSONL object (JSON-safe args, stable keys)."""
+    return {
+        "args": _json_safe(event.args),
+        "cat": event.category,
+        "dur": event.dur_s,
+        "name": event.name,
+        "ph": event.phase,
+        "seq": event.seq,
+        "track": event.track,
+        "ts": event.ts_s,
+    }
+
+
+def event_from_dict(record: Dict[str, Any]) -> TraceEvent:
+    """Rebuild a :class:`TraceEvent` from its JSONL object."""
+    try:
+        return TraceEvent(
+            ts_s=record["ts"],
+            dur_s=record["dur"],
+            phase=record["ph"],
+            category=record["cat"],
+            track=record["track"],
+            name=record["name"],
+            seq=record["seq"],
+            args=record.get("args") or {},
+        )
+    except KeyError as exc:
+        raise TraceSchemaError(f"event record missing field {exc}") from None
+
+
+def _dump(obj: Dict[str, Any]) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+class StreamingTraceWriter:
+    """Incremental JSONL trace writer (attachable as a tracer sink).
+
+    Parameters
+    ----------
+    target:
+        A path (``"-"`` for stdout) or an open text file object.
+    meta:
+        Run provenance stored in the header (impl, scenario, seed, ...).
+
+    Usage::
+
+        writer = StreamingTraceWriter(path, meta={"seed": 2014})
+        writer.attach(tracer)           # every event spills as it lands
+        ...run...
+        writer.close(ledger_total_j=ledger.total_energy_j())
+
+    The header is written eagerly at construction, so an unwritable
+    target fails *before* the run burns any simulation time. Also a
+    context manager (``close()`` on exit, without footer extras).
+    """
+
+    def __init__(
+        self,
+        target: Union[str, Path, IO[str]],
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self._owns_file = False
+        if hasattr(target, "write"):
+            self._file: Optional[IO[str]] = target  # type: ignore[assignment]
+        elif str(target) == "-":
+            self._file = sys.stdout
+        else:
+            self._file = Path(target).open("w", encoding="utf-8")
+            self._owns_file = True
+        self.events_written = 0
+        self._closed = False
+        header = {
+            "meta": _json_safe(meta or {}),
+            "schema": SCHEMA,
+            "schema_version": schema_version_str(),
+        }
+        self._file.write(_dump(header) + "\n")
+
+    def attach(self, tracer: Tracer) -> "StreamingTraceWriter":
+        """Register on ``tracer`` so every appended event streams out."""
+        tracer.add_sink(self.write_event)
+        return self
+
+    def write_event(self, event: TraceEvent) -> None:
+        if self._closed:
+            raise ValueError("write_event() on a closed StreamingTraceWriter")
+        self._file.write(_dump(event_to_dict(event)) + "\n")
+        self.events_written += 1
+
+    def close(self, **footer_fields: Any) -> None:
+        """Write the footer (event count + any extras) and close.
+
+        Idempotent; extra keyword fields (e.g. ``ledger_total_j``,
+        ``dropped``) land inside the footer object.
+        """
+        if self._closed:
+            return
+        footer = {"events": self.events_written}
+        footer.update(_json_safe(footer_fields))
+        self._file.write(_dump({"footer": footer}) + "\n")
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+        self._closed = True
+
+    def __enter__(self) -> "StreamingTraceWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "open"
+        return f"<StreamingTraceWriter {self.events_written} events {state}>"
+
+
+class TraceReader:
+    """Read a JSONL trace back into :class:`TraceEvent` objects.
+
+    The header is parsed (and version-checked) at construction;
+    :meth:`read` returns the full event list and populates
+    :attr:`footer`. Rejects traces written by a newer *major* schema
+    with :class:`TraceSchemaError` — forward-compatible within a major
+    (unknown minor additions are ignored), never across one.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.footer: Optional[Dict[str, Any]] = None
+        with self.path.open("r", encoding="utf-8") as fh:
+            first = fh.readline()
+        self.header = self._parse_header(first)
+        meta = self.header.get("meta")
+        self.meta: Dict[str, Any] = meta if isinstance(meta, dict) else {}
+
+    def _parse_header(self, line: str) -> Dict[str, Any]:
+        try:
+            header = json.loads(line) if line.strip() else None
+        except json.JSONDecodeError:
+            header = None
+        if not isinstance(header, dict) or header.get("schema") != SCHEMA:
+            raise TraceSchemaError(
+                f"{self.path}: not a {SCHEMA} JSONL trace (missing or "
+                f"malformed header line)"
+            )
+        version = header.get("schema_version")
+        try:
+            major, minor = (int(p) for p in str(version).split("."))
+        except (TypeError, ValueError):
+            raise TraceSchemaError(
+                f"{self.path}: unparseable schema_version {version!r} "
+                f"(expected 'MAJOR.MINOR')"
+            ) from None
+        if major > SCHEMA_VERSION[0]:
+            raise TraceSchemaError(
+                f"{self.path}: trace schema {major}.{minor} is newer than "
+                f"the supported {schema_version_str()} — upgrade repro to "
+                f"read this trace"
+            )
+        return header
+
+    def iter_events(self) -> Iterator[TraceEvent]:
+        """Yield events in file (emission) order; capture the footer."""
+        with self.path.open("r", encoding="utf-8") as fh:
+            fh.readline()  # header, already parsed
+            for lineno, line in enumerate(fh, start=2):
+                if not line.strip():
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError as exc:
+                    raise TraceSchemaError(
+                        f"{self.path}:{lineno}: invalid JSON ({exc})"
+                    ) from None
+                if "footer" in record:
+                    self.footer = record["footer"]
+                    continue
+                yield event_from_dict(record)
+
+    def read(self) -> List[TraceEvent]:
+        """All events, in file order (sort with ``TraceEvent.sort_key``)."""
+        return list(self.iter_events())
+
+    def __repr__(self) -> str:
+        return f"<TraceReader {self.path} v{self.header.get('schema_version')}>"
+
+
+def read_trace(path: Union[str, Path]) -> "tuple[List[TraceEvent], TraceReader]":
+    """Convenience: ``(events, reader)`` for ``path`` (footer populated)."""
+    reader = TraceReader(path)
+    return reader.read(), reader
+
+
+def to_jsonl(
+    source: Union[Tracer, List[TraceEvent]],
+    meta: Optional[Dict[str, Any]] = None,
+    **footer_fields: Any,
+) -> str:
+    """Serialise a whole tracer/event list as one JSONL string.
+
+    The non-streaming sibling of :class:`StreamingTraceWriter` — same
+    byte-stable format, for when the events already fit in memory.
+    """
+    import io
+
+    events: List[TraceEvent]
+    if isinstance(source, Tracer):
+        source.finalize()
+        events = source.events
+    else:
+        events = sorted(source, key=TraceEvent.sort_key)
+    buf = io.StringIO()
+    writer = StreamingTraceWriter(buf, meta=meta)
+    for event in events:
+        writer.write_event(event)
+    writer.close(**footer_fields)
+    return buf.getvalue()

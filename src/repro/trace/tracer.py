@@ -25,13 +25,17 @@ Design constraints, in order:
    seed and config yield a byte-identical export.
 3. **Bounded.** Events live in a ring buffer of ``capacity`` events;
    when full, the oldest events are discarded and counted in
-   :attr:`Tracer.dropped_events` (never silently).
+   :attr:`Tracer.dropped_events` (never silently). Sinks registered
+   with :meth:`Tracer.add_sink` (e.g. the streaming JSONL writer) see
+   every event *at append time*, before eviction can touch it — so a
+   spill-to-disk exporter keeps full fidelity on runs that overflow
+   the ring.
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Callable, Deque, Dict, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.environment import Environment
@@ -152,6 +156,9 @@ class NullTracer:
     def complete(self, track, name, start_s, end_s, category="span", **args) -> None:
         pass
 
+    def add_sink(self, sink) -> None:
+        pass
+
     def finalize(self) -> None:
         pass
 
@@ -191,7 +198,7 @@ class Tracer:
         self._seq = 0
         self.dropped_events = 0
         self._open_spans: List[Span] = []
-        self._finalized = False
+        self._sinks: List[Callable[[TraceEvent], None]] = []
 
     def __bool__(self) -> bool:
         return True
@@ -200,10 +207,22 @@ class Tracer:
         return len(self._events)
 
     # -- emission -------------------------------------------------------------
+    def add_sink(self, sink: Callable[[TraceEvent], None]) -> None:
+        """Register a callable that receives every event at append time.
+
+        Sinks fire *before* ring-buffer eviction, so a streaming
+        exporter attached here captures a strict superset of what the
+        in-memory ring retains (spans still arrive when they close —
+        the ring's completeness semantics, not its capacity).
+        """
+        self._sinks.append(sink)
+
     def _append(self, event: TraceEvent) -> None:
         if len(self._events) == self.capacity:
             self.dropped_events += 1
         self._events.append(event)
+        for sink in self._sinks:
+            sink(event)
 
     def _next_seq(self) -> int:
         seq = self._seq
@@ -276,12 +295,18 @@ class Tracer:
 
     # -- reading ----------------------------------------------------------------
     def finalize(self) -> None:
-        """Close any still-open spans at the current time (idempotent)."""
-        if self._finalized:
-            return
+        """Close any still-open spans at the current time (idempotent).
+
+        Truncated spans carry an explicit ``truncated=True`` arg so
+        exports and queries can tell a real interval from one cut by
+        the end of the run. Finalisation is *not* one-shot: a span
+        opened after an earlier finalize (e.g. a mid-run
+        :class:`~repro.trace.query.TraceQuery`) is still closed by the
+        next call — a once-only gate here silently dropped such spans
+        from every duration query.
+        """
         for span in list(self._open_spans):
             self.end(span, truncated=True)
-        self._finalized = True
 
     @property
     def events(self) -> List[TraceEvent]:

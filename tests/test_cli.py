@@ -224,3 +224,123 @@ def test_trace_smoke_gate(capsys, tmp_path):
 def test_trace_without_subcommand_or_smoke_errors(capsys):
     assert main(["trace"]) == 2
     assert "choose a subcommand" in capsys.readouterr().err
+
+
+RECORD_SHORT = ["trace", "record", "--duration", "0.2", "--consumers", "2",
+                "--scenario", "clean"]
+
+
+def test_trace_record_stream_writes_jsonl(capsys, tmp_path):
+    from repro.trace import read_trace
+
+    out = tmp_path / "t.jsonl"
+    assert main([*RECORD_SHORT, "--stream", "-o", str(out)]) == 0
+    events, reader = read_trace(out)
+    assert events
+    assert reader.header["schema_version"] == "1.0"
+    assert reader.meta["impl"] == "PBPL"
+    assert reader.footer["events"] == len(events)
+    assert "streamed" in capsys.readouterr().out
+
+
+def test_trace_record_stream_survives_ring_overflow(capsys, tmp_path):
+    from repro.trace import read_trace
+
+    out = tmp_path / "o.jsonl"
+    assert main([*RECORD_SHORT, "--stream", "--capacity", "50",
+                 "-o", str(out)]) == 0
+    events, reader = read_trace(out)
+    assert len(events) > 50  # more than the ring could hold
+    assert reader.footer["dropped"] > 0
+    assert "dropped" in capsys.readouterr().out
+
+
+def test_trace_record_to_stdout_keeps_pipe_clean(capsys):
+    import json
+
+    assert main([*RECORD_SHORT, "-o", "-"]) == 0
+    captured = capsys.readouterr()
+    json.loads(captured.out)  # stdout is exactly the trace JSON
+    assert "events" in captured.err  # summary moved to stderr
+
+
+def test_trace_record_stream_to_stdout(capsys):
+    import json
+
+    assert main([*RECORD_SHORT, "--stream", "-o", "-"]) == 0
+    captured = capsys.readouterr()
+    lines = captured.out.strip().splitlines()
+    header = json.loads(lines[0])
+    assert header["schema"] == "repro.trace"
+    assert "footer" in json.loads(lines[-1])
+    assert "streamed" in captured.err
+
+
+def test_trace_record_rejects_unwritable_dir_before_running(capsys, tmp_path):
+    missing = tmp_path / "no" / "such" / "dir" / "t.json"
+    assert main([*RECORD_SHORT, "-o", str(missing)]) == 2
+    err = capsys.readouterr().err
+    assert "does not exist" in err
+
+
+def test_trace_diff_identical_and_changed(capsys, tmp_path):
+    a = tmp_path / "a.jsonl"
+    b = tmp_path / "b.jsonl"
+    c = tmp_path / "c.jsonl"
+    assert main([*RECORD_SHORT, "--stream", "-o", str(a)]) == 0
+    assert main([*RECORD_SHORT, "--stream", "-o", str(b)]) == 0
+    assert main(["trace", "record", "--duration", "0.2", "--consumers", "2",
+                 "--scenario", "clean", "--seed", "99", "--stream",
+                 "-o", str(c)]) == 0
+    capsys.readouterr()
+    assert main(["trace", "diff", str(a), str(b)]) == 0
+    assert "no structural or energy drift" in capsys.readouterr().out
+    assert main(["trace", "diff", str(a), str(c)]) == 1
+    out = capsys.readouterr().out
+    assert "consumer-" in out  # names the affected consumers
+
+
+def test_trace_diff_json_mode(capsys, tmp_path):
+    import json
+
+    a = tmp_path / "a.jsonl"
+    assert main([*RECORD_SHORT, "--stream", "-o", str(a)]) == 0
+    capsys.readouterr()
+    assert main(["trace", "diff", str(a), str(a), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["empty"] is True
+
+
+def test_trace_diff_unreadable_input_exits_2(tmp_path, capsys):
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text("not a trace\n")
+    with pytest.raises(SystemExit):
+        main(["trace", "diff", str(bad), str(bad)])
+
+
+def test_trace_report_renders_flamegraph(capsys, tmp_path):
+    trace = tmp_path / "t.jsonl"
+    report = tmp_path / "report.txt"
+    assert main([*RECORD_SHORT, "--stream", "-o", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(["trace", "report", str(trace), "--top", "5",
+                 "--out", str(report)]) == 0
+    out = capsys.readouterr().out
+    assert "trace report — PBPL × clean" in out
+    assert "self ms" in out and "joules" in out
+    assert "top wakeup causes" in out
+    assert "ledger total" in out
+    assert "trace report — PBPL × clean" in report.read_text()
+
+
+def test_trace_bless_writes_golden_spec(capsys, tmp_path):
+    from repro.cli import GOLDEN_SPEC
+    from repro.trace import read_trace
+
+    out = tmp_path / "golden.jsonl"
+    assert main(["trace", "bless", "-o", str(out)]) == 0
+    events, reader = read_trace(out)
+    assert reader.meta["impl"] == GOLDEN_SPEC["impl"]
+    assert reader.meta["seed"] == GOLDEN_SPEC["seed"]
+    assert events
+    assert "blessed" in capsys.readouterr().out

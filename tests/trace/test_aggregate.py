@@ -1,0 +1,147 @@
+"""Span aggregation: self-time nesting math, indexed energy attribution,
+wakeup causes, and the terminal report rendering."""
+
+import pytest
+
+from repro.trace import (
+    PowerIndex,
+    TraceQuery,
+    Tracer,
+    aggregate_spans,
+    attribute_span,
+    render_report,
+    wakeup_causes,
+)
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def nested_tracer():
+    """One track with parent [0,10ms] containing child [2,6ms] containing
+    grandchild [3,4ms]; a sibling [12,14ms]."""
+    clock = Clock()
+    tracer = Tracer(clock)
+    tracer.complete("t", "parent", 0.000, 0.010, "span")
+    tracer.complete("t", "child", 0.002, 0.006, "span")
+    tracer.complete("t", "grand", 0.003, 0.004, "span")
+    tracer.complete("t", "sibling", 0.012, 0.014, "span")
+    return tracer
+
+
+def test_self_time_subtracts_nested_children():
+    aggs = {a.key: a for a in aggregate_spans(nested_tracer().events)}
+    # parent: 10ms inclusive, minus the 4ms child = 6ms self.
+    assert aggs[("t", "parent")].inclusive_s == pytest.approx(0.010)
+    assert aggs[("t", "parent")].self_s == pytest.approx(0.006)
+    # child: 4ms inclusive minus 1ms grandchild.
+    assert aggs[("t", "child")].self_s == pytest.approx(0.003)
+    assert aggs[("t", "grand")].self_s == pytest.approx(0.001)
+    assert aggs[("t", "sibling")].self_s == pytest.approx(0.002)
+    # Self times partition the union of wall time on the track.
+    assert sum(a.self_s for a in aggs.values()) == pytest.approx(0.012)
+
+
+def test_aggregate_sorts_by_self_time_desc():
+    names = [a.name for a in aggregate_spans(nested_tracer().events)]
+    assert names == ["parent", "child", "sibling", "grand"]
+
+
+def power_tracer():
+    """core0 carries a power record; a batch span on another track
+    overlaps half of the active segment."""
+    clock = Clock()
+    tracer = Tracer(clock)
+    tracer.complete(
+        "core0", "active", 0.000, 0.010, "core.state",
+        power_w=2.0, energy_j=0.020,
+    )
+    tracer.complete(
+        "core0", "C1", 0.010, 0.020, "core.state",
+        power_w=0.5, energy_j=0.005,
+    )
+    tracer.instant("core0", "wakeup", "core.wakeup", owner="c-0",
+                   energy_j=1e-3)
+    clock.now = 0.0
+    tracer.complete("c-0", "batch", 0.005, 0.015, "consumer", core=0)
+    return tracer
+
+
+def test_power_index_matches_reference_attribution():
+    tracer = power_tracer()
+    query = TraceQuery(tracer)
+    [batch] = query.spans(name="batch")
+    reference = attribute_span(query, batch)  # O(n) reference impl
+    index = PowerIndex(query.events)
+    fast = index.energy_j("core0", batch.ts_s, batch.end_s)
+    assert fast == pytest.approx(reference.total_j)
+    # Half the active segment (10 mJ) + half the C1 segment (2.5 mJ)
+    # + no wakeup at t=0 outside [5, 15] ms... the wakeup at t=0 is
+    # outside the window, so exactly 12.5 mJ.
+    assert fast == pytest.approx(0.0125)
+
+
+def test_power_index_partial_and_full_windows():
+    index = PowerIndex(power_tracer().events)
+    assert index.energy_j("core0", 0.0, 0.020) == pytest.approx(0.026)
+    assert index.energy_j("core0", 0.0, 0.010) == pytest.approx(0.021)
+    assert index.energy_j("core0", 0.002, 0.004) == pytest.approx(0.004)
+    assert index.energy_j("core0", 0.5, 0.6) == 0.0
+    assert index.energy_j("missing", 0.0, 1.0) == 0.0
+
+
+def test_batch_span_attributed_against_its_core():
+    aggs = {a.key: a for a in aggregate_spans(power_tracer().events)}
+    assert aggs[("c-0", "batch")].energy_j == pytest.approx(0.0125)
+    # Residency spans keep their exact recorded joules.
+    assert aggs[("core0", "active")].energy_j == pytest.approx(0.020)
+
+
+def test_wakeup_causes_grouped_and_sorted():
+    clock = Clock()
+    tracer = Tracer(clock)
+    for _ in range(3):
+        tracer.instant("core0", "wakeup", "core.wakeup", owner="kernel-tick",
+                       energy_j=1e-4)
+    tracer.instant("core0", "wakeup", "core.wakeup", owner="c-1",
+                   energy_j=1e-4)
+    causes = wakeup_causes(tracer.events)
+    assert [(c.owner, c.count) for c in causes] == [
+        ("kernel-tick", 3), ("c-1", 1)
+    ]
+    assert causes[0].energy_j == pytest.approx(3e-4)
+
+
+def test_render_report_columns_and_truncation_marker():
+    clock = Clock()
+    tracer = Tracer(clock)
+    tracer.complete("t", "work", 0.0, 0.010, "span")
+    tracer.begin("t", "open", "span")
+    clock.now = 0.02
+    tracer.finalize()  # "open" becomes a truncated span
+    text = render_report(tracer.events, title="demo")
+    assert text.splitlines()[0] == "demo"
+    assert "self ms" in text and "joules" in text and "flame" in text
+    assert "t/work" in text and "t/open" in text
+    assert "(truncated)" in text
+    assert "█" in text
+
+
+def test_render_report_top_caps_rows():
+    clock = Clock()
+    tracer = Tracer(clock)
+    for i in range(8):
+        tracer.complete("t", f"s{i}", i * 0.01, i * 0.01 + 0.005, "span")
+    text = render_report(tracer.events, top=3)
+    assert "... 5 more span groups" in text
+
+
+def test_report_on_real_run_is_deterministic(webserver_run):
+    events = TraceQuery(webserver_run.tracer).events
+    a = render_report(events, top=10)
+    b = render_report(events, top=10)
+    assert a == b
+    assert "core0/" in a
+    assert "top wakeup causes" in a

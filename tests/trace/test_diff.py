@@ -1,0 +1,159 @@
+"""Structural trace diffing: zero drift on identical seeds, named
+consumers/slots on a predictor change, threshold semantics, and the
+committed golden trace staying in sync with the recorder."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.trace import TraceQuery, Tracer, diff_events, extract_structure
+
+GOLDEN = Path(__file__).resolve().parents[2] / "results/golden/pbpl_smoke.trace.jsonl"
+
+
+class Clock:
+    def __init__(self):
+        self.now = 0.0
+
+
+def _mini_trace(latched_second=True, extra_slot=False, wakeup_j=1e-4):
+    """A hand-built two-consumer trace with known structure."""
+    clock = Clock()
+    tracer = Tracer(clock)
+    tracer.instant("core0.mgr", "reserve", "slot", slot=5, consumer="c-0")
+    tracer.instant(
+        "c-0", "reserve.decision", "predictor", slot=5, latched=False
+    )
+    tracer.instant("core0.mgr", "reserve", "slot", slot=5, consumer="c-1")
+    tracer.instant(
+        "c-1", "reserve.decision", "predictor", slot=5, latched=latched_second
+    )
+    if extra_slot:
+        tracer.instant("core0.mgr", "reserve", "slot", slot=9, consumer="c-1")
+    span = tracer.begin("core0.mgr", "slot", "slot", slot=5, consumers=2)
+    clock.now = 0.01
+    tracer.end(span)
+    tracer.instant("core0", "wakeup", "core.wakeup",
+                   owner="c-0", energy_j=wakeup_j)
+    seg = tracer.begin("core0", "active", "core.state")
+    clock.now = 0.02
+    tracer.end(seg, power_w=0.5, energy_j=0.005)
+    tracer.finalize()
+    return tracer.events
+
+
+def test_extract_structure_reads_the_vocabulary():
+    s = extract_structure(_mini_trace())
+    assert s.reserved == {("core0.mgr", 5): {"c-0", "c-1"}}
+    assert s.fired == {("core0.mgr", 5): 2}
+    assert s.latched == {"c-1": 1}
+    assert s.decisions == {"c-0": 1, "c-1": 1}
+    assert s.wakeups == {"core0": 1}
+    assert s.energy_j[("core0", "active")] == pytest.approx(0.005)
+    assert s.energy_j[("core0", "wakeup")] == pytest.approx(1e-4)
+
+
+def test_identical_traces_diff_empty():
+    diff = diff_events(_mini_trace(), _mini_trace())
+    assert diff.is_empty
+    assert "no structural or energy drift" in diff.render()
+    assert diff.to_dict()["empty"] is True
+
+
+def test_latching_loss_is_named():
+    diff = diff_events(_mini_trace(), _mini_trace(latched_second=False))
+    assert not diff.is_empty
+    [delta] = diff.latch_deltas
+    assert delta.track == "c-1"
+    assert (delta.latched_a, delta.latched_b) == (1, 0)
+    assert "c-1 lost latching" in diff.render()
+    assert diff.affected_consumers == ["c-1"]
+
+
+def test_slot_appearance_names_consumer_and_slot():
+    diff = diff_events(_mini_trace(), _mini_trace(extra_slot=True))
+    reserved = [d for d in diff.slot_deltas if d.kind == "reserved"]
+    [delta] = reserved
+    assert (delta.track, delta.slot, delta.present_in) == ("core0.mgr", 9, "B")
+    assert delta.consumers == ("c-1",)
+    text = diff.render()
+    assert "core0.mgr#9 appeared (c-1)" in text
+
+
+def test_energy_threshold_suppresses_small_drift():
+    a, b = _mini_trace(wakeup_j=1e-4), _mini_trace(wakeup_j=2e-4)
+    assert not diff_events(a, b).is_empty  # default: bit-exact
+    assert diff_events(a, b, energy_threshold_j=1e-3).is_empty
+    loud = diff_events(a, b, energy_threshold_j=1e-5)
+    [delta] = loud.energy_deltas
+    assert (delta.track, delta.phase) == ("core0", "wakeup")
+    assert delta.delta_j == pytest.approx(1e-4)
+
+
+def test_diff_to_dict_shape():
+    d = diff_events(
+        _mini_trace(), _mini_trace(latched_second=False, extra_slot=True)
+    ).to_dict()
+    assert d["empty"] is False
+    assert d["slots"][0]["track"] == "core0.mgr"
+    assert d["latching"][0]["latched"] == [1, 0]
+    assert "c-1" in d["affected_consumers"]
+
+
+# -- real-run integration ------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def webserver_events_pair():
+    """Two identical-seed runs + one with a changed predictor window."""
+    from repro.trace import record_run
+
+    kw = dict(duration_s=0.3, n_consumers=3, seed=2014)
+    base_a = record_run("PBPL", "webserver", **kw)
+    base_b = record_run("PBPL", "webserver", **kw)
+    changed = record_run(
+        "PBPL", "webserver", config_overrides={"predictor_window": 2}, **kw
+    )
+    return (
+        TraceQuery(base_a.tracer).events,
+        TraceQuery(base_b.tracer).events,
+        TraceQuery(changed.tracer).events,
+    )
+
+
+def test_identical_seed_runs_have_zero_drift(webserver_events_pair):
+    a, b, _ = webserver_events_pair
+    diff = diff_events(a, b)
+    assert diff.is_empty, diff.render()
+
+
+def test_predictor_change_produces_named_drift(webserver_events_pair):
+    a, _, changed = webserver_events_pair
+    diff = diff_events(a, changed)
+    assert not diff.is_empty
+    # The diff must name the affected consumers and slots, not just count.
+    assert diff.affected_consumers
+    assert all(c.startswith("consumer-") for c in diff.affected_consumers)
+    assert diff.slot_deltas  # specific slots appeared/disappeared
+    text = diff.render()
+    assert "latching" in text and "#" in text
+
+
+def test_committed_golden_matches_fresh_recording(tmp_path):
+    """`results/golden/pbpl_smoke.trace.jsonl` must stay in sync with the
+    recorder — regenerate with `repro trace bless` after intentional
+    changes."""
+    from repro.cli import _record_golden
+    from repro.trace import read_trace
+
+    assert GOLDEN.is_file(), "golden trace missing — run `repro trace bless`"
+    fresh_path = tmp_path / "fresh.trace.jsonl"
+    _record_golden(fresh_path)
+    golden_events, _ = read_trace(GOLDEN)
+    fresh_events, _ = read_trace(fresh_path)
+    diff = diff_events(golden_events, fresh_events)
+    assert diff.is_empty, (
+        "recorder drifted from the blessed golden:\n" + diff.render()
+    )
+    # Byte-stability is stronger than structural equality; assert it too.
+    assert fresh_path.read_bytes() == GOLDEN.read_bytes()

@@ -81,6 +81,52 @@ def test_finalize_truncates_open_spans_idempotently():
     assert spans[0].dur_s == pytest.approx(0.5)
 
 
+def test_spans_opened_after_finalize_are_not_lost():
+    """A mid-run finalize (e.g. a mid-run TraceQuery) must not swallow
+    spans opened afterwards — the old once-only gate silently excluded
+    them from every duration query."""
+    clock = Clock()
+    tracer = Tracer(clock)
+    tracer.finalize()  # premature, e.g. TraceQuery(tracer) mid-run
+    late = tracer.begin("t", "late")
+    clock.now = 0.3
+    tracer.finalize()
+    spans = [e for e in tracer.events if e.phase == SPAN]
+    assert [s.name for s in spans] == ["late"]
+    assert spans[0].args.get("truncated") is True
+    assert spans[0].dur_s == pytest.approx(0.3)
+    assert late.closed
+
+
+def test_midrun_query_then_final_query_sees_all_spans():
+    from repro.trace import TraceQuery
+
+    clock = Clock()
+    tracer = Tracer(clock)
+    early = tracer.begin("t", "early")
+    clock.now = 0.1
+    tracer.end(early)
+    assert len(TraceQuery(tracer).spans()) == 1  # mid-run peek finalizes
+    still_open = tracer.begin("t", "still-open")
+    clock.now = 0.4
+    final = TraceQuery(tracer)
+    assert [s.name for s in final.spans()] == ["early", "still-open"]
+    [cut] = final.spans(where=lambda e: e.args.get("truncated"))
+    assert cut.name == "still-open"
+    assert final.covering(0.2, name="still-open")  # duration queries see it
+
+
+def test_sink_receives_every_event_before_eviction():
+    clock = Clock()
+    tracer = Tracer(clock, capacity=2)
+    seen = []
+    tracer.add_sink(seen.append)
+    for i in range(5):
+        tracer.instant("t", f"e{i}")
+    assert [e.name for e in seen] == [f"e{i}" for i in range(5)]
+    assert len(tracer.events) == 2  # ring still bounded
+
+
 def test_end_twice_records_once():
     clock = Clock()
     tracer = Tracer(clock)

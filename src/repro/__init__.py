@@ -32,6 +32,7 @@ Quickstart::
     print(result.render())
 """
 
+from repro._version import __version__
 from repro.core import PBPLConfig, PBPLSystem
 from repro.harness import (
     StandardParams,
@@ -42,8 +43,6 @@ from repro.harness import (
     run_wakeup_accounting,
 )
 from repro.impls import MultiPairSystem, PCConfig
-
-__version__ = "1.0.0"
 
 __all__ = [
     "MultiPairSystem",

@@ -10,6 +10,8 @@ Installed as the ``repro`` console script (also ``python -m repro``)::
     repro sanity                    # the paper's §III-C1 rig checks
     repro chaos                     # fault-injection resilience matrix
     repro chaos --baselines         # ... plus Mutex/Sem/BP/SPBP degradation
+    repro chaos --jobs 4            # dispatch runs across 4 worker processes
+    repro bench                     # kernel + harness benchmarks → BENCH_*.json
     repro trace record -o t.json    # record an event trace (Perfetto JSON)
     repro trace record --stream -o t.jsonl  # spill-to-disk JSONL (full fidelity)
     repro trace diff a.jsonl b.jsonl  # structural diff: slots/latching/energy
@@ -20,7 +22,8 @@ Installed as the ``repro`` console script (also ``python -m repro``)::
     repro trace inspect t.npz       # summarise a workload's character
 
 Common options (figures): ``--duration``, ``--replicates``, ``--seed``,
-``--csv FILE`` (raw per-run metrics), ``--out FILE`` (the text figure).
+``--csv FILE`` (raw per-run metrics), ``--out FILE`` (the text figure),
+``--jobs N`` (parallel run dispatch; also honours ``$REPRO_JOBS``).
 """
 
 from __future__ import annotations
@@ -34,6 +37,7 @@ import numpy as np
 
 from repro.harness import (
     StandardParams,
+    WorkerCrashError,
     run_buffer_sweep,
     run_consumer_scaling,
     run_multi_comparison,
@@ -45,7 +49,7 @@ from repro.harness import (
 )
 from repro.sim.rng import RandomStreams
 from repro.workloads import (
-    load_trace,
+    load_trace_cached,
     mmpp_trace,
     poisson_trace,
     save_trace,
@@ -71,6 +75,16 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--csv", type=Path, default=None, help="export raw per-run metrics as CSV"
+    )
+
+
+def _add_jobs(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for run dispatch (default: $REPRO_JOBS or 1; "
+        "output is byte-identical for any value)",
     )
 
 
@@ -102,35 +116,40 @@ def _emit(args: argparse.Namespace, text: str, runs=None) -> None:
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
-    result = run_profile_study(_params(args))
+    result = run_profile_study(_params(args), jobs=args.jobs)
     _emit(args, result.render(), result.runs)
     return 0
 
 
 def cmd_fig9(args: argparse.Namespace) -> int:
     result = run_multi_comparison(
-        _params(args), n_consumers=args.consumers, buffer_size=args.buffer
+        _params(args),
+        n_consumers=args.consumers,
+        buffer_size=args.buffer,
+        jobs=args.jobs,
     )
     _emit(args, result.render(), result.runs)
     return 0
 
 
 def cmd_fig10(args: argparse.Namespace) -> int:
-    result = run_consumer_scaling(_params(args), counts=args.counts)
+    result = run_consumer_scaling(_params(args), counts=args.counts, jobs=args.jobs)
     runs = [r for cell in result.cells.values() for r in cell.runs]
     _emit(args, result.render(), runs)
     return 0
 
 
 def cmd_fig11(args: argparse.Namespace) -> int:
-    result = run_buffer_sweep(_params(args), sizes=args.sizes)
+    result = run_buffer_sweep(_params(args), sizes=args.sizes, jobs=args.jobs)
     runs = [r for cell in result.cells.values() for r in cell.runs]
     _emit(args, result.render(), runs)
     return 0
 
 
 def cmd_accounting(args: argparse.Namespace) -> int:
-    result = run_wakeup_accounting(_params(args), buffer_size=args.buffer)
+    result = run_wakeup_accounting(
+        _params(args), buffer_size=args.buffer, jobs=args.jobs
+    )
     _emit(args, result.render())
     return 0
 
@@ -166,6 +185,7 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         n_consumers=args.consumers,
         baseline_impls=BASELINE_IMPLS if args.baselines else (),
         progress=(None if args.json else (lambda m: print(m, flush=True))),
+        jobs=args.jobs,
     )
     _emit(args, report.to_json() if args.json else report.render())
     if not report.passed:
@@ -173,6 +193,50 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"chaos: resilience violations in: {', '.join(bad)}", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Run the kernel + harness benchmarks, write ``BENCH_kernel.json``
+    and ``BENCH_harness.json``, and (with ``--baseline``) gate against a
+    committed baseline: >20 % events/sec regression exits non-zero."""
+    import json as json_mod
+
+    from repro.harness.bench import (
+        bench_harness,
+        bench_kernel,
+        check_regressions,
+        render_summary,
+        write_bench_files,
+    )
+
+    kernel = bench_kernel(quick=args.quick)
+    harness = bench_harness(quick=args.quick, jobs=args.jobs)
+    kernel_path, harness_path = write_bench_files(kernel, harness, args.output_dir)
+    info = sys.stderr if args.json else sys.stdout
+    if args.json:
+        print(
+            json_mod.dumps(
+                {"kernel": kernel, "harness": harness}, indent=2, sort_keys=True
+            )
+        )
+    else:
+        print(render_summary(kernel, harness))
+    print(f"wrote {kernel_path} and {harness_path}", file=info)
+
+    rc = 0
+    if not harness["chaos_matrix"]["byte_identical"]:
+        print(
+            "bench: FAIL parallel chaos report is not byte-identical to serial",
+            file=sys.stderr,
+        )
+        rc = 1
+    if args.baseline is not None:
+        for failure in check_regressions(kernel, args.baseline):
+            print(f"bench: REGRESSION {failure}", file=sys.stderr)
+            rc = 1
+        if rc == 0:
+            print(f"bench: within tolerance of {args.baseline}", file=info)
+    return rc
 
 
 def cmd_all(args: argparse.Namespace) -> int:
@@ -265,7 +329,7 @@ def cmd_trace_generate(args: argparse.Namespace) -> int:
 def cmd_trace_inspect(args: argparse.Namespace) -> int:
     path = args.file
     if path.suffix == ".npz":
-        trace = load_trace(path)
+        trace = load_trace_cached(path)
     else:
         trace = trace_from_clf(path)
     print(summarise_trace(trace).render())
@@ -583,26 +647,31 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("profile", help="Figures 3 & 4: the §III study")
     _add_common(p)
+    _add_jobs(p)
     p.set_defaults(func=cmd_profile)
 
     p = sub.add_parser("fig9", help="Figure 9: 4 implementations, N consumers")
     _add_common(p)
+    _add_jobs(p)
     p.add_argument("--consumers", type=int, default=5)
     p.add_argument("--buffer", type=int, default=25)
     p.set_defaults(func=cmd_fig9)
 
     p = sub.add_parser("fig10", help="Figure 10: consumer-count sweep")
     _add_common(p)
+    _add_jobs(p)
     p.add_argument("--counts", type=_ints, default=[2, 5, 10])
     p.set_defaults(func=cmd_fig10)
 
     p = sub.add_parser("fig11", help="Figure 11: buffer-size sweep")
     _add_common(p)
+    _add_jobs(p)
     p.add_argument("--sizes", type=_ints, default=[25, 50, 100])
     p.set_defaults(func=cmd_fig11)
 
     p = sub.add_parser("accounting", help="§VI-C wakeup accounting scalars")
     _add_common(p)
+    _add_jobs(p)
     p.add_argument("--buffer", type=int, default=25)
     p.set_defaults(func=cmd_accounting)
 
@@ -617,6 +686,7 @@ def build_parser() -> argparse.ArgumentParser:
         "chaos", help="fault-injection matrix → markdown resilience report"
     )
     _add_common(p)
+    _add_jobs(p)
     p.add_argument("--consumers", type=int, default=4)
     p.add_argument(
         "--smoke",
@@ -644,6 +714,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated candidate slot sizes in ms (default: L-derived grid)",
     )
     p.set_defaults(func=cmd_tune)
+
+    p = sub.add_parser(
+        "bench",
+        help="kernel events/sec + chaos-matrix wall-clock → BENCH_*.json",
+    )
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorter durations and fewer repeats (the CI configuration)",
+    )
+    p.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the combined kernel+harness payload as JSON on stdout",
+    )
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the harness benchmark "
+        "(default: min(4, cpu count))",
+    )
+    p.add_argument(
+        "--output-dir",
+        type=Path,
+        default=Path("."),
+        help="where to write BENCH_kernel.json / BENCH_harness.json "
+        "(default: current directory)",
+    )
+    p.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="committed BENCH_kernel.json to gate against: exit non-zero "
+        "if events/sec regresses more than 20%%",
+    )
+    p.set_defaults(func=cmd_bench)
 
     p = sub.add_parser("all", help="every figure, one markdown report")
     _add_common(p)
@@ -784,7 +891,26 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except WorkerCrashError as exc:
+        # A pool worker died mid-matrix (OOM-killed, segfault, SIGKILL).
+        # Name the run that was in flight and what finished, then exit
+        # non-zero — never a traceback.
+        cmd = args.command
+        print(f"repro {cmd}: {exc}", file=sys.stderr)
+        if exc.completed:
+            done = ", ".join(label for label, _ in exc.completed)
+            print(
+                f"repro {cmd}: completed before the crash: {done}",
+                file=sys.stderr,
+            )
+        print(
+            f"repro {cmd}: partial results were discarded; re-run with "
+            "--jobs 1 to isolate the failing run in-process",
+            file=sys.stderr,
+        )
+        return 3
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -172,6 +172,11 @@ class LatchingConsumer:
     def process(self):
         env = self.env
         cfg = self.config
+        stats = self.stats
+        record_latency = stats.record_latency
+        service_time_s = cfg.service_time_s
+        deadline_s = cfg.max_response_latency_s
+        keep_raw = cfg.track_latencies
         # Bootstrap: no history yet — reserve the very next slot.
         self.manager.reserve(self, self.manager.track.slot_of(env.now) + 1)
         while True:
@@ -207,13 +212,12 @@ class LatchingConsumer:
             self.in_flight = len(batch)
             self._notify_space()
             for t in batch:
-                yield from hold.busy(cfg.service_time_s * self.service_scale)
-                self.stats.consumed += 1
-                self.stats.record_latency(
-                    env.now - t,
-                    cfg.max_response_latency_s,
-                    cfg.track_latencies,
-                    now_s=env.now,
+                # service_scale is read per item on purpose: fault
+                # injectors change it mid-run.
+                yield from hold.busy(service_time_s * self.service_scale)
+                stats.consumed += 1
+                record_latency(
+                    env.now - t, deadline_s, keep_raw, now_s=env.now
                 )
                 self.in_flight -= 1
 

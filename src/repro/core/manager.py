@@ -81,6 +81,11 @@ class CoreManager:
         #: Slots fired by the watchdog instead of their timer.
         self.watchdog_recoveries = 0
         self._consecutive_recoveries = 0
+        # Recycled reservation-change event: when a slot timer fires
+        # without any reservation change, the armed ``_changed`` event
+        # was never triggered and can host the next tick's AnyOf instead
+        # of allocating a fresh Event per slot.
+        self._spare_changed = None
 
     # -- reservation interface (used by consumers) -----------------------------
     def reserve(self, consumer: "LatchingConsumer", slot_index: int) -> None:
@@ -149,7 +154,11 @@ class CoreManager:
             recovering = False
             if when > env.now:
                 self.core.set_next_wake_hint(when)
-                changed = env.event()
+                changed = self._spare_changed
+                if changed is None:
+                    changed = env.event()
+                else:
+                    self._spare_changed = None
                 self._changed = changed
                 # Slot timers are signal-driven (accurate) — PBPL is an
                 # evolution of SPBP, the study's best performer. The
@@ -175,6 +184,12 @@ class CoreManager:
                 if not timer.processed:
                     continue  # reservations changed: recompute target
                 self._changed = None
+                if not changed.triggered:
+                    # The timer won and nothing touched the change event:
+                    # drop the (already-satisfied) AnyOf's subscription
+                    # and recycle the event for the next slot tick.
+                    changed.callbacks.clear()
+                    self._spare_changed = changed
                 if recovering:
                     self.watchdog_recoveries += 1
                     self._consecutive_recoveries += 1

@@ -306,13 +306,21 @@ class CoreHold:
         wall-clock duration (stretched by the current P-state, plus any
         pending wake latency / context-switch overhead).
         """
-        self._check_live()
+        if self._released:
+            raise SimulationError("operation on a released CoreHold")
         if cpu_seconds < 0:
             raise SimulationError(f"negative cpu time {cpu_seconds!r}")
         core = self.core
         core._reselect_pstate()
         speed = core.pstates.speedup(core.pstate)
-        duration = self._startup(speed) + cpu_seconds / speed
+        # Inlined _startup(): most slices carry no pending wake/dispatch
+        # cost, and this runs once per consumed item.
+        if self._latency_s or self._ctx_s:
+            duration = self._latency_s + self._ctx_s / speed + cpu_seconds / speed
+            self._latency_s = 0.0
+            self._ctx_s = 0.0
+        else:
+            duration = cpu_seconds / speed
         if duration > 0:
             yield core.env.timeout(duration)
         core._account_busy(self.owner, duration)

@@ -31,7 +31,8 @@ from repro.faults.spec import (
     ProducerStall,
 )
 from repro.harness.params import StandardParams
-from repro.harness.runner import CONSUMER_CORE, Rig
+from repro.harness.parallel import ParallelExecutor
+from repro.harness.runner import CONSUMER_CORE, Rig, base_trace
 from repro.impls.multi import MultiPairSystem, phase_shifted_traces
 from repro.metrics.resilience import ConsumerResilience, ResilienceMetrics
 from repro.core.system import PBPLSystem
@@ -191,7 +192,7 @@ def run_scenario(
     """
     plan = scenario.build(params.duration_s, n_consumers)
     rig = Rig.build(params, replicate)
-    traces = phase_shifted_traces(params.trace(rig.streams), n_consumers)
+    traces = phase_shifted_traces(base_trace(params, replicate), n_consumers)
     traces = perturb_traces(traces, plan, rig.streams.stream("chaos"))
 
     if impl == "PBPL":
@@ -390,6 +391,15 @@ class ChaosReport:
         )
 
 
+def _scenario_task(task) -> ResilienceMetrics:
+    """Pool-side wrapper for one (scenario, impl) cell — module-level so
+    the :class:`ParallelExecutor` can pickle it by reference."""
+    scenario, params, n_consumers, config_overrides, impl = task
+    return run_scenario(
+        scenario, params, n_consumers, config_overrides=config_overrides, impl=impl
+    )
+
+
 def run_chaos(
     scenarios: Optional[Sequence[ChaosScenario]] = None,
     *,
@@ -399,6 +409,7 @@ def run_chaos(
     config_overrides: Optional[dict] = None,
     baseline_impls: Sequence[str] = (),
     progress: Optional[Callable[[str], None]] = None,
+    jobs: Optional[int] = None,
 ) -> ChaosReport:
     """Run the scenario matrix and assemble the resilience report.
 
@@ -406,22 +417,28 @@ def run_chaos(
     registry implementations (e.g. :data:`BASELINE_IMPLS`) for the
     comparative degradation table; baseline verdicts never affect
     ``passed``.
+
+    ``jobs`` fans the scenario × implementation cells out across worker
+    processes (``None`` → ``$REPRO_JOBS`` → serial). Every cell is a
+    pure function of ``(seed, duration, consumers)`` on a fresh rig, so
+    the assembled report — results in dispatch order, progress printed
+    at dispatch — is byte-identical to a serial run.
     """
     scenarios = tuple(scenarios) if scenarios is not None else DEFAULT_SCENARIOS
     params = StandardParams(duration_s=duration_s, seed=seed)
     report = ChaosReport(seed=seed, duration_s=duration_s, n_consumers=n_consumers)
+    tasks, labels, is_baseline = [], [], []
     for scenario in scenarios:
-        if progress is not None:
-            progress(f"chaos: {scenario.name} — {scenario.summary}")
-        report.results.append(
-            run_scenario(
-                scenario, params, n_consumers, config_overrides=config_overrides
-            )
-        )
+        tasks.append((scenario, params, n_consumers, config_overrides, "PBPL"))
+        labels.append(f"chaos: {scenario.name} — {scenario.summary}")
+        is_baseline.append(False)
         for impl in baseline_impls:
-            if progress is not None:
-                progress(f"chaos: {scenario.name} × {impl}")
-            report.baselines.append(
-                run_scenario(scenario, params, n_consumers, impl=impl)
-            )
+            tasks.append((scenario, params, n_consumers, None, impl))
+            labels.append(f"chaos: {scenario.name} × {impl}")
+            is_baseline.append(True)
+    metrics = ParallelExecutor(jobs).map(
+        _scenario_task, tasks, labels=labels, progress=progress
+    )
+    for baseline, result in zip(is_baseline, metrics):
+        (report.baselines if baseline else report.results).append(result)
     return report

@@ -26,6 +26,11 @@ from repro.harness.experiments import (
     run_profile_study,
     run_wakeup_accounting,
 )
+from repro.harness.parallel import (
+    ParallelExecutor,
+    WorkerCrashError,
+    resolve_jobs,
+)
 from repro.harness.params import StandardParams, quick_params
 from repro.harness.report import FullReport, build_full_report
 from repro.harness.runner import (
@@ -48,6 +53,7 @@ __all__ = [
     "FullReport",
     "MULTI_IMPLEMENTATIONS",
     "MultiComparisonResult",
+    "ParallelExecutor",
     "ProfileStudyResult",
     "Rig",
     "STUDY_IMPLEMENTATIONS",
@@ -57,6 +63,7 @@ __all__ = [
     "ProbePoint",
     "StandardParams",
     "WakeupAccountingResult",
+    "WorkerCrashError",
     "baseline_power_w",
     "build_full_report",
     "dual_spin_ceiling_w",
@@ -68,6 +75,7 @@ __all__ = [
     "runs_to_json",
     "render_comparison",
     "render_series",
+    "resolve_jobs",
     "render_table",
     "run_buffer_sweep",
     "run_consumer_scaling",

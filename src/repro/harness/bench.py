@@ -1,0 +1,268 @@
+"""The ``repro bench`` performance trajectory.
+
+Two complementary benchmark suites, serialised as JSON at the repo root
+so the numbers live in version control and CI can refuse silent
+regressions:
+
+* **kernel** (``BENCH_kernel.json``) — events/sec micro-benchmarks of
+  the DES kernel: a pure timer storm (queue + dispatch overhead and
+  nothing else) and the PBPL smoke run (the blessed golden-trace
+  configuration, end-to-end through slots, prediction and power
+  accounting).
+* **harness** (``BENCH_harness.json``) — wall-clock of the chaos
+  scenario matrix at ``jobs=1`` vs ``jobs=N`` through the
+  :class:`~repro.harness.parallel.ParallelExecutor`, including the
+  byte-identity check between the two reports.
+
+Events/sec comes from :attr:`Environment.events_processed` over the
+best wall-clock of ``repeats`` runs (best-of, not mean: scheduling
+noise only ever adds time). The regression gate compares events/sec
+ratios against a committed baseline file and fails on >20 % drops —
+absolute numbers differ across machines, but a ratio against a
+baseline measured *on the same runner earlier in the same job* is
+meaningful.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from pathlib import Path
+from time import perf_counter
+from typing import Dict, List, Optional, Tuple
+
+from repro._version import __version__
+from repro.core.system import PBPLSystem
+from repro.harness.params import StandardParams
+from repro.harness.parallel import resolve_jobs
+from repro.harness.runner import CONSUMER_CORE, Rig, base_trace
+from repro.impls.multi import phase_shifted_traces
+from repro.sim.environment import Environment
+
+#: Schema tags written into the JSON artifacts.
+KERNEL_SCHEMA = "repro.bench.kernel/1"
+HARNESS_SCHEMA = "repro.bench.harness/1"
+
+#: Allowed events/sec drop before the baseline gate fails (20 %).
+REGRESSION_TOLERANCE = 0.20
+
+
+# -- kernel micro-benchmarks -----------------------------------------------------
+
+
+def _timeout_storm(until_s: float, n_processes: int = 50) -> Tuple[float, int]:
+    """Pure kernel load: ``n_processes`` free-running tickers.
+
+    Nothing but ``env.timeout`` and generator resumption — isolates the
+    heap/dispatch/Timeout fast path from the simulation proper.
+    """
+
+    def ticker(env: Environment, period: float):
+        while True:
+            yield env.timeout(period)
+
+    env = Environment()
+    for i in range(n_processes):
+        # Co-prime-ish periods so events spread over the heap instead of
+        # all landing on one timestamp.
+        env.process(ticker(env, 1e-3 * (1.0 + (i % 7) / 7.0)))
+    start = perf_counter()
+    env.run(until=until_s)
+    wall = perf_counter() - start
+    return wall, env.events_processed
+
+
+def _pbpl_smoke(duration_s: float, seed: int = 2014, n_consumers: int = 3
+                ) -> Tuple[float, int]:
+    """One golden-configuration PBPL run; returns (wall, events)."""
+    params = StandardParams(duration_s=duration_s, seed=seed)
+    rig = Rig.build(params, 0)
+    traces = phase_shifted_traces(base_trace(params, 0), n_consumers)
+    PBPLSystem(
+        rig.env,
+        rig.machine,
+        traces,
+        params.pbpl_config(),
+        consumer_cores=[CONSUMER_CORE],
+    ).start()
+    start = perf_counter()
+    rig.env.run(until=params.duration_s)
+    wall = perf_counter() - start
+    return wall, rig.env.events_processed
+
+
+def _best_of(fn, repeats: int) -> Dict[str, float]:
+    """Run ``fn`` ``repeats`` times; report the best wall-clock."""
+    walls: List[float] = []
+    events = 0
+    for _ in range(repeats):
+        wall, events = fn()
+        walls.append(wall)
+    best = min(walls)
+    return {
+        "repeats": repeats,
+        "events": events,
+        "best_wall_s": best,
+        "events_per_s": events / best if best > 0 else 0.0,
+    }
+
+
+def bench_kernel(quick: bool = False) -> dict:
+    """Run the kernel micro-benchmarks; returns the JSON-able payload."""
+    smoke_duration = 0.3 if quick else 1.0
+    storm_until = 0.5 if quick else 2.0
+    repeats = 3 if quick else 5
+    benchmarks = {
+        "timeout_storm": {
+            "until_s": storm_until,
+            **_best_of(lambda: _timeout_storm(storm_until), repeats),
+        },
+        "pbpl_smoke": {
+            "duration_s": smoke_duration,
+            **_best_of(lambda: _pbpl_smoke(smoke_duration), repeats),
+        },
+    }
+    return {
+        "schema": KERNEL_SCHEMA,
+        **_environment_block(quick),
+        "benchmarks": benchmarks,
+    }
+
+
+# -- harness benchmark -----------------------------------------------------------
+
+
+def bench_harness(quick: bool = False, jobs: Optional[int] = None) -> dict:
+    """Time the chaos matrix serial vs parallel; verify byte-identity."""
+    from repro.faults.chaos import DEFAULT_SCENARIOS, SMOKE_SCENARIOS, run_chaos
+
+    scenarios = SMOKE_SCENARIOS if quick else DEFAULT_SCENARIOS
+    duration_s = 0.5 if quick else 1.0
+    n_consumers = 3
+    if jobs is None:
+        jobs = resolve_jobs(None)
+        if jobs == 1:
+            jobs = min(4, os.cpu_count() or 1)
+
+    def timed(n: int) -> Tuple[float, str]:
+        start = perf_counter()
+        report = run_chaos(
+            scenarios,
+            seed=2014,
+            duration_s=duration_s,
+            n_consumers=n_consumers,
+            jobs=n,
+        )
+        return perf_counter() - start, report.to_json()
+
+    serial_wall, serial_json = timed(1)
+    if jobs > 1:
+        parallel_wall, parallel_json = timed(jobs)
+        identical = serial_json == parallel_json
+    else:
+        parallel_wall, identical = serial_wall, True
+    return {
+        "schema": HARNESS_SCHEMA,
+        **_environment_block(quick),
+        "chaos_matrix": {
+            "scenarios": [s.name for s in scenarios],
+            "duration_s": duration_s,
+            "n_consumers": n_consumers,
+            "jobs": jobs,
+            "serial_wall_s": serial_wall,
+            "parallel_wall_s": parallel_wall,
+            "speedup": serial_wall / parallel_wall if parallel_wall > 0 else 0.0,
+            "byte_identical": identical,
+        },
+    }
+
+
+def _environment_block(quick: bool) -> dict:
+    return {
+        "repro_version": __version__,
+        "python": platform.python_version(),
+        "cpu_count": os.cpu_count() or 1,
+        "quick": quick,
+    }
+
+
+# -- persistence & the regression gate -------------------------------------------
+
+
+def write_bench_files(
+    kernel: dict, harness: dict, out_dir: Path
+) -> Tuple[Path, Path]:
+    """Write ``BENCH_kernel.json`` + ``BENCH_harness.json`` under
+    ``out_dir``; returns the two paths."""
+    kernel_path = out_dir / "BENCH_kernel.json"
+    harness_path = out_dir / "BENCH_harness.json"
+    kernel_path.write_text(
+        json.dumps(kernel, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    harness_path.write_text(
+        json.dumps(harness, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return kernel_path, harness_path
+
+
+def check_regressions(
+    kernel: dict, baseline_path: Path, tolerance: float = REGRESSION_TOLERANCE
+) -> List[str]:
+    """Compare kernel events/sec against a committed baseline file.
+
+    Returns human-readable failure strings for every benchmark whose
+    events/sec dropped more than ``tolerance`` below the baseline.
+    Benchmarks present on only one side are ignored (new benchmarks
+    must not fail the gate on their first run).
+    """
+    try:
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return [f"baseline {baseline_path} not found"]
+    except json.JSONDecodeError as exc:
+        return [f"baseline {baseline_path} unreadable: {exc}"]
+    failures = []
+    base_benchmarks = baseline.get("benchmarks", {})
+    for name, current in kernel.get("benchmarks", {}).items():
+        base = base_benchmarks.get(name)
+        if not base:
+            continue
+        base_rate = base.get("events_per_s", 0.0)
+        cur_rate = current.get("events_per_s", 0.0)
+        if base_rate <= 0:
+            continue
+        ratio = cur_rate / base_rate
+        if ratio < 1.0 - tolerance:
+            failures.append(
+                f"{name}: {cur_rate:,.0f} events/s is "
+                f"{(1.0 - ratio) * 100:.1f}% below baseline "
+                f"{base_rate:,.0f} (tolerance {tolerance * 100:.0f}%)"
+            )
+    return failures
+
+
+def render_summary(kernel: dict, harness: dict) -> str:
+    """Terminal summary of one bench invocation."""
+    lines = [
+        f"repro bench — v{kernel['repro_version']}, "
+        f"python {kernel['python']}, {kernel['cpu_count']} cpu"
+        + (" (quick)" if kernel.get("quick") else ""),
+        "",
+    ]
+    for name, b in kernel["benchmarks"].items():
+        lines.append(
+            f"  kernel/{name:<14} {b['events_per_s']:>12,.0f} events/s "
+            f"({b['events']} events, best of {b['repeats']}: "
+            f"{b['best_wall_s'] * 1000:.1f} ms)"
+        )
+    cm = harness["chaos_matrix"]
+    lines += [
+        "",
+        f"  harness/chaos     serial {cm['serial_wall_s']:.2f}s, "
+        f"jobs={cm['jobs']} {cm['parallel_wall_s']:.2f}s "
+        f"({cm['speedup']:.2f}x, byte-identical: "
+        f"{'yes' if cm['byte_identical'] else 'NO'})",
+    ]
+    return "\n".join(lines)

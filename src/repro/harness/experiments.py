@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.harness.parallel import ParallelExecutor
 from repro.harness.params import StandardParams
 from repro.harness.runner import (
     MULTI_IMPLEMENTATIONS,
@@ -37,6 +38,21 @@ def _cells(
         key = (run.implementation, run.n_consumers, run.buffer_size)
         cells.setdefault(key, []).append(run)
     return cells
+
+
+# Module-level task wrappers: picklable by reference, so the same entry
+# points run serially (jobs=1) or across a process pool (jobs=N) with
+# byte-identical, order-preserved results.
+
+
+def _single_pair_task(task) -> RunMetrics:
+    name, params, replicate = task
+    return run_single_pair(name, params, replicate)
+
+
+def _multi_task(task) -> RunMetrics:
+    name, n_consumers, params, replicate, buffer_size = task
+    return run_multi(name, n_consumers, params, replicate, buffer_size=buffer_size)
 
 
 # ---------------------------------------------------------------------------
@@ -103,14 +119,24 @@ class ProfileStudyResult:
         return table + "\n" + "\n".join(notes)
 
 
-def run_profile_study(params: Optional[StandardParams] = None) -> ProfileStudyResult:
+def run_profile_study(
+    params: Optional[StandardParams] = None, jobs: Optional[int] = None
+) -> ProfileStudyResult:
     """Reproduce Figures 3 and 4 (and the §III-C statistics)."""
     params = params or StandardParams()
-    runs = [
-        run_single_pair(name, params, replicate)
-        for name in STUDY_IMPLEMENTATIONS
-        for replicate in range(params.replicates)
-    ]
+    runs = ParallelExecutor(jobs).map(
+        _single_pair_task,
+        [
+            (name, params, replicate)
+            for name in STUDY_IMPLEMENTATIONS
+            for replicate in range(params.replicates)
+        ],
+        labels=[
+            f"{name} r{replicate}"
+            for name in STUDY_IMPLEMENTATIONS
+            for replicate in range(params.replicates)
+        ],
+    )
     summaries = {
         key[0]: summarise(cell) for key, cell in _cells(runs).items()
     }
@@ -202,15 +228,24 @@ def run_multi_comparison(
     n_consumers: int = 5,
     buffer_size: Optional[int] = None,
     implementations: Sequence[str] = MULTI_IMPLEMENTATIONS,
+    jobs: Optional[int] = None,
 ) -> MultiComparisonResult:
     """Reproduce Figure 9 (or one cell of Figures 10/11)."""
     params = params or StandardParams()
     buf = buffer_size or params.buffer_size
-    runs = [
-        run_multi(name, n_consumers, params, replicate, buffer_size=buf)
-        for name in implementations
-        for replicate in range(params.replicates)
-    ]
+    runs = ParallelExecutor(jobs).map(
+        _multi_task,
+        [
+            (name, n_consumers, params, replicate, buf)
+            for name in implementations
+            for replicate in range(params.replicates)
+        ],
+        labels=[
+            f"{name} x{n_consumers} r{replicate}"
+            for name in implementations
+            for replicate in range(params.replicates)
+        ],
+    )
     summaries = {key[0]: summarise(cell) for key, cell in _cells(runs).items()}
     return MultiComparisonResult(
         params=params,
@@ -278,12 +313,13 @@ class ConsumerScalingResult:
 def run_consumer_scaling(
     params: Optional[StandardParams] = None,
     counts: Sequence[int] = (2, 5, 10),
+    jobs: Optional[int] = None,
 ) -> ConsumerScalingResult:
     """Reproduce Figure 10."""
     params = params or StandardParams()
     result = ConsumerScalingResult(params=params, counts=tuple(counts))
     for n in counts:
-        result.cells[n] = run_multi_comparison(params, n_consumers=n)
+        result.cells[n] = run_multi_comparison(params, n_consumers=n, jobs=jobs)
     return result
 
 
@@ -336,6 +372,7 @@ def run_buffer_sweep(
     params: Optional[StandardParams] = None,
     sizes: Sequence[int] = (25, 50, 100),
     n_consumers: int = 5,
+    jobs: Optional[int] = None,
 ) -> BufferSweepResult:
     """Reproduce Figure 11."""
     params = params or StandardParams()
@@ -348,6 +385,7 @@ def run_buffer_sweep(
             n_consumers=n_consumers,
             buffer_size=size,
             implementations=("BP", "PBPL"),
+            jobs=jobs,
         )
     return result
 
@@ -425,17 +463,19 @@ def run_wakeup_accounting(
     params: Optional[StandardParams] = None,
     buffer_size: int = 50,
     n_consumers: int = 5,
+    jobs: Optional[int] = None,
 ) -> WakeupAccountingResult:
     """Reproduce the §VI-C in-text scheduled/overflow wakeup numbers."""
     params = params or StandardParams()
-    runs_pbpl = [
-        run_multi("PBPL", n_consumers, params, rep, buffer_size=buffer_size)
-        for rep in range(params.replicates)
-    ]
-    runs_bp = [
-        run_multi("BP", n_consumers, params, rep, buffer_size=buffer_size)
-        for rep in range(params.replicates)
-    ]
+    reps = range(params.replicates)
+    runs = ParallelExecutor(jobs).map(
+        _multi_task,
+        [("PBPL", n_consumers, params, rep, buffer_size) for rep in reps]
+        + [("BP", n_consumers, params, rep, buffer_size) for rep in reps],
+        labels=[f"PBPL r{rep}" for rep in reps] + [f"BP r{rep}" for rep in reps],
+    )
+    runs_pbpl = runs[: params.replicates]
+    runs_bp = runs[params.replicates :]
     return WakeupAccountingResult(
         params=params,
         buffer_size=buffer_size,

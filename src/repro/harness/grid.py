@@ -12,14 +12,24 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro._version import __version__
 from repro.harness.export import runs_from_json, runs_to_json
+from repro.harness.parallel import ParallelExecutor
 from repro.harness.params import StandardParams
 from repro.harness.runner import run_multi
 from repro.metrics.run import RunMetrics, Summary, summarise
+
+logger = logging.getLogger(__name__)
+
+#: Revision of the cached cell-result payload. Bump when the meaning or
+#: shape of a serialised :class:`RunMetrics` changes so stale caches
+#: invalidate instead of deserialising into nonsense.
+CELL_SCHEMA_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -58,12 +68,17 @@ class ExperimentGrid:
     """
 
     def __init__(
-        self, params: StandardParams, cache_dir: Optional[Path] = None
+        self,
+        params: StandardParams,
+        cache_dir: Optional[Path] = None,
+        jobs: Optional[int] = None,
     ) -> None:
         self.params = params
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
         if self.cache_dir is not None:
             self.cache_dir.mkdir(parents=True, exist_ok=True)
+        #: Run-dispatch engine; jobs=None honours ``$REPRO_JOBS``.
+        self.executor = ParallelExecutor(jobs)
         #: Cells computed this session (cache hits included).
         self.cells_run = 0
         #: Cells served from the disk cache.
@@ -74,7 +89,9 @@ class ExperimentGrid:
         payload = {
             "params": asdict(self.params),
             "spec": asdict(spec),
-            "version": 1,
+            # Release + cell-schema token: caches written by a different
+            # repro version or result-schema revision never collide.
+            "version": {"repro": __version__, "cell_schema": CELL_SCHEMA_VERSION},
         }
         blob = json.dumps(payload, sort_keys=True, default=str).encode("utf-8")
         return hashlib.sha256(blob).hexdigest()[:24]
@@ -85,31 +102,84 @@ class ExperimentGrid:
         return self.cache_dir / f"cell-{self._key(spec)}.json"
 
     # -- execution ----------------------------------------------------------------
-    def run_cell(self, spec: CellSpec) -> List[RunMetrics]:
-        """All replicates of one cell (from cache when possible)."""
+    def _load_cached(self, spec: CellSpec) -> Optional[List[RunMetrics]]:
         self.cells_run += 1
         path = self._cache_path(spec)
         if path is not None and path.exists():
             self.cache_hits += 1
+            logger.debug("grid cache hit: %s", spec)
             return runs_from_json(path)
-        runs = [
-            run_multi(
-                spec.implementation,
-                spec.n_consumers,
-                self.params,
-                replicate,
-                buffer_size=spec.buffer_size,
-                pbpl_overrides=spec.overrides_dict() or None,
-            )
-            for replicate in range(self.params.replicates)
-        ]
+        logger.debug("grid cache miss: %s", spec)
+        return None
+
+    def _store(self, spec: CellSpec, runs: List[RunMetrics]) -> None:
+        path = self._cache_path(spec)
         if path is not None:
             runs_to_json(runs, path)
+
+    def run_cell(self, spec: CellSpec) -> List[RunMetrics]:
+        """All replicates of one cell (from cache when possible)."""
+        cached = self._load_cached(spec)
+        if cached is not None:
+            return cached
+        runs = self.executor.map(
+            _replicate_task,
+            [
+                (spec, self.params, replicate)
+                for replicate in range(self.params.replicates)
+            ],
+            labels=[
+                f"{spec.implementation} r{replicate}"
+                for replicate in range(self.params.replicates)
+            ],
+        )
+        self._store(spec, runs)
         return runs
 
     def run(self, specs: Sequence[CellSpec]) -> Dict[CellSpec, Summary]:
-        """Run (or load) every cell; returns per-cell summaries."""
-        return {spec: summarise(self.run_cell(spec)) for spec in specs}
+        """Run (or load) every cell; returns per-cell summaries.
+
+        Cache misses across *all* cells are flattened into one
+        ``(spec, replicate)`` task list so a multi-job executor keeps
+        every worker busy even when cells are few and replicates many.
+        Results are reassembled in spec × replicate order — identical to
+        the serial sweep. Hit/miss counts are logged per sweep.
+        """
+        results: Dict[CellSpec, List[RunMetrics]] = {}
+        pending: List[CellSpec] = []
+        hits_before = self.cache_hits
+        for spec in specs:
+            if spec in results or spec in pending:
+                continue
+            cached = self._load_cached(spec)
+            if cached is not None:
+                results[spec] = cached
+            else:
+                pending.append(spec)
+        if pending:
+            replicates = self.params.replicates
+            tasks = [
+                (spec, self.params, replicate)
+                for spec in pending
+                for replicate in range(replicates)
+            ]
+            labels = [
+                f"{spec.implementation} r{replicate}"
+                for spec in pending
+                for replicate in range(replicates)
+            ]
+            runs = self.executor.map(_replicate_task, tasks, labels=labels)
+            for i, spec in enumerate(pending):
+                cell = runs[i * replicates : (i + 1) * replicates]
+                self._store(spec, cell)
+                results[spec] = cell
+        logger.info(
+            "grid sweep: %d cells, %d cache hits, %d computed",
+            len(results),
+            self.cache_hits - hits_before,
+            len(pending),
+        )
+        return {spec: summarise(results[spec]) for spec in specs}
 
     def invalidate(self) -> int:
         """Delete this grid's cache files; returns how many were removed."""
@@ -120,3 +190,17 @@ class ExperimentGrid:
             path.unlink()
             removed += 1
         return removed
+
+
+def _replicate_task(task) -> RunMetrics:
+    """One (cell, replicate) run — module-level so pool workers can
+    pickle it by reference."""
+    spec, params, replicate = task
+    return run_multi(
+        spec.implementation,
+        spec.n_consumers,
+        params,
+        replicate,
+        buffer_size=spec.buffer_size,
+        pbpl_overrides=spec.overrides_dict() or None,
+    )

@@ -187,8 +187,12 @@ class Producer:
 
     def process(self):
         """The producer's simulation process (pass to ``env.process``)."""
+        env = self.env
+        deliver = self.deliver
+        stats = self.stats
+        timeout = env.timeout
         for t in self.trace.times.tolist():
-            if self.env.now < t:
-                yield self.env.timeout(t - self.env.now)
-            yield from self.deliver(t)
-            self.stats.produced += 1
+            if env.now < t:
+                yield timeout(t - env.now)
+            yield from deliver(t)
+            stats.produced += 1

@@ -40,22 +40,30 @@ class P2Quantile:
         self.n = 0
 
     def observe(self, x: float) -> None:
-        """Feed one observation."""
-        self.n += 1
-        if self._heights:
-            self._update(x)
-            return
-        self._initial.append(x)
-        if len(self._initial) == 5:
-            self._initial.sort()
-            q = self.q
-            self._heights = list(self._initial)
-            self._pos = [1.0, 2.0, 3.0, 4.0, 5.0]
-            self._desired = [1.0, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5.0]
-            self._incr = [0.0, q / 2, q, (1 + q) / 2, 1.0]
+        """Feed one observation.
 
-    def _update(self, x: float) -> None:
-        h, pos = self._heights, self._pos
+        Once the five markers exist this method *is* the P² update: the
+        per-observation hot path runs in this frame (three estimators
+        per consumed item, no second call). Locals are bound once and
+        the marker adjustment is inlined — the arithmetic (expressions
+        *and* evaluation order) is kept exactly as in the reference
+        ``_parabolic``/``_linear`` methods so results stay bit-identical.
+        """
+        self.n += 1
+        h = self._heights
+        if not h:
+            self._initial.append(x)
+            if len(self._initial) == 5:
+                self._initial.sort()
+                q = self.q
+                self._heights = list(self._initial)
+                self._pos = [1.0, 2.0, 3.0, 4.0, 5.0]
+                self._desired = [1.0, 1 + 2 * q, 1 + 4 * q, 3 + 2 * q, 5.0]
+                self._incr = [0.0, q / 2, q, (1 + q) / 2, 1.0]
+            return
+        pos = self._pos
+        desired = self._desired
+        incr = self._incr
         # Locate the cell and clamp extremes.
         if x < h[0]:
             h[0] = x
@@ -67,23 +75,42 @@ class P2Quantile:
             k = 0
             while k < 3 and x >= h[k + 1]:
                 k += 1
-        for i in range(k + 1, 5):
-            pos[i] += 1
-        for i in range(5):
-            self._desired[i] += self._incr[i]
+        if k == 0:
+            pos[1] += 1
+            pos[2] += 1
+            pos[3] += 1
+        elif k == 1:
+            pos[2] += 1
+            pos[3] += 1
+        elif k == 2:
+            pos[3] += 1
+        pos[4] += 1
+        desired[0] += incr[0]
+        desired[1] += incr[1]
+        desired[2] += incr[2]
+        desired[3] += incr[3]
+        desired[4] += incr[4]
         # Adjust the three interior markers.
         for i in (1, 2, 3):
-            d = self._desired[i] - pos[i]
-            if (d >= 1 and pos[i + 1] - pos[i] > 1) or (
-                d <= -1 and pos[i - 1] - pos[i] < -1
-            ):
+            pi = pos[i]
+            d = desired[i] - pi
+            pp = pos[i + 1]
+            pm = pos[i - 1]
+            if (d >= 1 and pp - pi > 1) or (d <= -1 and pm - pi < -1):
                 sign = 1.0 if d >= 0 else -1.0
-                candidate = self._parabolic(i, sign)
-                if h[i - 1] < candidate < h[i + 1]:
+                hi = h[i]
+                hp = h[i + 1]
+                hm = h[i - 1]
+                candidate = hi + sign / (pp - pm) * (
+                    (pi - pm + sign) * (hp - hi) / (pp - pi)
+                    + (pp - pi - sign) * (hi - hm) / (pi - pm)
+                )
+                if hm < candidate < hp:
                     h[i] = candidate
                 else:
-                    h[i] = self._linear(i, sign)
-                pos[i] += sign
+                    j = i + int(sign)
+                    h[i] = hi + sign * (h[j] - hi) / (pos[j] - pi)
+                pos[i] = pi + sign
 
     def _parabolic(self, i: int, sign: float) -> float:
         h, pos = self._heights, self._pos
@@ -129,13 +156,16 @@ class StreamingLatency:
     def __post_init__(self) -> None:
         for q in self.quantiles:
             self._estimators[q] = P2Quantile(q)
+        # Stable tuple view of the estimators for the per-item hot loop
+        # (dict.values() builds a view object on every call).
+        self._est = tuple(self._estimators.values())
 
     def observe(self, latency_s: float) -> None:
         self.count += 1
         self.total += latency_s
         if latency_s > self.maximum:
             self.maximum = latency_s
-        for estimator in self._estimators.values():
+        for estimator in self._est:
             estimator.observe(latency_s)
 
     @property

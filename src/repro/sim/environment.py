@@ -1,8 +1,16 @@
-"""The simulation environment: clock, event queue, run loop."""
+"""The simulation environment: clock, event queue, run loop.
+
+The event queue is a plain ``heapq`` of ``(when, priority, eid, event)``
+tuples and the run loop is deliberately flat: every experiment in this
+repository is bottlenecked on :meth:`Environment.run`, so the hot path
+binds its locals once and pops/dispatches without going through
+per-event method calls. :meth:`step` remains for callers that need
+single-event control; the loop in :meth:`run` is its inlined twin.
+"""
 
 from __future__ import annotations
 
-import heapq
+from heapq import heappop, heappush
 from itertools import count
 from typing import Any, Iterable, Optional, Union
 
@@ -41,17 +49,19 @@ class Environment:
     """
 
     def __init__(self, initial_time: float = 0.0) -> None:
-        self._now = float(initial_time)
+        #: Current simulated time. A plain attribute on purpose: it is
+        #: read on essentially every simulated action, and a property
+        #: costs a function call per read. Only the run loop writes it.
+        self.now = float(initial_time)
         self._queue: list[tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        #: Lifetime count of events processed (run loop + step). The
+        #: ``repro bench`` kernel micro-benchmark divides this by wall
+        #: time for its events/sec figure.
+        self.events_processed = 0
 
     # -- clock & introspection ------------------------------------------
-    @property
-    def now(self) -> float:
-        """Current simulated time."""
-        return self._now
-
     @property
     def active_process(self) -> Optional[Process]:
         """The process currently being resumed, if any."""
@@ -69,8 +79,8 @@ class Environment:
         """Queue a triggered event for processing ``delay`` from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(
-            self._queue, (self._now + delay, priority, next(self._eid), event)
+        heappush(
+            self._queue, (self.now + delay, priority, next(self._eid), event)
         )
 
     # -- factories --------------------------------------------------------
@@ -79,8 +89,25 @@ class Environment:
         return Process(self, generator, name=name)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
-        """An event that triggers ``delay`` time units from now."""
-        return Timeout(self, delay, value)
+        """An event that triggers ``delay`` time units from now.
+
+        This is the kernel's single hottest allocation site (every
+        ``busy`` slice, sleep and slot alarm goes through it), so the
+        Timeout is built inline — same invariants as
+        :class:`~repro.sim.events.Timeout`, no layered ``__init__``.
+        """
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay {delay!r}")
+        event = Timeout.__new__(Timeout)
+        event.env = self
+        event.callbacks = []
+        event._value = value
+        event._exc = None
+        event._ok = True
+        event._defused = False
+        event.delay = delay
+        heappush(self._queue, (self.now + delay, NORMAL, next(self._eid), event))
+        return event
 
     def event(self) -> Event:
         """A fresh untriggered event (trigger it with succeed/fail)."""
@@ -99,8 +126,9 @@ class Environment:
         """Process exactly one event (advancing the clock to it)."""
         if not self._queue:
             raise SimulationError("step() on an empty schedule")
-        when, _prio, _eid, event = heapq.heappop(self._queue)
-        self._now = when
+        when, _prio, _eid, event = heappop(self._queue)
+        self.now = when
+        self.events_processed += 1
         callbacks = event.callbacks
         event.callbacks = None
         assert callbacks is not None
@@ -135,26 +163,44 @@ class Environment:
             watched.callbacks.append(self._stop_callback)
         elif until is not None:
             stop_at = float(until)
-            if stop_at < self._now:
+            if stop_at < self.now:
                 raise SimulationError(
-                    f"run(until={stop_at}) is in the past (now={self._now})"
+                    f"run(until={stop_at}) is in the past (now={self.now})"
                 )
 
+        # The hot loop: an inlined :meth:`step` with the queue and pop
+        # bound to locals. Identical dispatch semantics, no per-event
+        # method-call overhead.
+        queue = self._queue
+        pop = heappop
+        processed = 0
         try:
-            while self._queue and self._queue[0][0] < stop_at:
-                self.step()
+            while queue and queue[0][0] < stop_at:
+                when, _prio, _eid, event = pop(queue)
+                self.now = when
+                processed += 1
+                callbacks = event.callbacks
+                event.callbacks = None
+                for callback in callbacks:
+                    callback(event)
+                if not event._ok and not event._defused:
+                    exc = event._exc
+                    assert exc is not None
+                    raise exc
         except _StopSimulation as stop:
             if not stop.event._ok:
                 assert stop.event._exc is not None
                 raise stop.event._exc from None
             return stop.event._value
+        finally:
+            self.events_processed += processed
         if watched is not None:
             raise SimulationError(
                 "run(until=event) exhausted the schedule before the event "
                 "triggered — likely a deadlock"
             )
         if stop_at != float("inf"):
-            self._now = stop_at
+            self.now = stop_at
         return None
 
     @staticmethod
@@ -163,4 +209,4 @@ class Environment:
         raise _StopSimulation(event)
 
     def __repr__(self) -> str:
-        return f"<Environment now={self._now} queued={len(self._queue)}>"
+        return f"<Environment now={self.now} queued={len(self._queue)}>"

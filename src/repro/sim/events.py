@@ -242,7 +242,15 @@ class Process(Event):
                 self._finish(False, None, exc)
                 break
 
-            if not isinstance(target, Event) or target.env is not env:
+            # Duck-typed fast path: every Event has ``callbacks`` and
+            # ``env`` (slots), so the common case costs two attribute
+            # reads instead of an isinstance check per yield.
+            try:
+                callbacks = target.callbacks
+                foreign = target.env is not env
+            except AttributeError:
+                foreign = True
+            if foreign:
                 if isinstance(target, Event):
                     msg = (
                         f"process {self.name!r} yielded an event from a "
@@ -260,11 +268,11 @@ class Process(Event):
                 event = poison
                 continue
 
-            if target.callbacks is None:
+            if callbacks is None:
                 # Already processed: resume immediately with its outcome.
                 event = target
                 continue
-            target.callbacks.append(self._resume)
+            callbacks.append(self._resume)
             self._target = target
             break
         env._active_process = None

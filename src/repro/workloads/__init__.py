@@ -3,8 +3,10 @@
 from repro.workloads.io import (
     TraceSummary,
     load_trace,
+    load_trace_cached,
     save_trace,
     summarise_trace,
+    trace_cache_clear,
 )
 from repro.workloads.generators import (
     mmpp_trace,
@@ -32,9 +34,11 @@ __all__ = [
     "inject_stall",
     "iter_clf_arrival_times",
     "load_trace",
+    "load_trace_cached",
     "pareto_onoff_trace",
     "save_trace",
     "summarise_trace",
+    "trace_cache_clear",
     "merge_traces",
     "mmpp_trace",
     "nonhomogeneous_poisson",

@@ -1,0 +1,101 @@
+"""The `repro bench` suite: payload shape, persistence, regression gate."""
+
+import json
+
+from repro.harness.bench import (
+    HARNESS_SCHEMA,
+    KERNEL_SCHEMA,
+    bench_harness,
+    bench_kernel,
+    check_regressions,
+    render_summary,
+    write_bench_files,
+)
+
+
+def test_bench_kernel_quick_payload():
+    payload = bench_kernel(quick=True)
+    assert payload["schema"] == KERNEL_SCHEMA
+    assert payload["quick"] is True
+    for name in ("timeout_storm", "pbpl_smoke"):
+        b = payload["benchmarks"][name]
+        assert b["events"] > 0
+        assert b["events_per_s"] > 0
+        assert b["best_wall_s"] > 0
+
+
+def test_bench_harness_quick_is_byte_identical():
+    payload = bench_harness(quick=True, jobs=2)
+    assert payload["schema"] == HARNESS_SCHEMA
+    cm = payload["chaos_matrix"]
+    assert cm["jobs"] == 2
+    assert cm["byte_identical"] is True
+    assert cm["serial_wall_s"] > 0 and cm["parallel_wall_s"] > 0
+
+
+def _kernel_payload(storm_rate, smoke_rate):
+    return {
+        "schema": KERNEL_SCHEMA,
+        "benchmarks": {
+            "timeout_storm": {"events_per_s": storm_rate},
+            "pbpl_smoke": {"events_per_s": smoke_rate},
+        },
+    }
+
+
+def test_regression_gate_passes_within_tolerance(tmp_path):
+    baseline = tmp_path / "BENCH_kernel.json"
+    baseline.write_text(json.dumps(_kernel_payload(1000.0, 500.0)))
+    # 10% slower: inside the 20% tolerance.
+    assert check_regressions(_kernel_payload(900.0, 450.0), baseline) == []
+
+
+def test_regression_gate_fails_past_tolerance(tmp_path):
+    baseline = tmp_path / "BENCH_kernel.json"
+    baseline.write_text(json.dumps(_kernel_payload(1000.0, 500.0)))
+    failures = check_regressions(_kernel_payload(700.0, 495.0), baseline)
+    assert len(failures) == 1
+    assert "timeout_storm" in failures[0]
+    assert "below baseline" in failures[0]
+
+
+def test_regression_gate_reports_missing_baseline(tmp_path):
+    failures = check_regressions(
+        _kernel_payload(1.0, 1.0), tmp_path / "absent.json"
+    )
+    assert failures and "not found" in failures[0]
+
+
+def test_write_bench_files_and_summary(tmp_path):
+    kernel = {
+        "schema": KERNEL_SCHEMA,
+        "repro_version": "1.0.0",
+        "python": "3.11.7",
+        "cpu_count": 4,
+        "quick": True,
+        "benchmarks": {
+            "pbpl_smoke": {
+                "events": 100,
+                "repeats": 3,
+                "best_wall_s": 0.01,
+                "events_per_s": 10_000.0,
+            }
+        },
+    }
+    harness = {
+        "schema": HARNESS_SCHEMA,
+        "chaos_matrix": {
+            "jobs": 4,
+            "serial_wall_s": 2.0,
+            "parallel_wall_s": 0.8,
+            "speedup": 2.5,
+            "byte_identical": True,
+        },
+    }
+    kpath, hpath = write_bench_files(kernel, harness, tmp_path)
+    assert json.loads(kpath.read_text())["schema"] == KERNEL_SCHEMA
+    assert json.loads(hpath.read_text())["schema"] == HARNESS_SCHEMA
+    text = render_summary(kernel, harness)
+    assert "pbpl_smoke" in text
+    assert "2.50x" in text
+    assert "byte-identical: yes" in text

@@ -11,6 +11,7 @@ from repro.workloads import (
     summarise_trace,
     worldcup_like_trace,
 )
+from repro.workloads.io import load_trace_cached, trace_cache_clear
 
 
 def test_save_load_roundtrip(tmp_path):
@@ -52,6 +53,26 @@ def test_empty_trace_roundtrip(tmp_path):
     loaded = load_trace(path)
     assert loaded.n_items == 0
     assert loaded.duration_s == 2.0
+
+
+def test_load_trace_cached_memoizes_per_file_state(tmp_path):
+    rng = np.random.default_rng(4)
+    path = tmp_path / "cached.npz"
+    save_trace(poisson_trace(200.0, 1.0, rng), path)
+    trace_cache_clear()
+    first = load_trace_cached(path)
+    assert load_trace_cached(path) is first  # memo hit: same object
+
+    # Rewriting the file changes (mtime, size) → cache miss, fresh parse.
+    import os
+
+    save_trace(poisson_trace(300.0, 1.0, rng), path)
+    os.utime(path, (path.stat().st_atime, path.stat().st_mtime + 10))
+    second = load_trace_cached(path)
+    assert second is not first
+    assert not np.array_equal(second.times, first.times)
+    trace_cache_clear()
+    assert load_trace_cached(path) is not second  # cleared → reparsed
 
 
 def test_summary_of_empty_trace():

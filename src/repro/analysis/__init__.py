@@ -1,0 +1,45 @@
+"""Static analysis + dynamic simultaneity sanitizer for the reproduction.
+
+Two halves:
+
+* ``repro lint`` (:mod:`repro.analysis.engine`) — AST rules enforcing
+  the determinism/purity/layering invariants at the source level
+  (DET/LAYER/PURE/TRACE rule families, ``# repro: allow[...]``
+  suppressions).
+* ``repro chaos --sanitize`` (:mod:`repro.analysis.sanitizer`) — a DES
+  race detector: at equal virtual timestamps it reports event pairs
+  whose relative order is decided only by heap insertion sequence and
+  that touch the same buffer/slot/core-manager state.
+"""
+
+from repro.analysis.findings import Finding, render_json, render_text
+from repro.analysis.registry import LintRule, all_rules, register, rule_codes
+
+__all__ = [
+    "Finding",
+    "LintRule",
+    "all_rules",
+    "register",
+    "rule_codes",
+    "render_json",
+    "render_text",
+    "lint_paths",
+    "main",
+]
+
+_LAZY = {
+    "lint_paths": "repro.analysis.engine",
+    "main": "repro.analysis.engine",
+    "SimultaneitySanitizer": "repro.analysis.sanitizer",
+    "SanitizingEnvironment": "repro.analysis.sanitizer",
+    "sanitize_scenario": "repro.analysis.sanitizer",
+}
+
+
+def __getattr__(name):
+    target = _LAZY.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(target), name)

@@ -1,0 +1,231 @@
+"""Lint engine: file walk, module context, rule driving, CLI.
+
+The engine parses each ``.py`` file once into a :class:`ModuleContext`
+(AST + resolved import aliases + layer identity) and hands it to every
+registered rule. Suppression pragmas are applied afterwards so a rule
+never needs to know about them.
+
+Exit codes: 0 clean, 1 unsuppressed findings, 2 unreadable/unparseable
+input or bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import Finding, render_json, render_text, sort_findings
+from repro.analysis.registry import all_rules, is_suppressed, parse_suppressions
+
+
+def dotted_parts(node: ast.AST) -> Optional[List[str]]:
+    """``a.b.c`` attribute chain -> ``["a", "b", "c"]``, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+def collect_imports(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> canonical dotted origin, for every import in the file.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from time import
+    perf_counter`` maps ``perf_counter -> time.perf_counter``. Relative
+    imports are left out (they never alias stdlib entropy sources).
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    aliases[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    aliases[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or not node.module:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                aliases[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one source file."""
+
+    path: Path
+    display_path: str
+    module: Optional[str]  # dotted name, e.g. "repro.core.manager"
+    layer: Optional[str]  # first package under repro, e.g. "core"
+    tree: ast.Module
+    lines: List[str]
+    imports: Dict[str, str] = field(default_factory=dict)
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Canonical dotted name of an expression, through import aliases.
+
+        ``np.random.default_rng`` -> ``numpy.random.default_rng`` when the
+        file did ``import numpy as np``; None for non-name expressions.
+        """
+        parts = dotted_parts(node)
+        if not parts:
+            return None
+        origin = self.imports.get(parts[0])
+        if origin is not None:
+            parts = origin.split(".") + parts[1:]
+        return ".".join(parts)
+
+
+def module_name_for(path: Path) -> Optional[str]:
+    """Dotted module name, anchored at the last ``repro`` path component."""
+    parts = list(path.parts)
+    if "repro" not in parts:
+        return None
+    idx = len(parts) - 1 - parts[::-1].index("repro")
+    rel = parts[idx:]
+    if rel[-1].endswith(".py"):
+        rel[-1] = rel[-1][:-3]
+    if rel[-1] == "__init__":
+        rel = rel[:-1]
+    return ".".join(rel)
+
+
+def layer_for(module: Optional[str]) -> Optional[str]:
+    if not module or not module.startswith("repro."):
+        return None
+    return module.split(".")[1]
+
+
+def load_context(path: Path, display_path: Optional[str] = None) -> ModuleContext:
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    module = module_name_for(path)
+    return ModuleContext(
+        path=path,
+        display_path=display_path or str(path),
+        module=module,
+        layer=layer_for(module),
+        tree=tree,
+        lines=source.splitlines(),
+        imports=collect_imports(tree),
+    )
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    files: List[Path] = []
+    for p in paths:
+        if p.is_dir():
+            files.extend(sorted(p.rglob("*.py")))
+        else:
+            files.append(p)
+    # De-duplicate while keeping a stable, sorted order.
+    return sorted(set(files))
+
+
+def lint_paths(paths: Sequence[Path]) -> Tuple[List[Finding], List[str]]:
+    """Lint every file under ``paths``.
+
+    Returns ``(findings, errors)`` where ``errors`` are human-readable
+    messages for files that could not be read or parsed.
+    """
+    rules = all_rules()
+    findings: List[Finding] = []
+    errors: List[str] = []
+    for path in iter_python_files(paths):
+        try:
+            ctx = load_context(path)
+        except SyntaxError as exc:
+            errors.append(f"{path}:{exc.lineno or 1}: syntax error: {exc.msg}")
+            continue
+        except OSError as exc:
+            errors.append(f"{path}: unreadable: {exc}")
+            continue
+        supp = parse_suppressions(ctx.lines)
+        for rule in rules:
+            for finding in rule.check(ctx):
+                if not is_suppressed(finding, supp):
+                    findings.append(finding)
+    return sort_findings(findings), errors
+
+
+def _default_names_path() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent / "trace" / "names.py"
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="Static determinism/purity/layering analysis for src/repro.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--write-names",
+        action="store_true",
+        help="regenerate trace/names.py from tracer call sites and exit",
+    )
+    parser.add_argument(
+        "--names-out",
+        type=Path,
+        default=None,
+        help="override the generated names.py location (with --write-names)",
+    )
+    args = parser.parse_args(argv)
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        for p in missing:
+            print(f"repro lint: no such path: {p}", file=sys.stderr)
+        return 2
+
+    if args.write_names:
+        from repro.analysis.rules_trace import write_names_module
+
+        out = args.names_out or _default_names_path()
+        names = write_names_module(paths, out)
+        print(f"wrote {len(names)} registered trace names to {out}")
+        return 0
+
+    findings, errors = lint_paths(paths)
+    for err in errors:
+        print(f"repro lint: {err}", file=sys.stderr)
+    if args.format == "json":
+        sys.stdout.write(render_json(findings))
+    else:
+        print(render_text(findings))
+    if errors:
+        return 2
+    return 1 if findings else 0
+
+
+# Rule modules register themselves on import; keep these imports last so
+# the registry helpers above exist when they run.
+from repro.analysis import rules_det  # noqa: E402,F401
+from repro.analysis import rules_layer  # noqa: E402,F401
+from repro.analysis import rules_pure  # noqa: E402,F401
+from repro.analysis import rules_trace  # noqa: E402,F401

@@ -1,0 +1,111 @@
+"""Rule registry and ``# repro: allow[...]`` suppression parsing.
+
+Rules self-register with :func:`register`; the engine iterates
+:func:`all_rules` in code order so output is stable regardless of import
+order. Suppressions are comment pragmas::
+
+    x = time.time()  # repro: allow[DET001] -- harness boot banner
+
+    # repro: allow[DET]
+    y = time.time()
+
+A pragma on its own line covers the next source line; a trailing pragma
+covers its own line. The bracket takes a comma-separated list of exact
+codes (``DET001``) or family prefixes (``DET`` covers every DET rule).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.engine import ModuleContext
+    from repro.analysis.findings import Finding
+
+
+class LintRule:
+    """Base class for AST lint rules.
+
+    Subclasses set ``code`` (e.g. ``"DET001"``) and ``summary`` and
+    implement :meth:`check`, returning findings for one module.
+    """
+
+    code: str = ""
+    summary: str = ""
+
+    def check(self, ctx: "ModuleContext") -> List["Finding"]:
+        raise NotImplementedError
+
+    def finding(self, ctx: "ModuleContext", node: ast.AST, message: str) -> "Finding":
+        from repro.analysis.findings import Finding
+
+        return Finding(
+            path=ctx.display_path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=self.code,
+            message=message,
+        )
+
+
+_REGISTRY: Dict[str, LintRule] = {}
+
+
+def register(cls):
+    """Class decorator: instantiate and register a rule by its code."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in _REGISTRY:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    _REGISTRY[cls.code] = cls()
+    return cls
+
+
+def all_rules() -> List[LintRule]:
+    """Registered rules in code order."""
+    return [_REGISTRY[code] for code in sorted(_REGISTRY)]
+
+
+def rule_codes() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
+
+
+def parse_suppressions(lines: Sequence[str]) -> Dict[int, FrozenSet[str]]:
+    """Map 1-based line number -> codes/families allowed on that line.
+
+    A pragma applies to its own line; if the line holds nothing but the
+    comment, it also applies to the next line.
+    """
+    supp: Dict[int, FrozenSet[str]] = {}
+    for lineno, text in enumerate(lines, start=1):
+        m = _ALLOW_RE.search(text)
+        if not m:
+            continue
+        codes = frozenset(
+            tok.strip().upper() for tok in m.group(1).split(",") if tok.strip()
+        )
+        if not codes:
+            continue
+        supp[lineno] = supp.get(lineno, frozenset()) | codes
+        if text.lstrip().startswith("#"):
+            supp[lineno + 1] = supp.get(lineno + 1, frozenset()) | codes
+    return supp
+
+
+def is_suppressed(finding: "Finding", supp: Dict[int, FrozenSet[str]]) -> bool:
+    codes = supp.get(finding.line)
+    if not codes:
+        return False
+    for allowed in codes:
+        if finding.code == allowed or finding.code.startswith(allowed):
+            return True
+    return False

@@ -1,0 +1,154 @@
+"""LAYER rule: the import-boundary matrix.
+
+The DES kernel layers (``sim``, ``buffers``, ``power``, ``core``,
+``cpu``) are the deterministic heart of the reproduction: they may not
+import the measurement harness, the CLI, the chaos driver, or the trace
+recorder (all of which sit *above* them and are allowed to import
+*down*). The trace core is a leaf library too: everything in
+``repro.trace`` except ``trace.recorder`` (which intentionally drives
+harness runs) must not import ``harness`` or ``cli``.
+
+Imports inside ``if TYPE_CHECKING:`` blocks are annotations-only and are
+exempt.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import TYPE_CHECKING, Iterable, List, Tuple
+
+from repro.analysis.registry import LintRule, register
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.engine import ModuleContext
+    from repro.analysis.findings import Finding
+
+KERNEL_LAYERS = ("sim", "buffers", "power", "core", "cpu")
+
+_KERNEL_FORBIDDEN = (
+    "repro.harness",
+    "repro.cli",
+    "repro.faults.chaos",
+    "repro.trace.recorder",
+    "repro.analysis",
+)
+_TRACE_FORBIDDEN = (
+    "repro.harness",
+    "repro.cli",
+)
+RECORDER_MODULE = "repro.trace.recorder"
+
+
+def _is_type_checking_test(test: ast.AST) -> bool:
+    if isinstance(test, ast.Name) and test.id == "TYPE_CHECKING":
+        return True
+    if isinstance(test, ast.Attribute) and test.attr == "TYPE_CHECKING":
+        return True
+    return False
+
+
+def iter_runtime_imports(tree: ast.Module) -> Iterable[ast.stmt]:
+    """Every Import/ImportFrom not guarded by ``if TYPE_CHECKING:``."""
+
+    def walk(body: Iterable[ast.stmt]):
+        for stmt in body:
+            if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                yield stmt
+            elif isinstance(stmt, ast.If):
+                if not _is_type_checking_test(stmt.test):
+                    yield from walk(stmt.body)
+                yield from walk(stmt.orelse)
+            elif isinstance(
+                stmt,
+                (
+                    ast.For,
+                    ast.AsyncFor,
+                    ast.While,
+                    ast.With,
+                    ast.AsyncWith,
+                    ast.FunctionDef,
+                    ast.AsyncFunctionDef,
+                    ast.ClassDef,
+                ),
+            ):
+                yield from walk(stmt.body)
+                yield from walk(getattr(stmt, "orelse", []) or [])
+            elif isinstance(stmt, ast.Try):
+                yield from walk(stmt.body)
+                for handler in stmt.handlers:
+                    yield from walk(handler.body)
+                yield from walk(stmt.orelse)
+                yield from walk(stmt.finalbody)
+
+    return walk(tree.body)
+
+
+def imported_modules(
+    node: ast.stmt, current_module: str
+) -> List[Tuple[str, ast.stmt]]:
+    """Absolute module names an import statement may bind.
+
+    ``from repro.faults import chaos`` yields both ``repro.faults`` and
+    ``repro.faults.chaos`` so submodule imports can't slip through the
+    matrix. Relative imports are resolved against ``current_module``.
+    """
+    out: List[Tuple[str, ast.stmt]] = []
+    if isinstance(node, ast.Import):
+        for alias in node.names:
+            out.append((alias.name, node))
+    elif isinstance(node, ast.ImportFrom):
+        if node.level:
+            parts = current_module.split(".")
+            # level 1 = the containing package of this module.
+            base = parts[: len(parts) - node.level]
+            prefix = ".".join(base)
+            module = f"{prefix}.{node.module}" if node.module else prefix
+        else:
+            module = node.module or ""
+        if module:
+            out.append((module, node))
+            for alias in node.names:
+                if alias.name != "*":
+                    out.append((f"{module}.{alias.name}", node))
+    return out
+
+
+def _violates(module: str, forbidden: Tuple[str, ...]) -> str:
+    for prefix in forbidden:
+        if module == prefix or module.startswith(prefix + "."):
+            return prefix
+    return ""
+
+
+@register
+class LayerBoundaryRule(LintRule):
+    code = "LAYER001"
+    summary = "import crosses the layer boundary matrix"
+
+    def check(self, ctx: "ModuleContext") -> List["Finding"]:
+        if ctx.module is None or ctx.layer is None:
+            return []
+        if ctx.layer in KERNEL_LAYERS:
+            forbidden = _KERNEL_FORBIDDEN
+            role = f"kernel layer `{ctx.layer}`"
+        elif ctx.layer == "trace" and ctx.module != RECORDER_MODULE:
+            forbidden = _TRACE_FORBIDDEN
+            role = "trace core"
+        else:
+            return []
+        out: List["Finding"] = []
+        seen = set()
+        for stmt in iter_runtime_imports(ctx.tree):
+            for module, node in imported_modules(stmt, ctx.module):
+                hit = _violates(module, forbidden)
+                if hit and (node.lineno, hit) not in seen:
+                    seen.add((node.lineno, hit))
+                    out.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            f"{role} must not import `{hit}` "
+                            f"(found `{module}`)",
+                        )
+                    )
+        return out

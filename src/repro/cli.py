@@ -188,11 +188,61 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         jobs=args.jobs,
     )
     _emit(args, report.to_json() if args.json else report.render())
+    rc = 0
     if not report.passed:
         bad = [r.scenario for r in report.results if r.verdict not in ("OK", "SHED")]
         print(f"chaos: resilience violations in: {', '.join(bad)}", file=sys.stderr)
+        rc = 1
+    if args.sanitize:
+        rc = max(rc, _chaos_sanitize_pass(scenarios, args))
+    return rc
+
+
+def _chaos_sanitize_pass(scenarios, args: argparse.Namespace) -> int:
+    """Re-run each scenario serially under the simultaneity sanitizer.
+
+    A separate pass on purpose: the sanitizing environment records call
+    sites per scheduled event, which is too slow for the scored matrix
+    and is jobs-agnostic (probes are per-process state).
+    """
+    from repro.analysis.sanitizer import sanitize_scenario
+    from repro.harness.params import StandardParams
+
+    params = StandardParams(duration_s=args.duration, seed=args.seed)
+    info = sys.stderr if args.json else sys.stdout
+    races = 0
+    for scenario in scenarios:
+        result = sanitize_scenario(scenario, params, n_consumers=args.consumers)
+        status = "clean" if result.ok else f"{len(result.races)} RACE(S)"
+        print(
+            f"sanitize: {scenario.name}: {status} "
+            f"({result.events_seen} events, "
+            f"{result.contended_groups} same-timestamp groups)",
+            file=info,
+            flush=True,
+        )
+        if not result.ok:
+            races += len(result.races)
+            for race in result.races:
+                print(race.render(), file=sys.stderr)
+    if races:
+        print(f"chaos --sanitize: {races} simultaneity race(s)", file=sys.stderr)
         return 1
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """AST-based static analysis: determinism (DET), layer boundaries
+    (LAYER), kernel purity (PURE) and trace-name registration (TRACE).
+    Exit 0 = clean, 1 = unsuppressed findings, 2 = unreadable input."""
+    from repro.analysis.engine import main as lint_main
+
+    argv = list(args.paths) + ["--format", args.format]
+    if args.write_names:
+        argv.append("--write-names")
+    if args.names_out is not None:
+        argv += ["--names-out", str(args.names_out)]
+    return lint_main(argv)
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -202,16 +252,24 @@ def cmd_bench(args: argparse.Namespace) -> int:
     import json as json_mod
 
     from repro.harness.bench import (
+        append_history,
         bench_harness,
         bench_kernel,
         check_regressions,
+        read_history,
+        render_history,
         render_summary,
         write_bench_files,
     )
 
+    if args.history:
+        print(render_history(read_history(args.history_file)))
+        return 0
+
     kernel = bench_kernel(quick=args.quick)
     harness = bench_harness(quick=args.quick, jobs=args.jobs)
     kernel_path, harness_path = write_bench_files(kernel, harness, args.output_dir)
+    entry = append_history(kernel, harness, args.history_file)
     info = sys.stderr if args.json else sys.stdout
     if args.json:
         print(
@@ -222,6 +280,11 @@ def cmd_bench(args: argparse.Namespace) -> int:
     else:
         print(render_summary(kernel, harness))
     print(f"wrote {kernel_path} and {harness_path}", file=info)
+    print(
+        f"history: appended {entry['git_sha']} (v{entry['repro_version']}) "
+        f"to {args.history_file}",
+        file=info,
+    )
 
     rc = 0
     if not harness["chaos_matrix"]["byte_identical"]:
@@ -501,17 +564,34 @@ def cmd_trace_bless(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_jsonl_events(path: Path):
-    """Events from a JSONL trace, or exit-able error text."""
-    from repro.trace import TraceReader, TraceSchemaError
+def _load_jsonl_events(path: Path, require_footer: bool = False):
+    """Events from a JSONL trace; unreadable input exits 2 cleanly.
+
+    ``require_footer`` additionally treats a trace whose footer record
+    is missing (the writing run was killed after its last complete
+    event line) as truncated.
+    """
+    from repro.trace import TraceReader, TraceSchemaError, TraceTruncatedError
 
     try:
         reader = TraceReader(path)
+        events = reader.read()
     except FileNotFoundError:
-        raise SystemExit(f"trace: {path}: no such file")
+        print(f"trace: {path}: no such file", file=sys.stderr)
+        raise SystemExit(2) from None
+    except TraceTruncatedError as exc:
+        print(f"trace: truncated trace: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
     except TraceSchemaError as exc:
-        raise SystemExit(f"trace: {exc}")
-    events = reader.read()
+        print(f"trace: {exc}", file=sys.stderr)
+        raise SystemExit(2) from None
+    if require_footer and reader.footer is None:
+        print(
+            f"trace: {path}: truncated trace — no footer record (was the "
+            f"writing run killed?)",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
     return events, reader
 
 
@@ -526,8 +606,8 @@ def cmd_trace_diff(args: argparse.Namespace) -> int:
 
     from repro.trace import diff_events
 
-    events_a, _ = _load_jsonl_events(args.trace_a)
-    events_b, _ = _load_jsonl_events(args.trace_b)
+    events_a, _ = _load_jsonl_events(args.trace_a, require_footer=True)
+    events_b, _ = _load_jsonl_events(args.trace_b, require_footer=True)
     diff = diff_events(
         events_a, events_b, energy_threshold_j=args.threshold_j
     )
@@ -702,6 +782,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--json", action="store_true", help="emit the report as JSON"
     )
+    p.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="re-run each scenario under the simultaneity sanitizer "
+        "(DES race detector); exit non-zero on any race",
+    )
     p.set_defaults(func=cmd_chaos)
 
     p = sub.add_parser("tune", help="auto-tune the slot size Δ for a workload")
@@ -749,6 +835,18 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="committed BENCH_kernel.json to gate against: exit non-zero "
         "if events/sec regresses more than 20%%",
+    )
+    p.add_argument(
+        "--history",
+        action="store_true",
+        help="print the per-commit events/sec trajectory and exit "
+        "(no benchmarks run)",
+    )
+    p.add_argument(
+        "--history-file",
+        type=Path,
+        default=Path("results/bench_history.jsonl"),
+        help="per-commit snapshot file (default results/bench_history.jsonl)",
     )
     p.set_defaults(func=cmd_bench)
 
@@ -885,6 +983,36 @@ def build_parser() -> argparse.ArgumentParser:
     p = tsub.add_parser("inspect", help="summarise a .npz or CLF trace")
     p.add_argument("file", type=Path)
     p.set_defaults(func=cmd_trace_inspect)
+
+    p = sub.add_parser(
+        "lint",
+        help="static determinism/purity/layering analysis (DET/LAYER/"
+        "PURE/TRACE rules)",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    p.add_argument(
+        "--write-names",
+        action="store_true",
+        help="regenerate trace/names.py from tracer call sites and exit",
+    )
+    p.add_argument(
+        "--names-out",
+        type=Path,
+        default=None,
+        help="override the generated names.py location (with --write-names)",
+    )
+    p.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -182,6 +182,7 @@ def run_scenario(
     replicate: int = 0,
     config_overrides: Optional[dict] = None,
     impl: str = "PBPL",
+    env=None,
 ) -> ResilienceMetrics:
     """Run one fault scenario on a fresh rig and score it.
 
@@ -189,9 +190,10 @@ def run_scenario(
     degradation features armed) or any baseline registry name — the
     same fault plan then drives a :class:`MultiPairSystem`, which is
     what makes the report's degradation columns comparable.
+    ``env`` injects a pre-built environment (the sanitizer uses this).
     """
     plan = scenario.build(params.duration_s, n_consumers)
-    rig = Rig.build(params, replicate)
+    rig = Rig.build(params, replicate, env=env)
     traces = phase_shifted_traces(base_trace(params, replicate), n_consumers)
     traces = perturb_traces(traces, plan, rig.streams.stream("chaos"))
 

@@ -28,10 +28,12 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import sys
 from pathlib import Path
-from time import perf_counter
 from typing import Dict, List, Optional, Tuple
+
+from repro.harness.clock import perf_counter, utc_stamp
 
 from repro._version import __version__
 from repro.core.system import PBPLSystem
@@ -196,6 +198,7 @@ def write_bench_files(
 ) -> Tuple[Path, Path]:
     """Write ``BENCH_kernel.json`` + ``BENCH_harness.json`` under
     ``out_dir``; returns the two paths."""
+    out_dir.mkdir(parents=True, exist_ok=True)
     kernel_path = out_dir / "BENCH_kernel.json"
     harness_path = out_dir / "BENCH_harness.json"
     kernel_path.write_text(
@@ -241,6 +244,123 @@ def check_regressions(
                 f"{base_rate:,.0f} (tolerance {tolerance * 100:.0f}%)"
             )
     return failures
+
+
+# -- bench history (per-commit trajectory) ----------------------------------------
+
+#: One JSON object per line; the file accumulates across commits so the
+#: events/sec trajectory can be plotted over time (ROADMAP "Bench history").
+HISTORY_SCHEMA = "repro.bench.history/1"
+DEFAULT_HISTORY_PATH = Path("results/bench_history.jsonl")
+
+
+def _git_sha() -> str:
+    """Short SHA of HEAD, or ``"unknown"`` outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    if proc.returncode != 0:
+        return "unknown"
+    return proc.stdout.strip() or "unknown"
+
+
+def history_entry(kernel: dict, harness: dict) -> dict:
+    """Condense one bench invocation into a history snapshot."""
+    cm = harness["chaos_matrix"]
+    return {
+        "schema": HISTORY_SCHEMA,
+        "recorded_at": utc_stamp(),
+        "repro_version": kernel["repro_version"],
+        "git_sha": _git_sha(),
+        "quick": bool(kernel.get("quick")),
+        "python": kernel["python"],
+        "events_per_s": {
+            name: b["events_per_s"] for name, b in kernel["benchmarks"].items()
+        },
+        "chaos_jobs": cm["jobs"],
+        "chaos_speedup": cm["speedup"],
+    }
+
+
+def read_history(path: Path = DEFAULT_HISTORY_PATH) -> List[dict]:
+    """Parse the history file; unparseable lines (e.g. a truncated tail
+    from a killed run) are skipped rather than fatal."""
+    if not path.exists():
+        return []
+    entries: List[dict] = []
+    for line in path.read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            doc = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(doc, dict) and doc.get("schema") == HISTORY_SCHEMA:
+            entries.append(doc)
+    return entries
+
+
+def append_history(
+    kernel: dict, harness: dict, path: Path = DEFAULT_HISTORY_PATH
+) -> dict:
+    """Append this invocation's snapshot, keyed on (version, sha, quick).
+
+    Re-running bench on the same commit replaces that commit's entry
+    instead of duplicating it, so the file stays one line per commit.
+    """
+    entry = history_entry(kernel, harness)
+    key = (entry["repro_version"], entry["git_sha"], entry["quick"])
+    entries = [
+        e
+        for e in read_history(path)
+        if (e.get("repro_version"), e.get("git_sha"), e.get("quick")) != key
+    ]
+    entries.append(entry)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        "".join(json.dumps(e, sort_keys=True) + "\n" for e in entries),
+        encoding="utf-8",
+    )
+    return entry
+
+
+def render_history(entries: List[dict]) -> str:
+    """Terminal table of the events/sec trajectory."""
+    if not entries:
+        return "bench history: empty (run `repro bench` to record a snapshot)"
+    bench_names = sorted({n for e in entries for n in e.get("events_per_s", {})})
+    header = (
+        f"{'recorded_at (UTC)':<21}{'version':<10}{'sha':<9}{'quick':<7}"
+        + "".join(f"{name + ' ev/s':>20}" for name in bench_names)
+        + f"{'chaos speedup':>15}"
+    )
+    lines = [
+        f"bench history — {len(entries)} "
+        f"entr{'y' if len(entries) == 1 else 'ies'}",
+        "",
+        header,
+    ]
+    for e in entries:
+        rates = e.get("events_per_s", {})
+        lines.append(
+            f"{e.get('recorded_at', '?'):<21}"
+            f"{e.get('repro_version', '?'):<10}"
+            f"{e.get('git_sha', '?'):<9}"
+            f"{'yes' if e.get('quick') else 'no':<7}"
+            + "".join(
+                f"{rates[name]:>20,.0f}" if name in rates else f"{'—':>20}"
+                for name in bench_names
+            )
+            + f"{e.get('chaos_speedup', 0.0):>14.2f}x"
+        )
+    return "\n".join(lines)
 
 
 def render_summary(kernel: dict, harness: dict) -> str:

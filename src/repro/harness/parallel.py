@@ -32,13 +32,13 @@ per run.
 
 from __future__ import annotations
 
-import os
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Any, Callable, List, Optional, Sequence
 
-#: Environment variable consulted when no explicit job count is given.
-JOBS_ENV_VAR = "REPRO_JOBS"
+# Re-exported for back-compat; the environment read itself lives in
+# harness.params (the one module allowed to touch ambient config).
+from repro.harness.params import JOBS_ENV_VAR, ambient_jobs
 
 
 class WorkerCrashError(RuntimeError):
@@ -73,15 +73,9 @@ class WorkerCrashError(RuntimeError):
 def resolve_jobs(jobs: Optional[int] = None) -> int:
     """Effective job count: explicit value, else ``$REPRO_JOBS``, else 1."""
     if jobs is None:
-        raw = os.environ.get(JOBS_ENV_VAR, "").strip()
-        if not raw:
+        jobs = ambient_jobs()
+        if jobs is None:
             return 1
-        try:
-            jobs = int(raw)
-        except ValueError:
-            raise ValueError(
-                f"{JOBS_ENV_VAR}={raw!r} is not an integer"
-            ) from None
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     return jobs

@@ -17,6 +17,7 @@ aim at a few seconds of wall-clock per experiment cell.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Optional
 
@@ -25,6 +26,27 @@ from repro.impls.base import PCConfig
 from repro.sim.rng import RandomStreams
 from repro.workloads.generators import worldcup_like_trace
 from repro.workloads.trace import Trace
+
+
+#: Environment variable consulted when no explicit job count is given.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def ambient_jobs() -> Optional[int]:
+    """``$REPRO_JOBS`` as an int, or None when unset/empty.
+
+    This module is the single place allowed to read ambient
+    configuration (the PURE003 lint rule enforces it): the environment
+    is folded into an explicit value here, and everything downstream
+    takes that value as a parameter.
+    """
+    raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+    if not raw:
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ValueError(f"{JOBS_ENV_VAR}={raw!r} is not an integer") from None
 
 
 @dataclass

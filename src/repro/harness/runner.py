@@ -54,9 +54,17 @@ class Rig:
     streams: RandomStreams
 
     @classmethod
-    def build(cls, params: StandardParams, replicate: int) -> "Rig":
+    def build(
+        cls,
+        params: StandardParams,
+        replicate: int,
+        env: Optional[Environment] = None,
+    ) -> "Rig":
+        """Assemble a rig. ``env`` injects a pre-built environment (e.g.
+        a SanitizingEnvironment); the default is a fresh one."""
         streams = RandomStreams(seed=params.seed, replicate=replicate)
-        env = Environment()
+        if env is None:
+            env = Environment()
         machine = Machine(env, n_cores=2, streams=streams)
         model = PowerModel()
         ledger = EnergyLedger(env, model)

@@ -107,7 +107,7 @@ class PowerTop(CoreListener):
                 wakeups_per_s=self._task_wakeups.get(owner, 0) / duration,
                 usage_ms_per_s=self._busy_s.get(owner, 0.0) * 1000.0 / duration,
             )
-            for owner in owners
+            for owner in sorted(owners, key=str)
         }
         return PowerTopReport(
             duration_s=duration,

@@ -151,30 +151,16 @@ class Environment:
         * an :class:`Event` — run until that event is processed and
           return its value (re-raising its exception on failure).
         """
-        stop_at = float("inf")
-        watched: Optional[Event] = None
-        if isinstance(until, Event):
-            watched = until
-            if watched.callbacks is None:  # already processed
-                if not watched._ok:
-                    assert watched._exc is not None
-                    raise watched._exc
-                return watched._value
-            watched.callbacks.append(self._stop_callback)
-        elif until is not None:
-            stop_at = float(until)
-            if stop_at < self.now:
-                raise SimulationError(
-                    f"run(until={stop_at}) is in the past (now={self.now})"
-                )
-
         # The hot loop: an inlined :meth:`step` with the queue and pop
         # bound to locals. Identical dispatch semantics, no per-event
         # method-call overhead.
         queue = self._queue
         pop = heappop
         processed = 0
+        watched: Optional[Event] = None
+        stop_at = float("inf")
         try:
+            stop_at, watched = self._arm_until(until)
             while queue and queue[0][0] < stop_at:
                 when, _prio, _eid, event = pop(queue)
                 self.now = when
@@ -202,6 +188,30 @@ class Environment:
         if stop_at != float("inf"):
             self.now = stop_at
         return None
+
+    def _arm_until(self, until: Union[None, float, Event]) -> tuple:
+        """Normalise ``run``'s ``until`` into ``(stop_at, watched)``.
+
+        When ``until`` is an event that already completed, raises
+        :class:`_StopSimulation` so the caller's handler returns its
+        value (or re-raises its failure) through the same path a live
+        stop callback would take. Must be called inside the ``try`` that
+        handles :class:`_StopSimulation`.
+        """
+        stop_at = float("inf")
+        watched: Optional[Event] = None
+        if isinstance(until, Event):
+            watched = until
+            if watched.callbacks is None:  # already processed
+                raise _StopSimulation(watched)
+            watched.callbacks.append(self._stop_callback)
+        elif until is not None:
+            stop_at = float(until)
+            if stop_at < self.now:
+                raise SimulationError(
+                    f"run(until={stop_at}) is in the past (now={self.now})"
+                )
+        return stop_at, watched
 
     @staticmethod
     def _stop_callback(event: Event) -> None:

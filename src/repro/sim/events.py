@@ -117,6 +117,23 @@ class Event:
         )
         return f"<{type(self).__name__} {state} at {id(self):#x}>"
 
+    def describe(self) -> str:
+        """Short diagnostic label: event kind plus named waiters.
+
+        Used by the simultaneity sanitizer to report *who* an event
+        would resume, without poking at callback internals there.
+        """
+        waiters = []
+        for cb in self.callbacks or ():
+            owner = getattr(cb, "__self__", None)
+            name = getattr(owner, "name", None)
+            if name:
+                waiters.append(str(name))
+        label = type(self).__name__
+        if waiters:
+            label += " -> " + ", ".join(waiters)
+        return label
+
 
 class Timeout(Event):
     """An event that triggers ``delay`` time units after creation."""

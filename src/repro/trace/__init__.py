@@ -56,11 +56,13 @@ from repro.trace.export import (
 )
 from repro.trace.power import TracePowerListener, core_track
 from repro.trace.query import TraceQuery
+from repro.trace.names import REGISTERED_NAMES
 from repro.trace.stream import (
     SCHEMA_VERSION,
     StreamingTraceWriter,
     TraceReader,
     TraceSchemaError,
+    TraceTruncatedError,
     read_trace,
     to_jsonl,
 )
@@ -83,6 +85,7 @@ __all__ = [
     "NULL_TRACER",
     "NullTracer",
     "PowerIndex",
+    "REGISTERED_NAMES",
     "RecordedRun",
     "SCENARIOS",
     "SCHEMA_VERSION",
@@ -97,6 +100,7 @@ __all__ = [
     "TraceReader",
     "TraceSchemaError",
     "TraceStructure",
+    "TraceTruncatedError",
     "Tracer",
     "WakeupCause",
     "aggregate_spans",

@@ -55,6 +55,16 @@ class TraceSchemaError(ValueError):
     """The file is not a readable repro trace (wrong shape or too new)."""
 
 
+class TraceTruncatedError(TraceSchemaError):
+    """The trace ends mid-line — the writing run was killed.
+
+    A healthy trace ends with a footer record; a run killed part-way
+    leaves either a half-written final line (raised here) or complete
+    event lines with no footer (detectable via ``TraceReader.footer is
+    None`` after a full read).
+    """
+
+
 def event_to_dict(event: TraceEvent) -> Dict[str, Any]:
     """One event as its JSONL object (JSON-safe args, stable keys)."""
     return {
@@ -227,6 +237,14 @@ class TraceReader:
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError as exc:
+                    if fh.read(1) == "":
+                        # The *final* line is unparseable: a run killed
+                        # mid-write, not a malformed trace.
+                        raise TraceTruncatedError(
+                            f"{self.path}:{lineno}: truncated trace — the "
+                            f"final line is incomplete (was the writing "
+                            f"run killed?)"
+                        ) from None
                     raise TraceSchemaError(
                         f"{self.path}:{lineno}: invalid JSON ({exc})"
                     ) from None

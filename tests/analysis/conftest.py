@@ -1,0 +1,26 @@
+"""Shared fixture: lint a source snippet as if it lived in src/repro.
+
+Rules key off the module's layer (derived from the last ``repro`` path
+component), so snippets are written under ``<tmp>/repro/<layer>/...``.
+"""
+
+import pytest
+
+from repro.analysis.engine import lint_paths
+
+
+@pytest.fixture
+def lint_snippet(tmp_path):
+    def _lint(source, rel="core/snippet.py"):
+        path = tmp_path / "repro" / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(source, encoding="utf-8")
+        findings, errors = lint_paths([path])
+        assert not errors, errors
+        return findings
+
+    return _lint
+
+
+def codes(findings):
+    return [f.code for f in findings]

@@ -1,0 +1,73 @@
+"""Engine-level tests: exit codes, output formats, names generation."""
+
+import json
+
+from repro.analysis.engine import main
+from repro.trace import REGISTERED_NAMES
+
+
+def _write(tmp_path, rel, source):
+    path = tmp_path / "repro" / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source, encoding="utf-8")
+    return path
+
+
+def test_clean_tree_exits_zero(tmp_path, capsys):
+    _write(tmp_path, "core/ok.py", "x = 1\n")
+    assert main([str(tmp_path)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_finding_exits_one_with_location(tmp_path, capsys):
+    path = _write(tmp_path, "core/bad.py", "import time\nt = time.time()\n")
+    assert main([str(tmp_path)]) == 1
+    out = capsys.readouterr().out
+    assert f"{path}:2:" in out
+    assert "DET001" in out
+
+
+def test_json_format(tmp_path, capsys):
+    _write(tmp_path, "core/bad.py", "import random\nx = random.random()\n")
+    assert main([str(tmp_path), "--format", "json"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["schema"] == "repro.lint/1"
+    assert doc["findings"][0]["code"] == "DET003"
+
+
+def test_missing_path_exits_two(tmp_path, capsys):
+    assert main([str(tmp_path / "nope")]) == 2
+    assert "no such path" in capsys.readouterr().err
+
+
+def test_syntax_error_exits_two(tmp_path, capsys):
+    _write(tmp_path, "core/broken.py", "def f(:\n")
+    assert main([str(tmp_path)]) == 2
+    assert "syntax error" in capsys.readouterr().err
+
+
+def test_write_names_generates_registry(tmp_path, capsys):
+    _write(
+        tmp_path,
+        "core/emitter.py",
+        "def emit(tracer):\n"
+        "    tracer.instant('core0', 'alpha')\n"
+        "    tracer.counter('core0', 'beta', 1.0)\n",
+    )
+    out = tmp_path / "names.py"
+    assert main([str(tmp_path), "--write-names", "--names-out", str(out)]) == 0
+    text = out.read_text(encoding="utf-8")
+    assert "REGISTERED_NAMES" in text
+    assert '"alpha"' in text and '"beta"' in text
+
+
+def test_shipped_tree_is_clean_and_names_current(capsys):
+    """The acceptance gate: `repro lint src` exits 0 on the real tree,
+    and the generated registry matches the tracer call sites."""
+    from pathlib import Path
+
+    from repro.analysis.rules_trace import collect_trace_names
+
+    src = Path(__file__).resolve().parents[2] / "src"
+    assert main([str(src)]) == 0
+    assert collect_trace_names([src]) == set(REGISTERED_NAMES)

@@ -1,0 +1,73 @@
+"""Bench history: per-commit snapshots, replace-on-rerun, rendering."""
+
+import json
+
+from repro.harness import bench
+
+
+def _kernel(version="0.5.0", quick=True, rate=1_000_000.0):
+    return {
+        "repro_version": version,
+        "quick": quick,
+        "python": "3.11.9",
+        "benchmarks": {"des_core": {"events_per_s": rate}},
+    }
+
+
+def _harness(jobs=4, speedup=2.5):
+    return {"chaos_matrix": {"jobs": jobs, "speedup": speedup}}
+
+
+def test_history_entry_fields(monkeypatch):
+    monkeypatch.setattr(bench, "_git_sha", lambda: "abc1234")
+    entry = bench.history_entry(_kernel(), _harness())
+    assert entry["schema"] == bench.HISTORY_SCHEMA
+    assert entry["git_sha"] == "abc1234"
+    assert entry["repro_version"] == "0.5.0"
+    assert entry["quick"] is True
+    assert entry["events_per_s"] == {"des_core": 1_000_000.0}
+    assert entry["chaos_speedup"] == 2.5
+
+
+def test_append_replaces_same_commit(tmp_path, monkeypatch):
+    path = tmp_path / "hist.jsonl"
+    monkeypatch.setattr(bench, "_git_sha", lambda: "abc1234")
+    bench.append_history(_kernel(rate=1e6), _harness(), path)
+    bench.append_history(_kernel(rate=2e6), _harness(), path)
+    entries = bench.read_history(path)
+    assert len(entries) == 1  # rerun on the same commit replaces
+    assert entries[0]["events_per_s"]["des_core"] == 2e6
+
+    monkeypatch.setattr(bench, "_git_sha", lambda: "def5678")
+    bench.append_history(_kernel(rate=3e6), _harness(), path)
+    entries = bench.read_history(path)
+    assert len(entries) == 2  # a new commit appends
+    assert [e["git_sha"] for e in entries] == ["abc1234", "def5678"]
+
+
+def test_read_skips_garbage_and_foreign_lines(tmp_path, monkeypatch):
+    path = tmp_path / "hist.jsonl"
+    monkeypatch.setattr(bench, "_git_sha", lambda: "abc1234")
+    entry = bench.history_entry(_kernel(), _harness())
+    path.write_text(
+        json.dumps(entry) + "\n"
+        + '{"schema": "something.else/9"}\n'
+        + '{"truncated tail'  # no newline: a killed run
+    )
+    entries = bench.read_history(path)
+    assert len(entries) == 1
+    assert entries[0]["git_sha"] == "abc1234"
+
+
+def test_read_missing_file_is_empty(tmp_path):
+    assert bench.read_history(tmp_path / "nope.jsonl") == []
+
+
+def test_render_history(monkeypatch):
+    monkeypatch.setattr(bench, "_git_sha", lambda: "abc1234")
+    entries = [bench.history_entry(_kernel(), _harness())]
+    table = bench.render_history(entries)
+    assert "abc1234" in table
+    assert "des_core ev/s" in table
+    assert "2.50x" in table
+    assert "empty" in bench.render_history([])

@@ -176,12 +176,15 @@ def test_reader_clear_error_on_missing_event_field(tmp_path):
 
 
 def test_reader_clear_error_on_corrupt_line(tmp_path):
+    # An unparseable line *with lines after it* is corruption; an
+    # unparseable *final* line is truncation (see test_truncated.py).
     path = _write_lines(
         tmp_path / "corrupt.jsonl",
         [
             json.dumps({"schema": "repro.trace", "schema_version": "1.0",
                         "meta": {}}),
-            "{truncated mid-write",
+            "{corrupt, not json",
+            json.dumps({"footer": {"events": 0}}),
         ],
     )
     with pytest.raises(TraceSchemaError, match="invalid JSON"):

@@ -49,6 +49,9 @@ class GlobalBufferPool:
         #: forced-contention fault) and how often that happened.
         self.slots_withheld = 0
         self.contention_events = 0
+        #: Buffers carried across a core migration (see
+        #: :meth:`note_migration`).
+        self.migrations = 0
 
     # -- registration ------------------------------------------------------
     def register(
@@ -81,6 +84,23 @@ class GlobalBufferPool:
 
     def buffer(self, consumer_id: str) -> SegmentedBuffer:
         return self._buffers[consumer_id]
+
+    def note_migration(self, consumer_id: str) -> int:
+        """A consumer's buffer rides along a core migration.
+
+        The pool is global (``B_g`` is machine-wide, not per-core), so
+        re-homing a consumer moves no bytes and changes no entitlement —
+        this hook just validates the buffer is pool-backed, counts the
+        carry, and reports how many items rode along (the migration
+        record's ``carried_items``).
+        """
+        buffer = self._buffers.get(consumer_id)
+        if buffer is None:
+            raise KeyError(
+                f"consumer {consumer_id!r} is not registered with the pool"
+            )
+        self.migrations += 1
+        return len(buffer)
 
     # -- accounting -------------------------------------------------------------
     @property

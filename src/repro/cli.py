@@ -11,12 +11,14 @@ Installed as the ``repro`` console script (also ``python -m repro``)::
     repro chaos                     # fault-injection resilience matrix
     repro chaos --baselines         # ... plus Mutex/Sem/BP/SPBP degradation
     repro chaos --jobs 4            # dispatch runs across 4 worker processes
+    repro chaos --scenarios core-kill,cascade  # just these scenarios
     repro bench                     # kernel + harness benchmarks → BENCH_*.json
     repro trace record -o t.json    # record an event trace (Perfetto JSON)
     repro trace record --stream -o t.jsonl  # spill-to-disk JSONL (full fidelity)
     repro trace diff a.jsonl b.jsonl  # structural diff: slots/latching/energy
     repro trace report t.jsonl      # terminal flamegraph (self time, joules)
-    repro trace bless               # regenerate the golden regression trace
+    repro trace report t.jsonl --from 0.3 --to 0.6  # window the report
+    repro trace bless               # regenerate the golden trace matrix
     repro trace --smoke             # CI gate: validate + reconcile a trace
     repro trace generate -o t.npz   # synthesise & archive a workload
     repro trace inspect t.npz       # summarise a workload's character
@@ -178,6 +180,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     from repro.faults.chaos import BASELINE_IMPLS
 
     scenarios = SMOKE_SCENARIOS if args.smoke else DEFAULT_SCENARIOS
+    if args.scenarios:
+        by_name = {s.name: s for s in DEFAULT_SCENARIOS}
+        unknown = [n for n in args.scenarios if n not in by_name]
+        if unknown:
+            print(
+                f"chaos: unknown scenario(s): {', '.join(unknown)} "
+                f"(choose from {', '.join(by_name)})",
+                file=sys.stderr,
+            )
+            return 2
+        scenarios = tuple(by_name[n] for n in args.scenarios)
     report = run_chaos(
         scenarios,
         seed=args.seed,
@@ -512,10 +525,10 @@ def cmd_trace_record(args: argparse.Namespace) -> int:
     return 0
 
 
-#: The golden-trace recording spec: what `repro trace bless` records and
-#: what the CI trace-regression job re-records to diff against. Short
-#: enough to run in seconds, long enough to exercise latching, resizing
-#: and both cores.
+#: The primary golden-trace recording spec (kept by name for backward
+#: compatibility; one entry of :data:`GOLDEN_SPECS`). Short enough to
+#: run in seconds, long enough to exercise latching, resizing and both
+#: cores.
 GOLDEN_SPEC = dict(
     impl="PBPL",
     scenario="webserver",
@@ -524,21 +537,53 @@ GOLDEN_SPEC = dict(
     seed=2014,
 )
 
-#: Where the blessed golden trace lives in the repository.
-GOLDEN_TRACE_PATH = Path("results/golden/pbpl_smoke.trace.jsonl")
+#: The golden-trace matrix: what `repro trace bless` records and what
+#: the CI trace-regression job re-records to diff against. Beyond the
+#: PBPL webserver smoke, a chaos scenario (fault spans, degradation
+#: under stress) and a baseline implementation (power listener + fault
+#: timeline only) are pinned, so drift in any of the three surfaces.
+GOLDEN_SPECS = {
+    "pbpl_smoke": GOLDEN_SPEC,
+    "chaos_combined": dict(
+        impl="PBPL",
+        scenario="combined",
+        duration_s=0.3,
+        n_consumers=3,
+        seed=2014,
+    ),
+    "mutex_smoke": dict(
+        impl="Mutex",
+        scenario="webserver",
+        duration_s=0.3,
+        n_consumers=3,
+        seed=2014,
+    ),
+}
+
+#: Where the blessed golden traces live in the repository.
+GOLDEN_DIR = Path("results/golden")
 
 
-def _record_golden(output: Path) -> None:
-    """Record the GOLDEN_SPEC run as streaming JSONL at ``output``."""
+def golden_path(name: str, directory: Path = GOLDEN_DIR) -> Path:
+    return directory / f"{name}.trace.jsonl"
+
+
+#: Backward-compatible alias for the primary golden's location.
+GOLDEN_TRACE_PATH = golden_path("pbpl_smoke")
+
+
+def _record_golden(output: Path, spec: Optional[dict] = None) -> None:
+    """Record one golden spec's run as streaming JSONL at ``output``."""
     from repro.trace import StreamingTraceWriter, record_run
 
-    writer = StreamingTraceWriter(output, meta=dict(GOLDEN_SPEC))
+    spec = spec or GOLDEN_SPEC
+    writer = StreamingTraceWriter(output, meta=dict(spec))
     run = record_run(
-        GOLDEN_SPEC["impl"],
-        GOLDEN_SPEC["scenario"],
-        duration_s=GOLDEN_SPEC["duration_s"],
-        n_consumers=GOLDEN_SPEC["n_consumers"],
-        seed=GOLDEN_SPEC["seed"],
+        spec["impl"],
+        spec["scenario"],
+        duration_s=spec["duration_s"],
+        n_consumers=spec["n_consumers"],
+        seed=spec["seed"],
         stream=writer,
     )
     writer.close(
@@ -547,20 +592,38 @@ def _record_golden(output: Path) -> None:
 
 
 def cmd_trace_bless(args: argparse.Namespace) -> int:
-    """Regenerate the golden trace the CI regression gate diffs against.
+    """Regenerate the golden trace(s) the CI regression gate diffs
+    against.
 
     Run after an *intentional* behaviour change, commit the result, and
     explain the drift in the PR — that is the whole review story the
-    diff gate enforces."""
-    out = args.output
-    problem = _check_writable(out)
-    if problem is not None:
-        print(f"trace bless: {problem}", file=sys.stderr)
+    diff gate enforces. Default blesses the full matrix into
+    ``results/golden/``; ``--name`` picks one golden, and ``-o``
+    (single golden only) or ``--out-dir`` redirect the output — the CI
+    job uses ``--out-dir`` to record fresh traces next to the committed
+    ones."""
+    names = list(GOLDEN_SPECS) if args.name == "all" else [args.name]
+    if args.output is not None and len(names) != 1:
+        print(
+            "trace bless: -o/--output needs --name NAME (a single golden); "
+            "use --out-dir to redirect the whole matrix",
+            file=sys.stderr,
+        )
         return 2
-    _record_golden(out)
-    spec = ", ".join(f"{k}={v}" for k, v in GOLDEN_SPEC.items())
-    print(f"blessed {out} ({spec})")
-    print("commit this file; `repro trace diff` gates CI against it")
+    for name in names:
+        out = (
+            args.output
+            if args.output is not None
+            else golden_path(name, args.out_dir)
+        )
+        problem = _check_writable(out)
+        if problem is not None:
+            print(f"trace bless: {problem}", file=sys.stderr)
+            return 2
+        _record_golden(out, GOLDEN_SPECS[name])
+        spec = ", ".join(f"{k}={v}" for k, v in GOLDEN_SPECS[name].items())
+        print(f"blessed {out} ({spec})")
+    print("commit these files; `repro trace diff` gates CI against them")
     return 0
 
 
@@ -624,11 +687,48 @@ def cmd_trace_diff(args: argparse.Namespace) -> int:
     return 0 if diff.is_empty else 1
 
 
+def _window_events(events, from_s: Optional[float], to_s: Optional[float]):
+    """Clip a trace to ``[from_s, to_s)``: point events inside the
+    window survive, spans overlapping it are trimmed to it (so
+    self-time/joules aggregation only counts in-window time)."""
+    from repro.trace import TraceEvent
+
+    lo = float("-inf") if from_s is None else from_s
+    hi = float("inf") if to_s is None else to_s
+    out = []
+    for e in events:
+        if e.dur_s is None:
+            if lo <= e.ts_s < hi:
+                out.append(e)
+            continue
+        start, end = max(e.ts_s, lo), min(e.end_s, hi)
+        if end < start or (end == start and not lo <= e.ts_s < hi):
+            continue
+        if start == e.ts_s and end == e.end_s:
+            out.append(e)
+        else:
+            out.append(
+                TraceEvent(
+                    start, end - start, e.phase, e.category, e.track,
+                    e.name, e.seq, e.args,
+                )
+            )
+    return out
+
+
 def cmd_trace_report(args: argparse.Namespace) -> int:
     """Render the per-track self-time/joules flamegraph of a JSONL
-    trace in the terminal — no browser, no Perfetto."""
+    trace in the terminal — no browser, no Perfetto. ``--from``/``--to``
+    restrict the report to a time window (seconds)."""
     from repro.trace import render_report
 
+    if (
+        args.from_s is not None
+        and args.to_s is not None
+        and args.to_s <= args.from_s
+    ):
+        print("trace report: --to must be after --from", file=sys.stderr)
+        return 2
     events, reader = _load_jsonl_events(args.file)
     meta = reader.meta
     title_bits = [
@@ -638,9 +738,15 @@ def cmd_trace_report(args: argparse.Namespace) -> int:
     ]
     if "duration_s" in meta:
         title_bits.append(f"{meta['duration_s']:g}s")
+    windowed = args.from_s is not None or args.to_s is not None
+    if windowed:
+        events = _window_events(events, args.from_s, args.to_s)
+        lo = "0" if args.from_s is None else f"{args.from_s:g}"
+        hi = "end" if args.to_s is None else f"{args.to_s:g}"
+        title_bits.append(f"[{lo}, {hi})s")
     title = f"trace report — {' '.join(title_bits)}, {len(events)} events"
     text = render_report(events, top=args.top, title=title)
-    if reader.footer and "ledger_total_j" in reader.footer:
+    if not windowed and reader.footer and "ledger_total_j" in reader.footer:
         text += f"\n\nledger total: {reader.footer['ledger_total_j']:.6f} J"
     _emit_simple(args, text)
     return 0
@@ -774,6 +880,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduced scenario set (clean, lost-signals, combined) for CI",
     )
     p.add_argument(
+        "--scenarios",
+        type=lambda s: [x.strip() for x in s.split(",") if x.strip()],
+        default=None,
+        metavar="NAME,NAME",
+        help="run only these scenarios (comma-separated names from the "
+        "default matrix; overrides --smoke)",
+    )
+    p.add_argument(
         "--baselines",
         action="store_true",
         help="also score Mutex/Sem/BP/SPBP under the same fault plans "
@@ -896,7 +1010,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="webserver",
         help="webserver, clean, or any chaos scenario name "
         "(stall, lost-signals, burst, clock-drift, slowdown, "
-        "contention, combined)",
+        "contention, combined, core-kill, cascade)",
     )
     p.add_argument("--duration", type=float, default=2.0)
     p.add_argument("--consumers", type=int, default=4)
@@ -953,20 +1067,49 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file", type=Path, help="JSONL trace (from record --stream)")
     p.add_argument("--top", type=int, default=15, help="rows per table")
     p.add_argument(
+        "--from",
+        dest="from_s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="report only events from this simulated second on",
+    )
+    p.add_argument(
+        "--to",
+        dest="to_s",
+        type=float,
+        default=None,
+        metavar="S",
+        help="report only events before this simulated second",
+    )
+    p.add_argument(
         "--out", type=Path, default=None, help="also write the report here"
     )
     p.set_defaults(func=cmd_trace_report)
 
     p = tsub.add_parser(
         "bless",
-        help="re-record the golden trace the CI diff gate compares against",
+        help="re-record the golden trace matrix the CI diff gate "
+        "compares against",
+    )
+    p.add_argument(
+        "--name",
+        choices=("all",) + tuple(GOLDEN_SPECS),
+        default="all",
+        help="which golden to bless (default: the whole matrix)",
+    )
+    p.add_argument(
+        "--out-dir",
+        type=Path,
+        default=GOLDEN_DIR,
+        help=f"directory for the blessed traces (default {GOLDEN_DIR})",
     )
     p.add_argument(
         "-o",
         "--output",
         type=Path,
-        default=GOLDEN_TRACE_PATH,
-        help=f"where to write the golden (default {GOLDEN_TRACE_PATH})",
+        default=None,
+        help="explicit output path (single golden only, with --name)",
     )
     p.set_defaults(func=cmd_trace_bless)
 

@@ -80,12 +80,20 @@ class LatchingConsumer:
             self.predictor = HardenedPredictor(
                 self.predictor, clamp_factor=config.predictor_clamp_factor
             )
+        # "adaptive" buffers start lossless ("block") and are flipped to
+        # shed-to-deadline by the fault-gated controller only while a
+        # fault is detected — so they register with the deadline clock
+        # armed but the blocking policy in force.
         self.buffer = pool.register(
             owner,
-            policy=config.overflow_policy,
+            policy=(
+                "block"
+                if config.overflow_policy == "adaptive"
+                else config.overflow_policy
+            ),
             max_item_age_s=(
                 config.max_response_latency_s
-                if config.overflow_policy == "shed-to-deadline"
+                if config.overflow_policy in ("shed-to-deadline", "adaptive")
                 else None
             ),
             clock=lambda: self.env.now,
@@ -93,6 +101,13 @@ class LatchingConsumer:
         #: Transient service-time multiplier (fault injectors raise it
         #: during a consumer-slowdown window).
         self.service_scale = 1.0
+        #: Plain callbacks fired on every full-buffer push encounter —
+        #: the fault detector's overflow-rate signal subscribes here.
+        self.on_overflow: "list" = []
+        #: One-shot callbacks fired (then cleared) when a batch fully
+        #: completes — the migration layer uses this to timestamp the
+        #: consumer's first post-migration batch (its recovery point).
+        self.on_batch_done: "list" = []
         self.in_flight = 0
         self._space_event = None
         self._activation = None
@@ -118,6 +133,9 @@ class LatchingConsumer:
         """
         if self.buffer.is_full:
             self.stats.overflows += 1
+            if self.on_overflow:
+                for hook in self.on_overflow:
+                    hook()
             self._trigger_overflow()
             if self.buffer.policy == "block":
                 if self.tracer:
@@ -167,6 +185,31 @@ class LatchingConsumer:
         self._done = self.env.event()
         self._activation.succeed(slot_index)
         return self._done
+
+    def rehome(self, manager: CoreManager) -> None:
+        """Re-home onto ``manager`` after this consumer's core failed.
+
+        Swaps the manager *and* the core (batches, core acquisition and
+        trace spans all read ``self.core`` per iteration, so the very
+        next batch runs on the new core). The buffer needs no move —
+        it lives in the global pool. The predictor carries over as-is:
+        rates are grid-independent, and if the post-migration cadence
+        shifts the observed rate regime, the
+        :class:`~repro.core.predictors.HardenedPredictor` re-convergence
+        machinery snaps it to the new level (counted in
+        ``predictor_reconvergences``). Re-reservation is the caller's
+        move: :func:`repro.core.migration.migrate_consumers` re-reserves
+        via :meth:`_make_reservation` — the normal predict → latch →
+        resize path — for consumers that held a reservation on the dead
+        track.
+        """
+        if not manager.alive:
+            raise RuntimeError(
+                f"cannot re-home {self.owner!r} onto dead manager "
+                f"core{manager.core.core_id}"
+            )
+        self.manager = manager
+        self.core = manager.core
 
     # -- the consumer process ----------------------------------------------------
     def process(self):
@@ -232,6 +275,11 @@ class LatchingConsumer:
             if batch_span is not None:
                 self.tracer.end(batch_span, items=len(batch))
 
+            if self.on_batch_done:
+                hooks, self.on_batch_done = self.on_batch_done, []
+                for hook in hooks:
+                    hook()
+
             if scheduled and self._done is not None:
                 self._done.succeed()
                 self._done = None
@@ -262,7 +310,8 @@ class LatchingConsumer:
         w = 0.0 if self.manager.track.is_reserved(slot_index) else cfg.wakeup_cost_j
         return (w + n * cfg.energy_per_item_j) / n
 
-    def _make_reservation(self) -> None:
+    def _make_reservation(self) -> "tuple[int, bool]":
+        """Predict → latch → resize → reserve; returns (slot, latched)."""
         env = self.env
         cfg = self.config
         track = self.manager.track
@@ -309,6 +358,7 @@ class LatchingConsumer:
                 capacity=self.buffer.capacity,
             )
         self.manager.reserve(self, chosen)
+        return chosen, latched
 
     def _pick_slot(
         self, target_time: float, now: float, current: int, r_hat: Optional[float]

@@ -22,11 +22,12 @@ than one slot late, which is what keeps the resilience latency bound).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.cpu.core import Core
 from repro.cpu.timers import TimerService
 from repro.core.slots import SlotTrack
+from repro.sim.errors import Interrupt
 from repro.trace.tracer import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -80,6 +81,14 @@ class CoreManager:
         self.lost_signals = 0
         #: Slots fired by the watchdog instead of their timer.
         self.watchdog_recoveries = 0
+        #: Plain callbacks fired on every watchdog recovery — the fault
+        #: detector subscribes here (callback lists keep the kernel free
+        #: of upward imports; an empty list costs one truthiness test).
+        self.on_recovery: List[Callable[[], None]] = []
+        #: False after :meth:`shutdown` — a fail-stopped manager accepts
+        #: no reservations and its process is gone.
+        self.alive = True
+        self._process = None
         self._consecutive_recoveries = 0
         # Recycled reservation-change event: when a slot timer fires
         # without any reservation change, the armed ``_changed`` event
@@ -91,6 +100,11 @@ class CoreManager:
     def reserve(self, consumer: "LatchingConsumer", slot_index: int) -> None:
         """Reserve ``slot_index`` for ``consumer`` (replacing its previous
         reservation) and re-arm the manager's timer."""
+        if not self.alive:
+            raise RuntimeError(
+                f"core {self.core.core_id}'s manager is dead; reservations "
+                f"must go to a surviving manager (migrate the consumer first)"
+            )
         now_slot = self.track.slot_of(self.env.now)
         if slot_index <= now_slot:
             raise ValueError(
@@ -135,7 +149,19 @@ class CoreManager:
 
     # -- the manager process ----------------------------------------------------
     def process(self):
-        """The manager's simulation process (paper Fig. 7 loop)."""
+        """The manager's simulation process (paper Fig. 7 loop).
+
+        A :class:`~repro.sim.errors.Interrupt` (delivered by
+        :meth:`shutdown` on core failure) ends the loop cleanly — an
+        uncaught interrupt would fail the Process event and surface from
+        ``env.run`` as a crash, which is not what fail-stop means.
+        """
+        try:
+            yield from self._loop()
+        except Interrupt:
+            return
+
+    def _loop(self):
         env = self.env
         while True:
             # Overdue slots (their start passed while we waited for slow
@@ -199,6 +225,9 @@ class CoreManager:
                             slot=next_slot, due_s=when,
                             late_s=env.now - when,
                         )
+                    if self.on_recovery:
+                        for hook in self.on_recovery:
+                            hook()
                 else:
                     self._consecutive_recoveries = 0
 
@@ -230,8 +259,45 @@ class CoreManager:
                 self.tracer.end(slot_span, activated=len(done_events))
 
     def start(self) -> "CoreManager":
-        self.env.process(self.process(), name=f"core-manager-{self.core.core_id}")
+        self._process = self.env.process(
+            self.process(), name=f"core-manager-{self.core.core_id}"
+        )
         return self
+
+    def shutdown(self) -> List["LatchingConsumer"]:
+        """Fail-stop this manager: tear down the timer and pending
+        reservations deterministically.
+
+        The manager process is interrupted (it exits cleanly), the
+        core's wake hint is cleared, the change events are dropped, and
+        every pending reservation is popped off the track. Returns the
+        orphaned holders in deterministic order (slot order, insertion
+        order within a slot) — the migration layer re-reserves for
+        exactly these consumers on surviving managers. Idempotent.
+
+        Consumers mid-batch at the kill finish on this core — the fault
+        model is fail-stop at *slot* granularity: the failure lands
+        between slots, never inside an item's service.
+        """
+        if not self.alive:
+            return []
+        self.alive = False
+        self.core.set_next_wake_hint(None)
+        self._changed = None
+        self._spare_changed = None
+        if self._process is not None and self._process.is_alive:
+            self._process.interrupt("core-failure")
+        orphans: List["LatchingConsumer"] = []
+        while True:
+            slot = self.track.earliest_reserved_slot()
+            if slot is None:
+                break
+            orphans.extend(self.track.pop_slot(slot))
+        if self.tracer:
+            self.tracer.instant(
+                self.track_name, "shutdown", "slot", orphans=len(orphans),
+            )
+        return orphans
 
     def __repr__(self) -> str:
         return (

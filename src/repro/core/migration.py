@@ -1,0 +1,212 @@
+"""Consumer migration after a core failure.
+
+The paper pins one manager per consumer core and concentrates all slot
+state there (§V-B) — which makes a core failure PBPL's single worst
+fault: every consumer homed on the dead core loses its reservation and
+its activation path at once. This module is the recovery protocol:
+
+1. **Fail-stop teardown** — :meth:`~repro.core.manager.CoreManager.
+   shutdown` interrupts the manager process, clears the core's wake
+   hint and pops every pending reservation off the dead track,
+   returning the orphaned holders in deterministic order.
+2. **Re-homing** — each of the dead core's consumers is assigned to the
+   least-loaded surviving manager (ties to the lowest core id — a pure
+   function of system state, so migration is deterministic) and swaps
+   its ``manager``/``core`` references via :meth:`~repro.core.consumer.
+   LatchingConsumer.rehome`.
+3. **Re-reservation** — consumers that held a reservation on the dead
+   track re-reserve *via the normal latching path*
+   (:meth:`~repro.core.consumer.LatchingConsumer._make_reservation`:
+   predict → ρ comparison → resize), so a migrated consumer latches
+   onto the new core's existing slots whenever Eq. 8 says that is
+   cheaper. Consumers mid-batch at the kill defer: their own batch
+   epilogue reserves on the new manager.
+4. **Buffer carry-over** — buffers live in the global pool (``B_g``)
+   and are portable by construction; the pool just counts the carry
+   (:meth:`~repro.buffers.pool.GlobalBufferPool.note_migration`).
+
+**Migration energy** is scored with the consumer's own cost beliefs
+(Eq. 8's ω): an immediate re-reservation that could *not* latch costs
+one believed wakeup ``wakeup_cost_j`` (the new core must now wake for a
+fresh slot); a latched or deferred re-reservation costs 0 — migration
+is nearly free when the survivors' slot tracks already wake for the
+right times. This is a metric, not a ledger charge: the real joules of
+the post-migration wakeups are on the energy ledger as always.
+
+**Recovery time** is measured per consumer, from the kill to the end of
+its first post-migration batch (hooked via ``on_batch_done`` — no
+polling process, so a migration-free run schedules nothing extra).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.consumer import LatchingConsumer
+    from repro.core.manager import CoreManager
+    from repro.core.system import PBPLSystem
+    from repro.trace.tracer import Tracer
+
+#: Trace track hosting per-consumer migration spans.
+MIGRATION_TRACK = "migration"
+
+
+@dataclass
+class ConsumerMigration:
+    """One consumer's move off a dead core."""
+
+    owner: str
+    from_core: int
+    to_core: int
+    #: "immediate" — held a reservation on the dead track, re-reserved
+    #: at migration time; "deferred" — was mid-batch, its own batch
+    #: epilogue reserves on the new manager.
+    relatch: str = "immediate"
+    #: Whether the immediate re-reservation latched onto an existing
+    #: slot on the new track (Eq. 8 with w=0) — latched moves are free.
+    latched: bool = False
+    #: Items riding along in the (pool-backed, already portable) buffer.
+    carried_items: int = 0
+    #: Believed migration cost: ω for an immediate non-latched
+    #: re-reservation, 0 otherwise.
+    energy_j: float = 0.0
+    #: Absolute time the first post-migration batch completed (None
+    #: while still recovering).
+    recovered_s: Optional[float] = None
+
+    def to_dict(self) -> Dict:
+        return {
+            "owner": self.owner,
+            "from_core": self.from_core,
+            "to_core": self.to_core,
+            "relatch": self.relatch,
+            "latched": self.latched,
+            "carried_items": self.carried_items,
+            "energy_j": self.energy_j,
+            "recovered_s": self.recovered_s,
+        }
+
+
+@dataclass
+class MigrationReport:
+    """Everything one core failure cost, for the resilience report."""
+
+    core_id: int
+    at_s: float
+    consumers: List[ConsumerMigration] = field(default_factory=list)
+
+    @property
+    def relatch_count(self) -> int:
+        """Immediate re-reservations made at migration time."""
+        return sum(1 for c in self.consumers if c.relatch == "immediate")
+
+    @property
+    def latched_count(self) -> int:
+        """Immediate re-reservations that latched (cost 0)."""
+        return sum(1 for c in self.consumers if c.latched)
+
+    @property
+    def energy_j(self) -> float:
+        return sum(c.energy_j for c in self.consumers)
+
+    @property
+    def unrecovered(self) -> int:
+        """Consumers that never completed a post-migration batch."""
+        return sum(1 for c in self.consumers if c.recovered_s is None)
+
+    @property
+    def recovery_s(self) -> Optional[float]:
+        """Kill-to-last-recovery time; None until every consumer has
+        completed its first post-migration batch."""
+        if not self.consumers or self.unrecovered:
+            return None
+        return max(c.recovered_s for c in self.consumers) - self.at_s
+
+    def to_dict(self) -> Dict:
+        return {
+            "core_id": self.core_id,
+            "at_s": self.at_s,
+            "relatch_count": self.relatch_count,
+            "latched_count": self.latched_count,
+            "energy_j": self.energy_j,
+            "unrecovered": self.unrecovered,
+            "recovery_s": self.recovery_s,
+            "consumers": [c.to_dict() for c in self.consumers],
+        }
+
+
+def migrate_consumers(
+    system: "PBPLSystem",
+    dead: "CoreManager",
+    tracer: Optional["Tracer"] = None,
+) -> MigrationReport:
+    """Fail-stop ``dead`` and re-home its consumers onto survivors.
+
+    Runs synchronously inside the kill dispatch: teardown, target
+    selection, re-homing and re-reservation all land at the failure
+    timestamp, derived from the single kill event — which is what keeps
+    the simultaneity sanitizer happy about manager-death ordering.
+    """
+    env = system.env
+    orphans = dead.shutdown()
+    orphaned = set(map(id, orphans))
+    report = MigrationReport(core_id=dead.core.core_id, at_s=env.now)
+
+    survivors = [m for m in system.managers.values() if m.alive]
+    if not survivors:
+        raise RuntimeError(
+            f"core {dead.core.core_id} died with no surviving manager; "
+            f"its consumers cannot be re-homed"
+        )
+    by_core = {m.core.core_id: m for m in survivors}
+    load = {
+        cid: sum(1 for c in system.consumers if c.manager is m)
+        for cid, m in by_core.items()
+    }
+
+    for consumer in system.consumers:
+        if consumer.manager is not dead:
+            continue
+        target_core = min(load, key=lambda cid: (load[cid], cid))
+        target = by_core[target_core]
+        load[target_core] += 1
+
+        migration = ConsumerMigration(
+            owner=consumer.owner,
+            from_core=dead.core.core_id,
+            to_core=target_core,
+            carried_items=system.pool.note_migration(consumer.owner),
+        )
+        span = None
+        if tracer:
+            span = tracer.begin(
+                MIGRATION_TRACK,
+                "migrate",
+                "migration",
+                consumer=consumer.owner,
+                from_core=migration.from_core,
+                to_core=target_core,
+                carried=migration.carried_items,
+            )
+        consumer.rehome(target)
+        if id(consumer) in orphaned:
+            _slot, latched = consumer._make_reservation()
+            migration.relatch = "immediate"
+            migration.latched = latched
+            migration.energy_j = (
+                0.0 if latched else consumer.config.wakeup_cost_j
+            )
+        else:
+            migration.relatch = "deferred"
+
+        def _recovered(m=migration, s=span):
+            m.recovered_s = env.now
+            if s is not None:
+                tracer.end(s, recovered_s=env.now, relatch=m.relatch)
+
+        consumer.on_batch_done.append(_recovered)
+        report.consumers.append(migration)
+
+    return report

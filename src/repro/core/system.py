@@ -18,6 +18,7 @@ from repro.cpu.machine import Machine
 from repro.core.config import PBPLConfig
 from repro.core.consumer import LatchingConsumer
 from repro.core.manager import CoreManager
+from repro.core.migration import MigrationReport, migrate_consumers
 from repro.impls.base import PairStats
 from repro.workloads.trace import Trace
 
@@ -100,6 +101,11 @@ class PBPLSystem:
             )
             for i, trace in enumerate(traces)
         ]
+        #: One report per core failure survived (see :meth:`kill_core`).
+        self.migrations: List[MigrationReport] = []
+        #: Fault-gated adaptive-overflow rig (armed by :meth:`start`
+        #: when ``config.overflow_policy == "adaptive"``).
+        self.adaptive = None
 
     #: Mirror of MultiPairSystem for harness interchangeability.
     @property
@@ -111,7 +117,46 @@ class PBPLSystem:
             manager.start()
         for consumer in self.consumers:
             consumer.start()
+        if self.config.overflow_policy == "adaptive":
+            # Local import: repro.faults.adaptive is kernel-importable
+            # (only faults.chaos is fenced off by the layer rules), but
+            # importing it lazily keeps module load acyclic.
+            from repro.faults.adaptive import arm_adaptive_overflow
+
+            self.adaptive = arm_adaptive_overflow(
+                self.env, self, tracer=self.tracer
+            )
         return self
+
+    # -- core failure & migration ---------------------------------------------
+    def kill_core(self, core_id: int) -> MigrationReport:
+        """Fail-stop core ``core_id``'s manager and migrate its consumers.
+
+        Teardown + re-homing + re-reservation run synchronously at the
+        call's timestamp (see :mod:`repro.core.migration`); the report
+        is also appended to :attr:`migrations` for the resilience
+        metrics. Raises for unknown/already-dead cores and when no
+        manager would survive — the caller (the fault injector) treats
+        the no-survivor case as "fault has no purchase" *before*
+        calling.
+        """
+        manager = self.managers.get(core_id)
+        if manager is None:
+            raise ValueError(
+                f"no manager on core {core_id} (managers: {sorted(self.managers)})"
+            )
+        if not manager.alive:
+            raise ValueError(f"core {core_id}'s manager is already dead")
+        if not any(
+            m.alive for cid, m in self.managers.items() if cid != core_id
+        ):
+            raise RuntimeError(
+                f"cannot kill core {core_id}: no surviving manager to "
+                f"migrate its consumers onto"
+            )
+        report = migrate_consumers(self, manager, tracer=self.tracer)
+        self.migrations.append(report)
+        return report
 
     # -- aggregated statistics -----------------------------------------------
     def aggregate_stats(self) -> PairStats:

@@ -1,0 +1,316 @@
+"""Fault-gated adaptive overflow: detector + policy controller.
+
+The static degradation policies trade a property away up front: "block"
+is lossless but lets a fault push latency unboundedly; shed-to-deadline
+bounds latency but sheds even when nothing is wrong. The adaptive
+policy keeps both: buffers stay **block** (lossless) normally and
+switch to **shed-to-deadline** only while a :class:`FaultDetector` says
+a fault is active, reverting after a hysteresis window with no fresh
+evidence.
+
+Detector signals (both are *existing* kernel events, surfaced through
+plain callback lists — the kernel imports nothing from here):
+
+* **watchdog recoveries** — a slot fired by the recovery watchdog means
+  a timer signal was lost, which only happens under fault injection;
+  :class:`~repro.core.manager.CoreManager.on_recovery` delivers them;
+* **overflow rate** — full-buffer push encounters per second over a
+  sliding window (``overflow_rate_per_s`` over ``overflow_window_s``),
+  via :class:`~repro.core.consumer.LatchingConsumer.on_overflow`.
+  Disabled by default (``None``): clean runs *do* overflow occasionally
+  under bursty traffic, and a threshold chosen too low would engage
+  shedding — and break byte-identity with the block policy — on a
+  fault-free run. Watchdog recoveries never fire without a fault.
+
+Determinism: the detector is **edge-triggered** — signals while already
+active only extend the deactivation deadline (so a watchdog recovery
+*inside* a detected window cannot double-trigger), and the hysteresis
+watcher process is spawned only on an activation edge. An idle detector
+schedules no events and draws no randomness, which is what makes a
+zero-fault adaptive run byte-identical to a static block-policy run.
+
+This module also backs the *dynamic cascade triggers*
+(:class:`~repro.faults.spec.RecoveryTrigger` /
+:class:`~repro.faults.spec.OverflowTrigger`): the runtime injector
+parks one waiter event per triggered fault on the detector and fires
+the wrapped fault when the condition first holds.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.system import PBPLSystem
+    from repro.sim.environment import Environment
+    from repro.sim.events import Event
+    from repro.trace.tracer import Tracer
+
+#: Trace track hosting detector activation/deactivation instants.
+DETECTOR_TRACK = "faults.detector"
+
+#: Default hysteresis, in slot sizes Δ: the detector stays engaged for
+#: this many quiet slots after the last fault signal before reverting.
+DEFAULT_HYSTERESIS_SLOTS = 4
+
+
+class FaultDetector:
+    """Edge-triggered fault-activity detector with hysteresis.
+
+    Parameters
+    ----------
+    recovery_threshold:
+        Cumulative watchdog recoveries that count as fault evidence
+        (default 1 — recoveries never happen without a fault).
+    overflow_rate_per_s / overflow_window_s:
+        Sliding-window overflow-rate signal; ``None`` rate disables it
+        (the default — see the module docs for why).
+    hysteresis_s:
+        Quiet time after the last signal before deactivating.
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        *,
+        recovery_threshold: int = 1,
+        overflow_rate_per_s: Optional[float] = None,
+        overflow_window_s: float = 0.05,
+        hysteresis_s: float = 0.02,
+        tracer: Optional["Tracer"] = None,
+    ) -> None:
+        if recovery_threshold < 1:
+            raise ValueError("recovery threshold must be >= 1")
+        if hysteresis_s <= 0:
+            raise ValueError("hysteresis must be positive")
+        if overflow_window_s <= 0:
+            raise ValueError("overflow window must be positive")
+        self.env = env
+        self.recovery_threshold = recovery_threshold
+        self.overflow_rate_per_s = overflow_rate_per_s
+        self.overflow_window_s = overflow_window_s
+        self.hysteresis_s = hysteresis_s
+        self.tracer = tracer
+        #: Whether a fault is currently considered active.
+        self.active = False
+        #: Activation *edges* (a recovery inside an active window
+        #: extends it without re-triggering — this stays at 1).
+        self.activations = 0
+        self.recoveries_seen = 0
+        self.overflows_seen = 0
+        self.on_activate: List[Callable[[], None]] = []
+        self.on_deactivate: List[Callable[[], None]] = []
+        self._overflow_times: Deque[float] = deque()
+        self._last_signal_s: Optional[float] = None
+        #: (kind, threshold, window_s, event) waiters for cascade
+        #: triggers; fired (and removed) when the condition first holds.
+        self._waiters: List[Tuple[str, float, float, "Event"]] = []
+
+    # -- wiring -----------------------------------------------------------------
+    def attach(self, system: "PBPLSystem") -> "FaultDetector":
+        """Subscribe to the system's recovery and overflow hooks."""
+        for manager in getattr(system, "managers", {}).values():
+            manager.on_recovery.append(self.note_recovery)
+        for consumer in getattr(system, "consumers", []):
+            hooks = getattr(consumer, "on_overflow", None)
+            if hooks is not None:
+                hooks.append(self.note_overflow)
+        return self
+
+    # -- signals ----------------------------------------------------------------
+    def note_recovery(self) -> None:
+        self.recoveries_seen += 1
+        self._fire_waiters("recovery", float(self.recoveries_seen))
+        if self.recoveries_seen >= self.recovery_threshold:
+            self._signal()
+
+    def note_overflow(self) -> None:
+        self.overflows_seen += 1
+        now = self.env.now
+        times = self._overflow_times
+        times.append(now)
+        horizon = max(
+            [self.overflow_window_s]
+            + [w for kind, _t, w, _e in self._waiters if kind == "overflow"]
+        )
+        while times and times[0] <= now - horizon:
+            times.popleft()
+        for kind, threshold, window, event in list(self._waiters):
+            if kind != "overflow":
+                continue
+            rate = sum(1 for t in times if t > now - window) / window
+            if rate >= threshold and not event.triggered:
+                event.succeed(rate)
+                self._waiters.remove((kind, threshold, window, event))
+        if self.overflow_rate_per_s is not None:
+            in_window = sum(
+                1 for t in times if t > now - self.overflow_window_s
+            )
+            if in_window / self.overflow_window_s >= self.overflow_rate_per_s:
+                self._signal()
+
+    def _fire_waiters(self, kind: str, value: float) -> None:
+        for entry in list(self._waiters):
+            w_kind, threshold, _window, event = entry
+            if w_kind == kind and value >= threshold and not event.triggered:
+                event.succeed(value)
+                self._waiters.remove(entry)
+
+    # -- cascade-trigger waiters -------------------------------------------------
+    def when_recoveries(self, count: int) -> "Event":
+        """Event succeeding when cumulative recoveries reach ``count``."""
+        event = self.env.event()
+        if self.recoveries_seen >= count:
+            event.succeed(float(self.recoveries_seen))
+        else:
+            self._waiters.append(("recovery", float(count), 0.0, event))
+        return event
+
+    def when_overflow_rate(self, rate_per_s: float, window_s: float) -> "Event":
+        """Event succeeding when the overflow rate over ``window_s``
+        first reaches ``rate_per_s``."""
+        event = self.env.event()
+        self._waiters.append(("overflow", rate_per_s, window_s, event))
+        return event
+
+    # -- activation edge + hysteresis --------------------------------------------
+    def _signal(self) -> None:
+        self._last_signal_s = self.env.now
+        if self.active:
+            return  # level extension only: no double-trigger, no new process
+        self.active = True
+        self.activations += 1
+        if self.tracer:
+            self.tracer.instant(
+                DETECTOR_TRACK, "fault.detected", "fault",
+                recoveries=self.recoveries_seen, overflows=self.overflows_seen,
+            )
+        for hook in self.on_activate:
+            hook()
+        self.env.process(self._watch(), name="fault-detector")
+
+    def _watch(self):
+        """Deactivate after ``hysteresis_s`` of quiet; signals while we
+        sleep push the deadline out (checked on wake, no re-arm cost)."""
+        env = self.env
+        while True:
+            due = self._last_signal_s + self.hysteresis_s
+            if env.now >= due:
+                break
+            yield env.timeout(due - env.now)
+        self.active = False
+        if self.tracer:
+            self.tracer.instant(DETECTOR_TRACK, "fault.cleared", "fault")
+        for hook in self.on_deactivate:
+            hook()
+
+
+class AdaptiveOverflowController:
+    """Flips consumer buffers between block and shed at detector edges."""
+
+    def __init__(
+        self,
+        env: "Environment",
+        consumers,
+        detector: FaultDetector,
+        tracer: Optional["Tracer"] = None,
+    ) -> None:
+        self.env = env
+        self.consumers = list(consumers)
+        self.detector = detector
+        self.tracer = tracer
+        #: Detected fault windows during which shedding was engaged.
+        self.shed_windows = 0
+        self._shed_time_s = 0.0
+        self._engaged_at: Optional[float] = None
+        detector.on_activate.append(self._engage)
+        detector.on_deactivate.append(self._disengage)
+
+    @property
+    def engaged(self) -> bool:
+        return self._engaged_at is not None
+
+    def total_shed_s(self, now: Optional[float] = None) -> float:
+        """Cumulative seconds spent in shed mode (including an
+        still-open window up to ``now``)."""
+        open_s = 0.0
+        if self._engaged_at is not None:
+            open_s = (self.env.now if now is None else now) - self._engaged_at
+        return self._shed_time_s + open_s
+
+    def _engage(self) -> None:
+        if self._engaged_at is not None:
+            return
+        self.shed_windows += 1
+        self._engaged_at = self.env.now
+        for consumer in self.consumers:
+            consumer.buffer.set_policy("shed-to-deadline")
+            if self.tracer:
+                self.tracer.instant(
+                    consumer.owner, "overflow.adapt", "buffer",
+                    mode="shed-to-deadline",
+                )
+            # Shedding may free space a blocked producer is waiting on
+            # at the *next* full push; nothing to wake eagerly here —
+            # the policy acts at overflow time.
+
+    def _disengage(self) -> None:
+        if self._engaged_at is None:
+            return
+        self._shed_time_s += self.env.now - self._engaged_at
+        self._engaged_at = None
+        for consumer in self.consumers:
+            consumer.buffer.set_policy("block")
+            if self.tracer:
+                self.tracer.instant(
+                    consumer.owner, "overflow.adapt", "buffer", mode="block",
+                )
+
+
+class AdaptiveOverflow:
+    """The armed pair (detector + controller) hung off a PBPL system."""
+
+    def __init__(
+        self, detector: FaultDetector, controller: AdaptiveOverflowController
+    ) -> None:
+        self.detector = detector
+        self.controller = controller
+
+    @property
+    def shed_windows(self) -> int:
+        return self.controller.shed_windows
+
+    def total_shed_s(self, now: Optional[float] = None) -> float:
+        return self.controller.total_shed_s(now)
+
+
+def arm_adaptive_overflow(
+    env: "Environment",
+    system: "PBPLSystem",
+    *,
+    recovery_threshold: int = 1,
+    overflow_rate_per_s: Optional[float] = None,
+    overflow_window_s: float = 0.05,
+    hysteresis_s: Optional[float] = None,
+    tracer: Optional["Tracer"] = None,
+) -> AdaptiveOverflow:
+    """Wire a detector + controller onto ``system`` (PBPL, policy
+    "adaptive"). Default hysteresis is :data:`DEFAULT_HYSTERESIS_SLOTS`
+    slot sizes Δ."""
+    if hysteresis_s is None:
+        hysteresis_s = (
+            system.config.effective_slot_size() * DEFAULT_HYSTERESIS_SLOTS
+        )
+    detector = FaultDetector(
+        env,
+        recovery_threshold=recovery_threshold,
+        overflow_rate_per_s=overflow_rate_per_s,
+        overflow_window_s=overflow_window_s,
+        hysteresis_s=hysteresis_s,
+        tracer=tracer,
+    ).attach(system)
+    controller = AdaptiveOverflowController(
+        env, system.consumers, detector, tracer=tracer
+    )
+    return AdaptiveOverflow(detector, controller)

@@ -25,10 +25,13 @@ from repro.faults.spec import (
     BurstStorm,
     ClockDrift,
     ConsumerSlowdown,
+    CoreFailure,
     FaultPlan,
     LostSignals,
     PoolContention,
     ProducerStall,
+    TriggeredFault,
+    WindowTrigger,
 )
 from repro.harness.params import StandardParams
 from repro.harness.parallel import ParallelExecutor
@@ -51,6 +54,16 @@ class ChaosScenario:
     summary: str
     #: ``build(duration_s, n_consumers) -> FaultPlan``.
     build: Callable[[float, int], FaultPlan]
+    #: Scenario-mandated PBPL config overrides (e.g. the core-kill
+    #: scenario pins ``overflow_policy="block"`` so zero loss is part of
+    #: what it proves). Caller overrides still win.
+    config_overrides: Optional[Dict[str, object]] = None
+    #: Core ids hosting consumers, round-robin (the core-kill scenario
+    #: spreads consumers over two manager cores so one can die).
+    consumer_cores: Tuple[int, ...] = (CONSUMER_CORE,)
+    #: Machine size the scenario needs (the default rig is 2 cores:
+    #: consumers + background).
+    n_cores: int = 2
 
 
 def _clean(T: float, M: int) -> FaultPlan:
@@ -86,6 +99,28 @@ def _contention(T: float, M: int) -> FaultPlan:
     )
 
 
+def _core_kill(T: float, M: int) -> FaultPlan:
+    """Fail-stop core 2's manager mid-run; its consumers migrate to
+    core 0. The outage is scored to the end of the run (the kill is
+    permanent)."""
+    return FaultPlan([CoreFailure(start_s=0.35 * T, duration_s=0.65 * T, core=2)])
+
+
+def _cascade(T: float, M: int) -> FaultPlan:
+    """Declarative cascade: a burst storm whose window end triggers a
+    consumer slowdown (the 'recovery work makes everything slower'
+    pattern) — timing is a pure function of the plan."""
+    return FaultPlan(
+        [
+            BurstStorm(start_s=0.25 * T, duration_s=0.15 * T, factor=3.0),
+            TriggeredFault(
+                ConsumerSlowdown(start_s=0.0, duration_s=0.25 * T, factor=3.0),
+                WindowTrigger(source=0, edge="end"),
+            ),
+        ]
+    )
+
+
 def _combined(T: float, M: int) -> FaultPlan:
     """The acceptance gauntlet: stall, then lost signals, then a storm."""
     return FaultPlan(
@@ -107,6 +142,19 @@ DEFAULT_SCENARIOS: Tuple[ChaosScenario, ...] = (
     ChaosScenario("slowdown", "3× consumer service time", _slowdown),
     ChaosScenario("contention", "all free pool slots withheld", _contention),
     ChaosScenario("combined", "stall → lost signals → burst storm", _combined),
+    ChaosScenario(
+        "core-kill",
+        "core 2's manager fail-stops; consumers migrate to core 0",
+        _core_kill,
+        config_overrides={"overflow_policy": "block"},
+        consumer_cores=(0, 2),
+        n_cores=3,
+    ),
+    ChaosScenario(
+        "cascade",
+        "3× burst storm; 3× slowdown triggered at its window end",
+        _cascade,
+    ),
 )
 
 #: The CI gate: control plus the three acceptance faults, composed.
@@ -193,19 +241,21 @@ def run_scenario(
     ``env`` injects a pre-built environment (the sanitizer uses this).
     """
     plan = scenario.build(params.duration_s, n_consumers)
-    rig = Rig.build(params, replicate, env=env)
+    rig = Rig.build(params, replicate, env=env, n_cores=scenario.n_cores)
     traces = phase_shifted_traces(base_trace(params, replicate), n_consumers)
     traces = perturb_traces(traces, plan, rig.streams.stream("chaos"))
+    cores = list(scenario.consumer_cores)
 
     if impl == "PBPL":
         overrides = dict(
             overflow_policy="shed-to-deadline",
             harden_predictor=True,
         )
+        overrides.update(scenario.config_overrides or {})
         overrides.update(config_overrides or {})
         config = params.pbpl_config(**overrides)
         system = PBPLSystem(
-            rig.env, rig.machine, traces, config, consumer_cores=[CONSUMER_CORE]
+            rig.env, rig.machine, traces, config, consumer_cores=cores
         ).start()
         slot_s = config.effective_slot_size()
     else:
@@ -216,7 +266,7 @@ def run_scenario(
             impl,
             traces,
             config,
-            consumer_cores=[CONSUMER_CORE],
+            consumer_cores=cores,
         ).start()
         # Baselines have no slot grid; their wake granularity (hence
         # the Δ term of the bound they are held to) is the batch period.
@@ -233,8 +283,13 @@ def run_scenario(
     else:
         recovery_s = 0.0
     pool = getattr(system, "pool", None)
-    per_consumer = [
-        ConsumerResilience(
+    migrations = list(getattr(system, "migrations", []))
+    moved = {
+        m.owner: (rep, m) for rep in migrations for m in rep.consumers
+    }
+    per_consumer = []
+    for c in system.pairs:
+        row = ConsumerResilience(
             owner=c.owner,
             produced=c.stats.produced,
             consumed=c.stats.consumed,
@@ -243,8 +298,15 @@ def run_scenario(
             deadline_misses=c.stats.deadline_misses,
             max_latency_s=c.stats.max_latency_s,
         )
-        for c in system.pairs
-    ]
+        if c.owner in moved:
+            rep, m = moved[c.owner]
+            row.migrated = True
+            row.migration_energy_j = m.energy_j
+            if m.recovered_s is not None:
+                row.migration_recovery_s = m.recovered_s - rep.at_s
+        per_consumer.append(row)
+    recoveries = [rep.recovery_s for rep in migrations]
+    adaptive = getattr(system, "adaptive", None)
     return ResilienceMetrics(
         scenario=scenario.name,
         impl=impl,
@@ -267,6 +329,21 @@ def run_scenario(
         pool_contention_events=pool.contention_events if pool else 0,
         predictor_clamps=getattr(system, "predictor_clamps", 0),
         predictor_reconvergences=getattr(system, "predictor_reconvergences", 0),
+        cores_failed=len(migrations),
+        consumers_migrated=sum(len(rep.consumers) for rep in migrations),
+        migration_relatches=sum(rep.relatch_count for rep in migrations),
+        migration_latched=sum(rep.latched_count for rep in migrations),
+        migration_energy_j=sum(rep.energy_j for rep in migrations),
+        migration_recovery_s=(
+            max(recoveries)
+            if recoveries and all(r is not None for r in recoveries)
+            else None
+        ),
+        migration_unrecovered=sum(rep.unrecovered for rep in migrations),
+        adaptive_shed_windows=adaptive.shed_windows if adaptive else 0,
+        adaptive_shed_s=(
+            adaptive.total_shed_s(params.duration_s) if adaptive else 0.0
+        ),
         per_consumer=per_consumer,
         notes=plan.describe(),
     )
@@ -341,6 +418,63 @@ class ChaosReport:
                     f"| {worst.max_latency_s * 1000:.2f} | {worst.items_shed} "
                     f"| {'yes' if worst.conservation_ok else 'NO'} "
                     f"| {r.predictor_clamps} | {r.predictor_reconvergences} |"
+                )
+        if any(r.cores_failed for r in self.results):
+            lines += [
+                "",
+                "## Core failure & migration",
+                "",
+                "| scenario | cores failed | migrated | relatched | latched "
+                "| energy (µJ) | recovery (ms) | unrecovered |",
+                "|---|---|---|---|---|---|---|---|",
+            ]
+            for r in self.results:
+                if not r.cores_failed:
+                    continue
+                recovery = (
+                    "—"
+                    if r.migration_recovery_s is None
+                    else f"{r.migration_recovery_s * 1000:.2f}"
+                )
+                lines.append(
+                    f"| {r.scenario} | {r.cores_failed} "
+                    f"| {r.consumers_migrated} | {r.migration_relatches} "
+                    f"| {r.migration_latched} "
+                    f"| {r.migration_energy_j * 1e6:.1f} | {recovery} "
+                    f"| {r.migration_unrecovered} |"
+                )
+            lines += [
+                "",
+                "| scenario | consumer | energy (µJ) | recovery (ms) |",
+                "|---|---|---|---|",
+            ]
+            for r in self.results:
+                for c in r.per_consumer:
+                    if not c.migrated:
+                        continue
+                    recovery = (
+                        "—"
+                        if c.migration_recovery_s is None
+                        else f"{c.migration_recovery_s * 1000:.2f}"
+                    )
+                    lines.append(
+                        f"| {r.scenario} | {c.owner} "
+                        f"| {c.migration_energy_j * 1e6:.1f} | {recovery} |"
+                    )
+        if any(r.adaptive_shed_windows for r in self.results):
+            lines += [
+                "",
+                "## Adaptive overflow (fault-gated shedding)",
+                "",
+                "| scenario | shed windows | shed time (ms) |",
+                "|---|---|---|",
+            ]
+            for r in self.results:
+                if not r.adaptive_shed_windows:
+                    continue
+                lines.append(
+                    f"| {r.scenario} | {r.adaptive_shed_windows} "
+                    f"| {r.adaptive_shed_s * 1000:.2f} |"
                 )
         if self.baselines:
             lines += [

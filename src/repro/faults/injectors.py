@@ -12,16 +12,32 @@ Two application surfaces:
   spec.ClockDrift` flip the :class:`~repro.cpu.timers.TimerService`
   fault attributes, :class:`~repro.faults.spec.ConsumerSlowdown` scales
   consumers' ``service_scale``, :class:`~repro.faults.spec.
-  PoolContention` withholds free slots from the global pool.
+  PoolContention` withholds free slots from the global pool,
+  :class:`~repro.faults.spec.CoreFailure` fail-stops a core manager
+  (see :mod:`repro.core.migration` for the recovery protocol).
 
 Overlapping windows of the same fault type compose additively for
 drift/loss (last writer wins is avoided by restoring the *previous*
 value, not a hardcoded default).
+
+Timing rules that keep the simultaneity sanitizer quiet:
+
+* A :class:`~repro.faults.spec.CoreFailure` arms an URGENT-priority
+  event rather than a plain timeout, so when the kill lands on the same
+  timestamp as a NORMAL-priority consumer wakeup, their order is
+  *derived from priority* (kill first), never from heap insertion luck.
+  All migration side effects then run inside the kill dispatch and are
+  classified as derived events.
+* Dynamically triggered faults (:class:`~repro.faults.spec.
+  RecoveryTrigger` / :class:`~repro.faults.spec.OverflowTrigger`) wait
+  on :class:`~repro.faults.adaptive.FaultDetector` waiter events, which
+  succeed inside the dispatch of the signal that satisfied them — also
+  derived.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -29,16 +45,23 @@ from repro.faults.spec import (
     BurstStorm,
     ClockDrift,
     ConsumerSlowdown,
+    CoreFailure,
     FaultPlan,
     LostSignals,
+    OverflowTrigger,
     PoolContention,
     ProducerStall,
+    RecoveryTrigger,
+    TRACE_FAULT_TYPES,
+    TriggeredFault,
 )
+from repro.sim.events import URGENT, Event
 from repro.workloads.perturb import inject_burst, inject_stall
 from repro.workloads.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.core.system import PBPLSystem
+    from repro.faults.adaptive import FaultDetector
     from repro.sim.environment import Environment
     from repro.trace.tracer import Tracer
 
@@ -77,9 +100,10 @@ class RuntimeInjector:
     Works against :class:`~repro.core.system.PBPLSystem` and the
     baseline :class:`~repro.impls.multi.MultiPairSystem` alike — both
     expose ``machine`` and ``pairs``. Faults with no purchase on a
-    baseline (``PoolContention`` when there is no global pool) are
-    skipped and logged rather than raised, so one fault plan can score
-    every implementation.
+    baseline (``PoolContention`` when there is no global pool,
+    ``CoreFailure``/dynamic triggers when there are no core managers)
+    are skipped and logged rather than raised, so one fault plan can
+    score every implementation.
     """
 
     def __init__(
@@ -97,20 +121,86 @@ class RuntimeInjector:
         self.events: List[tuple[float, str]] = []
         #: Runtime faults that could not act on this system type.
         self.skipped: List[str] = []
+        self._detector: Optional["FaultDetector"] = None
+        self._detector_resolved = False
 
     def start(self) -> "RuntimeInjector":
-        for i, fault in enumerate(self.plan.runtime_faults):
+        windows = self.plan.resolved_windows()
+        n = 0
+        for i, fault in enumerate(self.plan.faults):
+            if isinstance(fault, TRACE_FAULT_TYPES):
+                continue  # applied by perturb_traces before the run
             self.env.process(
-                self._drive(fault), name=f"fault-injector-{i}"
+                self._drive(fault, windows[i]), name=f"fault-injector-{n}"
             )
+            n += 1
         return self
 
+    # -- dynamic-trigger support ---------------------------------------------------
+    def _get_detector(self) -> Optional["FaultDetector"]:
+        """The detector driving recovery/overflow triggers.
+
+        Resolved lazily (at first fault-process step, i.e. after
+        ``system.start()``): reuse the adaptive-overflow detector when
+        one is armed so trigger counts and policy gating agree on what
+        they saw; otherwise attach a standalone one. ``None`` on
+        systems without the PBPL hook surface (baselines).
+        """
+        if not self._detector_resolved:
+            self._detector_resolved = True
+            adaptive = getattr(self.system, "adaptive", None)
+            if adaptive is not None:
+                self._detector = adaptive.detector
+            elif getattr(self.system, "managers", None):
+                from repro.faults.adaptive import FaultDetector
+
+                self._detector = FaultDetector(
+                    self.env, tracer=self.tracer
+                ).attach(self.system)
+        return self._detector
+
+    def _arm_trigger(self, trigger) -> Optional[Event]:
+        detector = self._get_detector()
+        if detector is None:
+            return None
+        if isinstance(trigger, RecoveryTrigger):
+            return detector.when_recoveries(trigger.count)
+        if isinstance(trigger, OverflowTrigger):
+            return detector.when_overflow_rate(
+                trigger.rate_per_s, trigger.window_s
+            )
+        raise TypeError(f"not a dynamic trigger: {trigger!r}")
+
+    def _fault_timeout(self, spec, delay: float) -> Event:
+        """Wait for a fault's start edge.
+
+        Core kills arm a pre-succeeded URGENT event so that a kill
+        sharing a timestamp with NORMAL-priority activity is ordered by
+        priority (derived), not by heap insertion.
+        """
+        if isinstance(spec, CoreFailure):
+            event = Event(self.env)
+            event._ok = True
+            event._value = None
+            self.env.schedule(event, delay, URGENT)
+            return event
+        return self.env.timeout(delay)
+
     # -- one process per fault ---------------------------------------------------
-    def _drive(self, fault):
+    def _drive(self, fault, window: Optional[Tuple[float, float]]):
         env = self.env
-        if env.now < fault.start_s:
-            yield env.timeout(fault.start_s - env.now)
-        undo = self._apply(fault)
+        spec = fault.fault if isinstance(fault, TriggeredFault) else fault
+        if window is not None:
+            if env.now < window[0]:
+                yield self._fault_timeout(spec, window[0] - env.now)
+        else:
+            armed = self._arm_trigger(fault.trigger)
+            if armed is None:
+                self.skipped.append(fault.describe())
+                self.events.append((env.now, f"skip: {fault.describe()}"))
+                return
+            yield armed
+        undo = self._apply(spec)
         if undo is None:
             self.skipped.append(fault.describe())
             self.events.append((env.now, f"skip: {fault.describe()}"))
@@ -119,16 +209,16 @@ class RuntimeInjector:
         if self.tracer:
             span = self.tracer.begin(
                 FAULT_TRACK,
-                type(fault).__name__,
+                type(spec).__name__,
                 "fault",
                 detail=fault.describe(),
             )
         self.events.append((env.now, f"inject: {fault.describe()}"))
-        yield env.timeout(fault.duration_s)
+        yield env.timeout(spec.duration_s)
         undo()
         if span is not None:
             self.tracer.end(span)
-        self.events.append((env.now, f"lift: {type(fault).__name__}"))
+        self.events.append((env.now, f"lift: {type(spec).__name__}"))
 
     def _apply(self, fault):
         timers = self.system.machine.timers
@@ -171,6 +261,23 @@ class RuntimeInjector:
 
             def undo():
                 pool.restore(taken)
+
+            return undo
+        if isinstance(fault, CoreFailure):
+            managers = getattr(self.system, "managers", None)
+            if not managers or not hasattr(self.system, "kill_core"):
+                return None  # baselines have no core managers to kill
+            manager = managers.get(fault.core)
+            if manager is None or not manager.alive:
+                return None
+            if not any(
+                m.alive for cid, m in managers.items() if cid != fault.core
+            ):
+                return None  # nowhere to migrate — skip, don't strand
+            self.system.kill_core(fault.core)
+
+            def undo():
+                pass  # the kill is permanent; the window end only closes scoring
 
             return undo
         raise TypeError(f"not a runtime fault: {fault!r}")

@@ -114,11 +114,157 @@ class PoolContention:
         )
 
 
+@dataclass(frozen=True)
+class CoreFailure:
+    """Core ``core``'s manager fail-stops at ``start_s``.
+
+    The kill is permanent — recovery is *migration*, not revival: the
+    dead manager's pending reservations are torn down and its consumers
+    re-home onto surviving managers (see :mod:`repro.core.migration`).
+    ``duration_s`` is the scored outage window (power-under-fault and
+    the injector's fault span use it), not a revival time.
+    """
+
+    start_s: float
+    duration_s: float
+    #: Core id whose manager dies. Must host a manager, and at least one
+    #: other manager must survive, else the injector skips-and-logs.
+    core: int = 0
+
+    def __post_init__(self) -> None:
+        if self.core < 0:
+            raise ValueError(f"core id must be >= 0: {self.core}")
+
+    def describe(self) -> str:
+        return (
+            f"kill core {self.core}'s manager at {self.start_s:g}s "
+            f"(outage scored over [{self.start_s:g}, "
+            f"{self.start_s + self.duration_s:g})s)"
+        )
+
+
+# -- cascade triggers -----------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WindowTrigger:
+    """Fire when an earlier fault's window edge passes (+ ``delay_s``).
+
+    ``source`` indexes the plan's fault list and must reference an
+    *earlier*, statically resolvable fault (a plain fault or another
+    window-triggered one) — so the cascade's timing stays a pure
+    function of the plan, which keeps the scenario deterministic and
+    lets :meth:`FaultPlan.windows` include it.
+    """
+
+    source: int
+    edge: str = "end"
+    delay_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.source < 0:
+            raise ValueError(f"trigger source must be >= 0: {self.source}")
+        if self.edge not in ("start", "end"):
+            raise ValueError(f"trigger edge must be 'start' or 'end': {self.edge!r}")
+        if self.delay_s < 0:
+            raise ValueError(f"trigger delay must be >= 0: {self.delay_s}")
+
+    def describe(self) -> str:
+        delay = f" +{self.delay_s:g}s" if self.delay_s else ""
+        return f"at fault #{self.source}'s window {self.edge}{delay}"
+
+
+@dataclass(frozen=True)
+class RecoveryTrigger:
+    """Fire when cumulative watchdog recoveries reach ``count``."""
+
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"recovery count must be >= 1: {self.count}")
+
+    def describe(self) -> str:
+        return f"after {self.count} watchdog recover{'y' if self.count == 1 else 'ies'}"
+
+
+@dataclass(frozen=True)
+class OverflowTrigger:
+    """Fire when the overflow rate over ``window_s`` reaches ``rate_per_s``."""
+
+    rate_per_s: float
+    window_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ValueError(f"overflow rate must be positive: {self.rate_per_s}")
+        if self.window_s <= 0:
+            raise ValueError(f"overflow window must be positive: {self.window_s}")
+
+    def describe(self) -> str:
+        return f"when overflows exceed {self.rate_per_s:g}/s over {self.window_s:g}s"
+
+
+Trigger = Union[WindowTrigger, RecoveryTrigger, OverflowTrigger]
+
+#: Trigger kinds whose fire time is a pure function of the plan.
+STATIC_TRIGGERS = (WindowTrigger,)
+
+
+@dataclass(frozen=True)
+class TriggeredFault:
+    """A runtime fault whose start comes from a *trigger*, not a clock.
+
+    Wraps any runtime fault spec; the wrapped fault declares its start
+    via the trigger (its own ``start_s`` must be 0) and keeps its
+    ``duration_s``. Window triggers resolve statically; recovery and
+    overflow-rate triggers are driven by the live
+    :class:`~repro.faults.adaptive.FaultDetector`.
+    """
+
+    fault: "RuntimeFault"
+    trigger: Trigger
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.fault, RUNTIME_FAULT_TYPES):
+            raise ValueError(
+                f"only runtime faults can be triggered (trace faults rewrite "
+                f"the workload before the run): {self.fault!r}"
+            )
+        if self.fault.start_s != 0.0:
+            raise ValueError(
+                f"a triggered fault declares its start via the trigger; "
+                f"set start_s=0 on the wrapped fault: {self.fault!r}"
+            )
+
+    @property
+    def start_s(self) -> float:
+        return 0.0
+
+    @property
+    def duration_s(self) -> float:
+        return self.fault.duration_s
+
+    def describe(self) -> str:
+        return f"{self.trigger.describe()}: {self.fault.describe()}"
+
+
 #: Faults applied by rewriting the workload before the run starts.
 TraceFault = Union[ProducerStall, BurstStorm]
 #: Faults applied by toggling live components during the run.
-RuntimeFault = Union[LostSignals, ClockDrift, ConsumerSlowdown, PoolContention]
-Fault = Union[TraceFault, RuntimeFault]
+RuntimeFault = Union[
+    LostSignals, ClockDrift, ConsumerSlowdown, PoolContention, CoreFailure
+]
+Fault = Union[TraceFault, RuntimeFault, TriggeredFault]
+
+TRACE_FAULT_TYPES = (ProducerStall, BurstStorm)
+RUNTIME_FAULT_TYPES = (
+    LostSignals,
+    ClockDrift,
+    ConsumerSlowdown,
+    PoolContention,
+    CoreFailure,
+)
 
 
 class FaultPlan:
@@ -131,26 +277,62 @@ class FaultPlan:
                 raise ValueError(f"fault window must be positive: {fault!r}")
             if fault.start_s < 0:
                 raise ValueError(f"fault cannot start before t=0: {fault!r}")
+        # Resolve cascades eagerly: a bad trigger reference fails at
+        # construction, not mid-run.
+        self.resolved_windows()
 
     @property
     def trace_faults(self) -> List[TraceFault]:
-        return [f for f in self.faults if isinstance(f, (ProducerStall, BurstStorm))]
+        return [f for f in self.faults if isinstance(f, TRACE_FAULT_TYPES)]
 
     @property
     def runtime_faults(self) -> List[RuntimeFault]:
         return [
             f
             for f in self.faults
-            if isinstance(
-                f, (LostSignals, ClockDrift, ConsumerSlowdown, PoolContention)
-            )
+            if isinstance(f, RUNTIME_FAULT_TYPES + (TriggeredFault,))
         ]
 
+    def resolved_windows(self) -> List[Optional[Tuple[float, float]]]:
+        """Per-fault (start, end) windows, aligned with ``faults``.
+
+        Plain faults resolve from their ``start_s``; window-triggered
+        faults resolve from their (earlier, already-resolved) source;
+        dynamically triggered faults (recovery/overflow) yield ``None``
+        — their window exists only at run time.
+        """
+        out: List[Optional[Tuple[float, float]]] = []
+        for i, fault in enumerate(self.faults):
+            if isinstance(fault, TriggeredFault):
+                trigger = fault.trigger
+                if not isinstance(trigger, STATIC_TRIGGERS):
+                    out.append(None)
+                    continue
+                if not 0 <= trigger.source < i:
+                    raise ValueError(
+                        f"window trigger of fault #{i} must reference an "
+                        f"earlier fault: source={trigger.source}"
+                    )
+                source = out[trigger.source]
+                if source is None:
+                    raise ValueError(
+                        f"window trigger of fault #{i} references fault "
+                        f"#{trigger.source}, which is dynamically triggered; "
+                        f"window triggers need a statically resolvable source"
+                    )
+                start = (
+                    source[0] if trigger.edge == "start" else source[1]
+                ) + trigger.delay_s
+                out.append((start, start + fault.duration_s))
+            else:
+                out.append((fault.start_s, fault.start_s + fault.duration_s))
+        return out
+
     def windows(self) -> List[Tuple[float, float]]:
-        """Every fault's (start, end) window, sorted."""
-        return sorted(
-            (f.start_s, f.start_s + f.duration_s) for f in self.faults
-        )
+        """Every statically resolvable (start, end) window, sorted.
+        Dynamically triggered faults are excluded — their windows exist
+        only at run time."""
+        return sorted(w for w in self.resolved_windows() if w is not None)
 
     @property
     def last_fault_end_s(self) -> float:

@@ -6,9 +6,10 @@ regressions:
 
 * **kernel** (``BENCH_kernel.json``) — events/sec micro-benchmarks of
   the DES kernel: a pure timer storm (queue + dispatch overhead and
-  nothing else) and the PBPL smoke run (the blessed golden-trace
+  nothing else), the PBPL smoke run (the blessed golden-trace
   configuration, end-to-end through slots, prediction and power
-  accounting).
+  accounting), and a migration smoke (a mid-run core kill with
+  consumer re-homing on a 3-core rig).
 * **harness** (``BENCH_harness.json``) — wall-clock of the chaos
   scenario matrix at ``jobs=1`` vs ``jobs=N`` through the
   :class:`~repro.harness.parallel.ParallelExecutor`, including the
@@ -95,6 +96,37 @@ def _pbpl_smoke(duration_s: float, seed: int = 2014, n_consumers: int = 3
     return wall, rig.env.events_processed
 
 
+def _migration_smoke(duration_s: float, seed: int = 2014, n_consumers: int = 4
+                     ) -> Tuple[float, int]:
+    """A core-kill run on a 3-core rig; returns (wall, events).
+
+    Exercises the whole recovery path — fail-stop teardown, consumer
+    re-homing, re-reservation on the survivor — so migration-cost
+    regressions show up in the trajectory next to the clean smoke.
+    """
+    from repro.faults.injectors import RuntimeInjector
+    from repro.faults.spec import CoreFailure, FaultPlan
+
+    params = StandardParams(duration_s=duration_s, seed=seed)
+    rig = Rig.build(params, 0, n_cores=3)
+    traces = phase_shifted_traces(base_trace(params, 0), n_consumers)
+    system = PBPLSystem(
+        rig.env,
+        rig.machine,
+        traces,
+        params.pbpl_config(overflow_policy="block", harden_predictor=True),
+        consumer_cores=[0, 2],
+    ).start()
+    plan = FaultPlan(
+        [CoreFailure(start_s=0.35 * duration_s, duration_s=0.65 * duration_s, core=2)]
+    )
+    RuntimeInjector(rig.env, system, plan).start()
+    start = perf_counter()
+    rig.env.run(until=params.duration_s)
+    wall = perf_counter() - start
+    return wall, rig.env.events_processed
+
+
 def _best_of(fn, repeats: int) -> Dict[str, float]:
     """Run ``fn`` ``repeats`` times; report the best wall-clock."""
     walls: List[float] = []
@@ -124,6 +156,10 @@ def bench_kernel(quick: bool = False) -> dict:
         "pbpl_smoke": {
             "duration_s": smoke_duration,
             **_best_of(lambda: _pbpl_smoke(smoke_duration), repeats),
+        },
+        "migration_smoke": {
+            "duration_s": smoke_duration,
+            **_best_of(lambda: _migration_smoke(smoke_duration), repeats),
         },
     }
     return {

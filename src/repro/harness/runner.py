@@ -59,13 +59,18 @@ class Rig:
         params: StandardParams,
         replicate: int,
         env: Optional[Environment] = None,
+        n_cores: int = 2,
     ) -> "Rig":
         """Assemble a rig. ``env`` injects a pre-built environment (e.g.
-        a SanitizingEnvironment); the default is a fresh one."""
+        a SanitizingEnvironment); ``n_cores`` grows the machine past the
+        default consumer+background pair (the core-failure scenarios
+        need a second consumer core that can die)."""
+        if n_cores < 2:
+            raise ValueError("rig needs at least consumer + background cores")
         streams = RandomStreams(seed=params.seed, replicate=replicate)
         if env is None:
             env = Environment()
-        machine = Machine(env, n_cores=2, streams=streams)
+        machine = Machine(env, n_cores=n_cores, streams=streams)
         model = PowerModel()
         ledger = EnergyLedger(env, model)
         powertop = PowerTop(env)

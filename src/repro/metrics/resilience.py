@@ -33,6 +33,14 @@ class ConsumerResilience:
     buffered: int = 0
     deadline_misses: int = 0
     max_latency_s: float = 0.0
+    #: Whether this consumer was re-homed off a failed core.
+    migrated: bool = False
+    #: Believed migration cost (ω for an immediate non-latched
+    #: re-reservation; 0 for latched or deferred moves).
+    migration_energy_j: float = 0.0
+    #: Kill-to-first-completed-batch time on the new core (None when
+    #: not migrated or never recovered).
+    migration_recovery_s: Optional[float] = None
 
     @property
     def conservation_ok(self) -> bool:
@@ -53,6 +61,9 @@ class ConsumerResilience:
             "buffered": self.buffered,
             "deadline_misses": self.deadline_misses,
             "max_latency_s": self.max_latency_s,
+            "migrated": self.migrated,
+            "migration_energy_j": self.migration_energy_j,
+            "migration_recovery_s": self.migration_recovery_s,
             "conservation_ok": self.conservation_ok,
         }
 
@@ -102,6 +113,25 @@ class ResilienceMetrics:
     #: HardenedPredictor re-convergences (clamp streaks accepted as a
     #: genuine level shift).
     predictor_reconvergences: int = 0
+    #: Core managers fail-stopped during the run.
+    cores_failed: int = 0
+    #: Consumers re-homed off failed cores.
+    consumers_migrated: int = 0
+    #: Immediate re-reservations made at migration time.
+    migration_relatches: int = 0
+    #: Immediate re-reservations that latched onto an existing slot.
+    migration_latched: int = 0
+    #: Summed believed migration cost across all migrations.
+    migration_energy_j: float = 0.0
+    #: Worst kill-to-all-consumers-recovered time across core failures
+    #: (None when no core failed or some consumer never recovered).
+    migration_recovery_s: Optional[float] = None
+    #: Migrated consumers that never completed a post-migration batch.
+    migration_unrecovered: int = 0
+    #: Adaptive overflow: detected fault windows that engaged shedding.
+    adaptive_shed_windows: int = 0
+    #: Adaptive overflow: total seconds spent in shed mode.
+    adaptive_shed_s: float = 0.0
     #: Per-consumer breakdown rows (empty when not collected).
     per_consumer: List[ConsumerResilience] = field(default_factory=list)
     #: Free-form per-fault notes ("stall 0.8-1.3s on consumer-0", ...).
@@ -165,6 +195,15 @@ class ResilienceMetrics:
             "pool_contention_events": self.pool_contention_events,
             "predictor_clamps": self.predictor_clamps,
             "predictor_reconvergences": self.predictor_reconvergences,
+            "cores_failed": self.cores_failed,
+            "consumers_migrated": self.consumers_migrated,
+            "migration_relatches": self.migration_relatches,
+            "migration_latched": self.migration_latched,
+            "migration_energy_j": self.migration_energy_j,
+            "migration_recovery_s": self.migration_recovery_s,
+            "migration_unrecovered": self.migration_unrecovered,
+            "adaptive_shed_windows": self.adaptive_shed_windows,
+            "adaptive_shed_s": self.adaptive_shed_s,
             "latency_bound_ok": self.latency_bound_ok,
             "conservation_ok": self.conservation_ok,
             "verdict": self.verdict,

@@ -97,7 +97,11 @@ def record_run(
     """
     params = StandardParams(duration_s=duration_s, seed=seed)
     plan = _fault_plan(scenario, duration_s, n_consumers)
-    rig = Rig.build(params, replicate=0)
+    chaos = _CHAOS_BY_NAME.get(scenario)
+    cores = list(chaos.consumer_cores) if chaos else [CONSUMER_CORE]
+    rig = Rig.build(
+        params, replicate=0, n_cores=chaos.n_cores if chaos else 2
+    )
     tracer = Tracer(rig.env, capacity=capacity)
     if stream is not None:
         stream.attach(tracer)
@@ -123,13 +127,14 @@ def record_run(
     buf = buffer_size or params.buffer_size
     if impl == "PBPL":
         overrides = dict(overflow_policy="shed-to-deadline", harden_predictor=True)
+        overrides.update((chaos.config_overrides or {}) if chaos else {})
         overrides.update(config_overrides or {})
         system = PBPLSystem(
             rig.env,
             rig.machine,
             traces,
             params.pbpl_config(buf, **overrides),
-            consumer_cores=[CONSUMER_CORE],
+            consumer_cores=cores,
             tracer=tracer,
         ).start()
     else:
@@ -139,7 +144,7 @@ def record_run(
             impl,
             traces,
             params.pc_config(buf),
-            consumer_cores=[CONSUMER_CORE],
+            consumer_cores=cores,
         ).start()
 
     # Trace faults were applied by rewriting the workload before the

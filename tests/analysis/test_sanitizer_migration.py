@@ -1,0 +1,89 @@
+"""Sanitizer over the recovery scenarios: derived kill ordering, not luck.
+
+The core-kill scenario puts a manager death and consumer wakeups at
+overlapping timestamps; the cascade chains a triggered fault onto a
+window edge. Both must sanitize clean — the kill lands at URGENT
+priority (its own ordering group) and every migration side effect is
+derived from the kill dispatch — while a *genuine* same-timestamp race
+still gets flagged (the regression half below).
+"""
+
+from repro.analysis.sanitizer import (
+    SanitizingEnvironment,
+    install_probes,
+    sanitize_scenario,
+)
+from repro.core.slots import SlotTrack
+from repro.faults.chaos import DEFAULT_SCENARIOS
+from repro.harness.params import StandardParams
+from repro.sim.events import NORMAL, URGENT
+
+BY_NAME = {s.name: s for s in DEFAULT_SCENARIOS}
+
+
+def _sanitized_env():
+    install_probes()
+    return SanitizingEnvironment()
+
+
+def test_core_kill_scenario_sanitizes_clean():
+    params = StandardParams(duration_s=0.4, seed=2014)
+    report = sanitize_scenario(BY_NAME["core-kill"], params, n_consumers=4)
+    assert report.ok, report.render()
+    assert report.events_seen > 100
+
+
+def test_cascade_scenario_sanitizes_clean():
+    params = StandardParams(duration_s=0.4, seed=2014)
+    report = sanitize_scenario(BY_NAME["cascade"], params, n_consumers=3)
+    assert report.ok, report.render()
+    assert report.events_seen > 100
+
+
+def test_urgent_kill_vs_normal_wakeup_is_priority_ordered():
+    """A pre-succeeded URGENT event against a NORMAL timeout at the same
+    timestamp is ordered by priority — separate groups, no race."""
+    env = _sanitized_env()
+    track = SlotTrack(0.01)
+
+    kill = env.event()
+    kill._ok = True
+    kill._value = None
+    kill.callbacks.append(lambda ev: track.reserve(0, "killer"))
+    env.schedule(kill, 0.5, URGENT)
+
+    def wakeup():
+        yield env.timeout(0.5)
+        track.reserve(1, "sleeper")
+
+    env.process(wakeup(), name="sleeper")
+    env.run()
+    assert env.sanitizer.finish().ok
+
+
+def test_same_priority_kill_style_race_is_still_flagged():
+    """Regression: the URGENT carve-out must not blind the sanitizer to
+    a real race — the same pair at equal (NORMAL) priority is flagged."""
+    env = _sanitized_env()
+    track = SlotTrack(0.01)
+
+    pseudo_kill = env.event()
+    pseudo_kill._ok = True
+    pseudo_kill._value = None
+    pseudo_kill.callbacks.append(lambda ev: track.reserve(0, "killer"))
+    env.schedule(pseudo_kill, 0.5, NORMAL)
+
+    def wakeup():
+        yield env.timeout(0.5)
+        track.reserve(1, "sleeper")
+
+    env.process(wakeup(), name="sleeper")
+    env.run()
+    report = env.sanitizer.finish()
+
+    assert not report.ok
+    assert len(report.races) == 1
+    race = report.races[0]
+    assert race.state == "SlotTrack#0"
+    assert race.time_s == 0.5
+    assert race.site_a != race.site_b

@@ -1,0 +1,148 @@
+"""Core failure and consumer migration: teardown, re-homing, recovery."""
+
+import pytest
+
+from repro.core.system import PBPLSystem
+from repro.faults.chaos import DEFAULT_SCENARIOS, run_scenario
+from repro.harness.params import StandardParams
+from repro.harness.runner import Rig, base_trace
+from repro.impls.multi import phase_shifted_traces
+
+CORE_KILL = {s.name: s for s in DEFAULT_SCENARIOS}["core-kill"]
+
+
+def build_system(duration_s=0.5, n_consumers=4, cores=(0, 2), n_cores=3,
+                 **overrides):
+    params = StandardParams(duration_s=duration_s, seed=2014)
+    rig = Rig.build(params, 0, n_cores=n_cores)
+    traces = phase_shifted_traces(base_trace(params, 0), n_consumers)
+    config = params.pbpl_config(
+        overflow_policy=overrides.pop("overflow_policy", "block"),
+        harden_predictor=True,
+        **overrides,
+    )
+    system = PBPLSystem(
+        rig.env, rig.machine, traces, config, consumer_cores=list(cores)
+    ).start()
+    return rig, system
+
+
+# -- kill_core mechanics ---------------------------------------------------------
+
+
+def test_kill_core_rehomes_consumers_and_tears_down_manager():
+    rig, system = build_system()
+    rig.env.run(until=0.2)
+    dead = system.managers[2]
+    before = [c for c in system.consumers if c.manager is dead]
+    assert before, "scenario must place consumers on core 2"
+
+    report = system.kill_core(2)
+
+    assert not dead.alive
+    assert dead.track.earliest_reserved_slot() is None
+    assert len(report.consumers) == len(before)
+    for consumer in before:
+        assert consumer.manager is system.managers[0]
+        assert consumer.core is system.managers[0].core
+    assert system.migrations == [report]
+    assert report.core_id == 2
+    assert report.at_s == pytest.approx(0.2)
+    # Migration energy is ω per immediate non-latched re-reservation.
+    for m in report.consumers:
+        if m.relatch == "immediate" and not m.latched:
+            assert m.energy_j == pytest.approx(
+                before[0].config.wakeup_cost_j
+            )
+        else:
+            assert m.energy_j == 0.0
+
+
+def test_killed_manager_rejects_new_reservations():
+    rig, system = build_system()
+    rig.env.run(until=0.2)
+    dead = system.managers[2]
+    system.kill_core(2)
+    with pytest.raises(RuntimeError, match="dead"):
+        dead.reserve(system.consumers[0], 10**6)
+
+
+def test_kill_core_validates_targets():
+    rig, system = build_system()
+    rig.env.run(until=0.1)
+    with pytest.raises(ValueError, match="no manager on core 7"):
+        system.kill_core(7)
+    system.kill_core(2)
+    with pytest.raises(ValueError, match="already dead"):
+        system.kill_core(2)
+    # The last manager standing cannot be killed — nowhere to migrate.
+    with pytest.raises(RuntimeError, match="surviving"):
+        system.kill_core(0)
+
+
+def test_migrated_consumers_keep_consuming_with_zero_loss():
+    rig, system = build_system(duration_s=0.6)
+    rig.env.run(until=0.2)
+    report = system.kill_core(2)
+    rig.env.run(until=0.6)
+
+    stats = system.aggregate_stats()
+    assert stats.items_shed == 0
+    assert stats.produced == stats.consumed + system.buffered_items()
+    assert report.unrecovered == 0
+    assert report.recovery_s is not None and report.recovery_s > 0
+    for m in report.consumers:
+        assert m.recovered_s is not None and m.recovered_s >= report.at_s
+    # The pool counted each carried buffer.
+    assert system.pool.migrations == len(report.consumers)
+
+
+# -- the chaos scenario ----------------------------------------------------------
+
+
+def test_core_kill_scenario_zero_loss_under_block():
+    params = StandardParams(duration_s=1.0, seed=2014)
+    result = run_scenario(CORE_KILL, params, 4)
+
+    assert result.verdict == "OK"
+    assert result.items_shed == 0
+    assert result.conservation_ok
+    assert result.cores_failed == 1
+    assert result.consumers_migrated == 2
+    assert result.migration_relatches >= 1
+    assert result.migration_unrecovered == 0
+    assert result.migration_recovery_s is not None
+    assert result.migration_recovery_s > 0
+    assert result.migration_energy_j >= 0
+    migrated = [c for c in result.per_consumer if c.migrated]
+    assert len(migrated) == 2
+    for row in migrated:
+        assert row.conservation_ok
+        assert row.migration_recovery_s is not None
+    assert all(c.conservation_ok for c in result.per_consumer)
+
+
+def test_core_kill_scenario_is_deterministic():
+    params = StandardParams(duration_s=0.6, seed=2014)
+    a = run_scenario(CORE_KILL, params, 4)
+    b = run_scenario(CORE_KILL, params, 4)
+    assert a.to_dict() == b.to_dict()
+
+
+def test_core_kill_skips_on_baselines():
+    params = StandardParams(duration_s=0.5, seed=2014)
+    result = run_scenario(CORE_KILL, params, 4, impl="Mutex")
+    # No core managers to kill: the fault skips, the run still scores.
+    assert result.cores_failed == 0
+    assert result.conservation_ok
+
+
+def test_pool_rejects_migration_of_unknown_consumer():
+    from repro.buffers.pool import GlobalBufferPool
+
+    pool = GlobalBufferPool(base_allocation=5, n_consumers=2)
+    pool.register("consumer-0")
+    with pytest.raises(KeyError, match="not registered"):
+        pool.note_migration("ghost")
+    assert pool.note_migration("consumer-0") == 0
+    assert pool.migrations == 1

@@ -1,0 +1,143 @@
+"""Fault-gated adaptive overflow: byte-identity, gating, hysteresis."""
+
+import pytest
+
+from repro.core.system import PBPLSystem
+from repro.faults.adaptive import DEFAULT_HYSTERESIS_SLOTS, FaultDetector
+from repro.faults.chaos import DEFAULT_SCENARIOS, run_scenario
+from repro.harness.params import StandardParams
+from repro.harness.runner import Rig, base_trace
+from repro.impls.multi import phase_shifted_traces
+from repro.sim import Environment
+from repro.trace.recorder import record_run
+
+from tests.faults.test_spec_and_injectors import sample_at
+
+BY_NAME = {s.name: s for s in DEFAULT_SCENARIOS}
+
+
+def build_adaptive_system(duration_s=0.5, n_consumers=3):
+    params = StandardParams(duration_s=duration_s, seed=2014)
+    rig = Rig.build(params, 0)
+    traces = phase_shifted_traces(base_trace(params, 0), n_consumers)
+    config = params.pbpl_config(
+        overflow_policy="adaptive", harden_predictor=True
+    )
+    system = PBPLSystem(rig.env, rig.machine, traces, config).start()
+    return rig, system, config
+
+
+# -- byte-identity on clean runs -------------------------------------------------
+
+
+def test_zero_fault_run_scores_identically_to_block():
+    params = StandardParams(duration_s=0.4, seed=2014)
+    adaptive = run_scenario(
+        BY_NAME["clean"], params, 3,
+        config_overrides={"overflow_policy": "adaptive"},
+    )
+    block = run_scenario(
+        BY_NAME["clean"], params, 3,
+        config_overrides={"overflow_policy": "block"},
+    )
+    assert adaptive.adaptive_shed_windows == 0
+    assert adaptive.adaptive_shed_s == 0.0
+    assert adaptive.to_dict() == block.to_dict()
+
+
+def test_zero_fault_trace_is_byte_identical_to_block():
+    def events(policy):
+        run = record_run(
+            "PBPL", "clean", duration_s=0.3, n_consumers=2,
+            config_overrides={"overflow_policy": policy},
+        )
+        return [
+            (e.ts_s, e.dur_s, e.phase, e.category, e.track, e.name, e.seq, e.args)
+            for e in run.tracer.events
+        ]
+
+    assert events("adaptive") == events("block")
+
+
+# -- gating ----------------------------------------------------------------------
+
+
+def test_detector_engages_shed_and_reverts_after_hysteresis():
+    rig, system, config = build_adaptive_system()
+    detector = system.adaptive.detector
+    # Default hysteresis is 4 slot sizes Δ.
+    slot = config.effective_slot_size()
+    assert detector.hysteresis_s == pytest.approx(slot * DEFAULT_HYSTERESIS_SLOTS)
+
+    def driver(env):
+        yield env.timeout(0.1)
+        detector.note_recovery()
+
+    rig.env.process(driver(rig.env))
+    during = 0.1 + detector.hysteresis_s / 2
+    after = 0.1 + detector.hysteresis_s + 0.01
+    seen = sample_at(
+        rig.env,
+        [0.05, during, after],
+        lambda: (
+            detector.active,
+            tuple(c.buffer.policy for c in system.consumers),
+        ),
+    )
+    rig.env.run(until=0.5)
+
+    active, policies = seen[0.05]
+    assert not active and set(policies) == {"block"}
+    active, policies = seen[during]
+    assert active and set(policies) == {"shed-to-deadline"}
+    active, policies = seen[after]
+    assert not active and set(policies) == {"block"}
+    assert system.adaptive.shed_windows == 1
+    assert system.adaptive.total_shed_s(0.5) == pytest.approx(
+        detector.hysteresis_s
+    )
+
+
+def test_recovery_inside_active_window_extends_without_double_trigger():
+    env = Environment()
+    detector = FaultDetector(env, hysteresis_s=0.05)
+
+    def driver(env):
+        yield env.timeout(0.1)
+        detector.note_recovery()
+        yield env.timeout(0.03)  # inside the active window
+        detector.note_recovery()
+
+    env.process(driver(env))
+    seen = sample_at(
+        env,
+        # Past the first deadline (0.15) but not the extended one (0.18).
+        [0.16, 0.20],
+        lambda: detector.active,
+    )
+    env.run(until=0.5)
+    assert detector.activations == 1
+    assert detector.recoveries_seen == 2
+    assert seen[0.16] is True
+    assert seen[0.20] is False
+
+
+def test_shed_engages_only_under_detected_faults():
+    params = StandardParams(duration_s=1.0, seed=2014)
+    result = run_scenario(
+        BY_NAME["lost-signals"], params, 4,
+        config_overrides={"overflow_policy": "adaptive"},
+    )
+    assert result.watchdog_recoveries > 0
+    assert result.adaptive_shed_windows >= 1
+    assert result.adaptive_shed_s > 0
+    assert result.adaptive_shed_s < params.duration_s  # it reverted
+    assert result.conservation_ok
+
+
+def test_adaptive_scenario_runs_are_deterministic():
+    params = StandardParams(duration_s=0.5, seed=2014)
+    overrides = {"overflow_policy": "adaptive"}
+    a = run_scenario(BY_NAME["lost-signals"], params, 3, config_overrides=overrides)
+    b = run_scenario(BY_NAME["lost-signals"], params, 3, config_overrides=overrides)
+    assert a.to_dict() == b.to_dict()

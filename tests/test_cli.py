@@ -338,9 +338,70 @@ def test_trace_bless_writes_golden_spec(capsys, tmp_path):
     from repro.trace import read_trace
 
     out = tmp_path / "golden.jsonl"
-    assert main(["trace", "bless", "-o", str(out)]) == 0
+    assert main(["trace", "bless", "--name", "pbpl_smoke", "-o", str(out)]) == 0
     events, reader = read_trace(out)
     assert reader.meta["impl"] == GOLDEN_SPEC["impl"]
     assert reader.meta["seed"] == GOLDEN_SPEC["seed"]
     assert events
     assert "blessed" in capsys.readouterr().out
+
+
+def test_trace_bless_matrix_writes_every_golden(capsys, tmp_path):
+    from repro.cli import GOLDEN_SPECS
+    from repro.trace import read_trace
+
+    assert main(["trace", "bless", "--out-dir", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    for name, spec in GOLDEN_SPECS.items():
+        path = tmp_path / f"{name}.trace.jsonl"
+        assert path.exists()
+        _events, reader = read_trace(path)
+        assert reader.meta["impl"] == spec["impl"]
+        assert reader.meta["scenario"] == spec["scenario"]
+    assert out.count("blessed") == len(GOLDEN_SPECS)
+
+
+def test_trace_bless_output_needs_a_single_name(capsys, tmp_path):
+    assert main(["trace", "bless", "-o", str(tmp_path / "g.jsonl")]) == 2
+    assert "--name" in capsys.readouterr().err
+
+
+def test_trace_report_window(capsys, tmp_path):
+    trace = tmp_path / "t.jsonl"
+    assert main([*RECORD_SHORT, "--stream", "-o", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(
+        ["trace", "report", str(trace), "--from", "0.1", "--to", "0.2"]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "[0.1, 0.2)s" in out
+    # Windowed totals cannot reconcile against the full-run ledger.
+    assert "ledger total" not in out
+
+
+def test_trace_report_rejects_empty_window(capsys, tmp_path):
+    trace = tmp_path / "t.jsonl"
+    assert main([*RECORD_SHORT, "--stream", "-o", str(trace)]) == 0
+    capsys.readouterr()
+    assert main(
+        ["trace", "report", str(trace), "--from", "0.2", "--to", "0.1"]
+    ) == 2
+    assert "--to must be after --from" in capsys.readouterr().err
+
+
+def test_chaos_scenario_filter(capsys):
+    assert (
+        main(
+            ["chaos", "--scenarios", "clean,burst", "--duration", "0.4",
+             "--consumers", "2"]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "| clean |" in out and "| burst |" in out
+    assert "| stall |" not in out
+
+
+def test_chaos_rejects_unknown_scenario_name(capsys):
+    assert main(["chaos", "--scenarios", "no-such-fault"]) == 2
+    assert "unknown scenario" in capsys.readouterr().err

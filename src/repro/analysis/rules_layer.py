@@ -23,7 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.engine import ModuleContext
     from repro.analysis.findings import Finding
 
-KERNEL_LAYERS = ("sim", "buffers", "power", "core", "cpu")
+KERNEL_LAYERS = ("sim", "buffers", "power", "core", "cpu", "pipeline")
 
 _KERNEL_FORBIDDEN = (
     "repro.harness",

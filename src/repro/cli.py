@@ -38,11 +38,14 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.harness import (
+    PIPELINE_IMPLEMENTATIONS,
+    PIPELINE_TOPOLOGIES,
     StandardParams,
     WorkerCrashError,
     run_buffer_sweep,
     run_consumer_scaling,
     run_multi_comparison,
+    run_pipeline_study,
     run_profile_study,
     run_sanity_checks,
     run_single_pair,
@@ -145,6 +148,25 @@ def cmd_fig11(args: argparse.Namespace) -> int:
     result = run_buffer_sweep(_params(args), sizes=args.sizes, jobs=args.jobs)
     runs = [r for cell in result.cells.values() for r in cell.runs]
     _emit(args, result.render(), runs)
+    return 0
+
+
+def cmd_pipeline(args: argparse.Namespace) -> int:
+    params = _params(args)
+    if args.quick:
+        params = StandardParams(
+            duration_s=2.0,
+            replicates=1,
+            seed=args.seed,
+            mean_rate_per_s=args.rate,
+        )
+    result = run_pipeline_study(
+        params,
+        jobs=args.jobs,
+        implementations=tuple(args.impls),
+        topologies=tuple(args.topologies),
+    )
+    _emit(args, result.render(), result.runs)
     return 0
 
 
@@ -458,6 +480,12 @@ def cmd_trace_record(args: argparse.Namespace) -> int:
             print(f"trace record: {problem}", file=sys.stderr)
             return 2
     info = sys.stderr if to_stdout else sys.stdout
+    if args.rotate_mb is not None and not args.stream:
+        print(
+            "trace record: --rotate-mb only applies to --stream output",
+            file=sys.stderr,
+        )
+        return 2
 
     writer = None
     if args.stream:
@@ -469,8 +497,21 @@ def cmd_trace_record(args: argparse.Namespace) -> int:
             n_consumers=args.consumers,
             capacity=args.capacity,
         )
+        if args.rotate_mb is not None and to_stdout:
+            print(
+                "trace record: --rotate-mb needs a file output "
+                "(rotation renames the active file)",
+                file=sys.stderr,
+            )
+            return 2
         writer = StreamingTraceWriter(
-            sys.stdout if to_stdout else args.output, meta=meta
+            sys.stdout if to_stdout else args.output,
+            meta=meta,
+            rotate_bytes=(
+                int(args.rotate_mb * 1024 * 1024)
+                if args.rotate_mb is not None
+                else None
+            ),
         )
     run = record_run(
         args.impl,
@@ -514,6 +555,13 @@ def cmd_trace_record(args: argparse.Namespace) -> int:
             f"even past the {args.capacity}-event ring)",
             file=info,
         )
+        if writer.segments_rotated:
+            print(
+                f"rotated {writer.segments_rotated} gzip segment(s) "
+                f"({where}.1.gz ...); `repro trace` reads the sequence "
+                f"transparently",
+                file=info,
+            )
     elif not to_stdout:
         print(
             f"wrote {args.output} — open in https://ui.perfetto.dev "
@@ -556,6 +604,13 @@ GOLDEN_SPECS = {
         scenario="webserver",
         duration_s=0.3,
         n_consumers=3,
+        seed=2014,
+    ),
+    "pipeline_telemetry": dict(
+        impl="PBPL",
+        scenario="pipeline-clean",
+        duration_s=0.3,
+        n_consumers=3,  # overridden by the topology's consumer stages
         seed=2014,
     ),
 }
@@ -855,6 +910,30 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--sizes", type=_ints, default=[25, 50, 100])
     p.set_defaults(func=cmd_fig11)
 
+    p = sub.add_parser(
+        "pipeline", help="stage-DAG pipelines: PBPL vs baselines end-to-end"
+    )
+    _add_common(p)
+    _add_jobs(p)
+    p.add_argument(
+        "--quick",
+        action="store_true",
+        help="one short replicate per cell (2 s) for CI and smoke runs",
+    )
+    p.add_argument(
+        "--impls",
+        type=lambda s: [x.strip() for x in s.split(",") if x.strip()],
+        default=list(PIPELINE_IMPLEMENTATIONS),
+        help="comma-separated implementations (default: Mutex,Sem,BP,PBPL)",
+    )
+    p.add_argument(
+        "--topologies",
+        type=lambda s: [x.strip() for x in s.split(",") if x.strip()],
+        default=list(PIPELINE_TOPOLOGIES),
+        help="comma-separated stock topologies (default: telemetry,aggregate)",
+    )
+    p.set_defaults(func=cmd_pipeline)
+
     p = sub.add_parser("accounting", help="§VI-C wakeup accounting scalars")
     _add_common(p)
     _add_jobs(p)
@@ -1027,6 +1106,15 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="write incremental JSONL during the run (full fidelity even "
         "when the ring buffer overflows; diffable with `repro trace diff`)",
+    )
+    p.add_argument(
+        "--rotate-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="with --stream: rotate the JSONL file into gzip segments "
+        "(<out>.1.gz, <out>.2.gz, ...) every MB megabytes; readers "
+        "reassemble the sequence transparently",
     )
     p.add_argument(
         "--capacity",

@@ -43,6 +43,14 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 class LatchingConsumer:
     """One PBPL producer-consumer pair member (the consumer side)."""
 
+    #: Per-batch forward hook: a generator callable ``forward(batch)``
+    #: run after the batch completes and the core is released. The
+    #: pipeline subsystem points this at
+    #: :meth:`~repro.pipeline.stage.StageConsumer._forward_batch` so an
+    #: operation stage re-produces its drained items into downstream
+    #: buffers; None (the default) keeps the plain-pair fast path.
+    _forward = None
+
     def __init__(
         self,
         env: "Environment",
@@ -144,7 +152,12 @@ class LatchingConsumer:
                         policy="block", capacity=self.buffer.capacity,
                     )
                 while self.buffer.is_full:
-                    self._space_event = self.env.event()
+                    # Share one pending event across *all* blocked
+                    # deliverers: a pipeline fan-in stage has several
+                    # upstream forwarders, and overwriting the event
+                    # would orphan (starve) every blocker but the last.
+                    if self._space_event is None or self._space_event.triggered:
+                        self._space_event = self.env.event()
                     yield self._space_event
                 self.buffer.push(t)
             else:
@@ -217,7 +230,7 @@ class LatchingConsumer:
         cfg = self.config
         stats = self.stats
         record_latency = stats.record_latency
-        service_time_s = cfg.service_time_s
+        item_cost_s = self._item_cost_s
         deadline_s = cfg.max_response_latency_s
         keep_raw = cfg.track_latencies
         # Bootstrap: no history yet — reserve the very next slot.
@@ -255,9 +268,9 @@ class LatchingConsumer:
             self.in_flight = len(batch)
             self._notify_space()
             for t in batch:
-                # service_scale is read per item on purpose: fault
-                # injectors change it mid-run.
-                yield from hold.busy(service_time_s * self.service_scale)
+                # service_scale is read per item (inside _item_cost_s)
+                # on purpose: fault injectors change it mid-run.
+                yield from hold.busy(item_cost_s(t))
                 stats.consumed += 1
                 record_latency(
                     env.now - t, deadline_s, keep_raw, now_s=env.now
@@ -283,6 +296,18 @@ class LatchingConsumer:
             if scheduled and self._done is not None:
                 self._done.succeed()
                 self._done = None
+
+            if self._forward is not None and batch:
+                # Forward *after* releasing the core: a downstream
+                # buffer under back-pressure needs the core free so its
+                # own consumer can drain it — forwarding while holding
+                # the core would deadlock the shared-core case.
+                yield from self._forward(batch)
+
+    def _item_cost_s(self, t: float) -> float:
+        """Per-item service cost (hook: pipeline stages add a
+        deterministic per-item spread)."""
+        return self.config.service_time_s * self.service_scale
 
     def _observe_rate(self, rate: float) -> None:
         """Feed the predictor; trace clamp/re-convergence decisions."""
@@ -326,10 +351,7 @@ class LatchingConsumer:
         # with the shrunken capacity would feed back into ever-closer
         # reservations regardless of the configured buffer size.
         plan_capacity = max(self.buffer.capacity, self.pool.base_allocation)
-        if r_hat is None or r_hat <= 0:
-            horizon = cfg.max_response_latency_s
-        else:
-            horizon = min(plan_capacity / r_hat, cfg.max_response_latency_s)
+        horizon = self._plan_horizon(r_hat, plan_capacity)
         chosen, latched = self._pick_slot(now + horizon, now, current, r_hat)
 
         capped = False
@@ -359,6 +381,14 @@ class LatchingConsumer:
             )
         self.manager.reserve(self, chosen)
         return chosen, latched
+
+    def _plan_horizon(self, r_hat: Optional[float], plan_capacity: int) -> float:
+        """Planning horizon for the next reservation (hook: pipeline
+        stages align it with their upstream stage's predicted drain)."""
+        cfg = self.config
+        if r_hat is None or r_hat <= 0:
+            return cfg.max_response_latency_s
+        return min(plan_capacity / r_hat, cfg.max_response_latency_s)
 
     def _pick_slot(
         self, target_time: float, now: float, current: int, r_hat: Optional[float]

@@ -39,6 +39,8 @@ from repro.harness.runner import CONSUMER_CORE, Rig, base_trace
 from repro.impls.multi import MultiPairSystem, phase_shifted_traces
 from repro.metrics.resilience import ConsumerResilience, ResilienceMetrics
 from repro.core.system import PBPLSystem
+from repro.pipeline import BaselinePipelineSystem, PipelineSystem, STOCK_TOPOLOGIES
+from repro.workloads.edge import edge_telemetry_trace
 
 #: Baseline implementations the comparative chaos run scores against
 #: PBPL (the blocking and batching families from the paper's study set;
@@ -64,6 +66,12 @@ class ChaosScenario:
     #: Machine size the scenario needs (the default rig is 2 cores:
     #: consumers + background).
     n_cores: int = 2
+    #: Run the faults against a pipeline topology (a
+    #: :data:`~repro.pipeline.topology.STOCK_TOPOLOGIES` name) instead
+    #: of ``n_consumers`` independent pairs. The workload becomes the
+    #: edge-telemetry feed and the latency bound scales with the
+    #: topology's depth (each stage guarantees ``L + Δ``).
+    topology: Optional[str] = None
 
 
 def _clean(T: float, M: int) -> FaultPlan:
@@ -155,6 +163,24 @@ DEFAULT_SCENARIOS: Tuple[ChaosScenario, ...] = (
         "3× burst storm; 3× slowdown triggered at its window end",
         _cascade,
     ),
+    ChaosScenario(
+        "pipeline-clean",
+        "3-stage telemetry pipeline, no faults (control)",
+        _clean,
+        topology="telemetry",
+    ),
+    ChaosScenario(
+        "pipeline-burst",
+        "3× MQTT storm into the telemetry pipeline",
+        _burst,
+        topology="telemetry",
+    ),
+    ChaosScenario(
+        "pipeline-diamond",
+        "aggregate fan-in/fan-out under 3× stage slowdown",
+        _slowdown,
+        topology="aggregate",
+    ),
 )
 
 #: The CI gate: control plus the three acceptance faults, composed.
@@ -242,7 +268,20 @@ def run_scenario(
     """
     plan = scenario.build(params.duration_s, n_consumers)
     rig = Rig.build(params, replicate, env=env, n_cores=scenario.n_cores)
-    traces = phase_shifted_traces(base_trace(params, replicate), n_consumers)
+    topology = (
+        STOCK_TOPOLOGIES[scenario.topology] if scenario.topology else None
+    )
+    if topology is not None:
+        # Pipeline scenarios run the edge-telemetry feed, one trace per
+        # source stage (phase-shifted like independent pairs would be).
+        feed = edge_telemetry_trace(
+            params.mean_rate_per_s, params.duration_s, rig.streams.stream("edge")
+        )
+        traces = phase_shifted_traces(feed, len(topology.sources()))
+        depth = topology.depth
+    else:
+        traces = phase_shifted_traces(base_trace(params, replicate), n_consumers)
+        depth = 1
     traces = perturb_traces(traces, plan, rig.streams.stream("chaos"))
     cores = list(scenario.consumer_cores)
 
@@ -254,20 +293,37 @@ def run_scenario(
         overrides.update(scenario.config_overrides or {})
         overrides.update(config_overrides or {})
         config = params.pbpl_config(**overrides)
-        system = PBPLSystem(
-            rig.env, rig.machine, traces, config, consumer_cores=cores
-        ).start()
+        if topology is not None:
+            system = PipelineSystem(
+                rig.env, rig.machine, topology, traces, config,
+                consumer_cores=cores,
+            ).start()
+        else:
+            system = PBPLSystem(
+                rig.env, rig.machine, traces, config, consumer_cores=cores
+            ).start()
         slot_s = config.effective_slot_size()
     else:
         config = params.pc_config()
-        system = MultiPairSystem(
-            rig.env,
-            rig.machine,
-            impl,
-            traces,
-            config,
-            consumer_cores=cores,
-        ).start()
+        if topology is not None:
+            system = BaselinePipelineSystem(
+                rig.env,
+                rig.machine,
+                impl,
+                topology,
+                traces,
+                config,
+                consumer_cores=cores,
+            ).start()
+        else:
+            system = MultiPairSystem(
+                rig.env,
+                rig.machine,
+                impl,
+                traces,
+                config,
+                consumer_cores=cores,
+            ).start()
         # Baselines have no slot grid; their wake granularity (hence
         # the Δ term of the bound they are held to) is the batch period.
         slot_s = config.batch_period_s
@@ -311,8 +367,15 @@ def run_scenario(
         scenario=scenario.name,
         impl=impl,
         duration_s=params.duration_s,
-        max_response_latency_s=config.max_response_latency_s,
+        # A depth-k pipeline is held to k·(L + Δ): every stage
+        # guarantees L + Δ from the item's hand-off, and hand-off ages
+        # compound along the longest path.
+        max_response_latency_s=(
+            config.max_response_latency_s * depth + slot_s * (depth - 1)
+        ),
         slot_size_s=slot_s,
+        topology=scenario.topology,
+        backpressure_stalls=getattr(system, "backpressure_stalls", 0),
         produced=stats.produced,
         consumed=stats.consumed,
         items_shed=stats.items_shed,
@@ -475,6 +538,23 @@ class ChaosReport:
                 lines.append(
                     f"| {r.scenario} | {r.adaptive_shed_windows} "
                     f"| {r.adaptive_shed_s * 1000:.2f} |"
+                )
+        if any(r.topology for r in self.results):
+            lines += [
+                "",
+                "## Pipeline topologies",
+                "",
+                "| scenario | topology | verdict | backpressure stalls "
+                "| bound (ms) |",
+                "|---|---|---|---|---|",
+            ]
+            for r in self.results:
+                if not r.topology:
+                    continue
+                lines.append(
+                    f"| {r.scenario} | {r.topology} | {r.verdict} "
+                    f"| {r.backpressure_stalls} "
+                    f"| {r.latency_bound_s * 1000:.2f} |"
                 )
         if self.baselines:
             lines += [

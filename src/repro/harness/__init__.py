@@ -32,6 +32,13 @@ from repro.harness.parallel import (
     resolve_jobs,
 )
 from repro.harness.params import StandardParams, quick_params
+from repro.harness.pipelines import (
+    PIPELINE_IMPLEMENTATIONS,
+    PIPELINE_TOPOLOGIES,
+    PipelineStudyResult,
+    run_pipeline,
+    run_pipeline_study,
+)
 from repro.harness.report import FullReport, build_full_report
 from repro.harness.runner import (
     MULTI_IMPLEMENTATIONS,
@@ -53,7 +60,10 @@ __all__ = [
     "FullReport",
     "MULTI_IMPLEMENTATIONS",
     "MultiComparisonResult",
+    "PIPELINE_IMPLEMENTATIONS",
+    "PIPELINE_TOPOLOGIES",
     "ParallelExecutor",
+    "PipelineStudyResult",
     "ProfileStudyResult",
     "Rig",
     "STUDY_IMPLEMENTATIONS",
@@ -81,6 +91,8 @@ __all__ = [
     "run_consumer_scaling",
     "run_multi",
     "run_multi_comparison",
+    "run_pipeline",
+    "run_pipeline_study",
     "run_profile_study",
     "run_single_pair",
     "run_wakeup_accounting",

@@ -127,6 +127,37 @@ def _migration_smoke(duration_s: float, seed: int = 2014, n_consumers: int = 4
     return wall, rig.env.events_processed
 
 
+def _pipeline_smoke(duration_s: float, seed: int = 2014) -> Tuple[float, int]:
+    """One PBPL run of the 3-stage telemetry pipeline; (wall, events).
+
+    End-to-end through the stage subsystem — forwarding, cross-stage
+    latch alignment, the edge workload synthesis — so pipeline-path
+    regressions land in the trajectory next to the pair smokes.
+    """
+    from repro.pipeline import STOCK_TOPOLOGIES, PipelineSystem
+    from repro.workloads.edge import edge_telemetry_trace
+
+    params = StandardParams(duration_s=duration_s, seed=seed)
+    rig = Rig.build(params, 0)
+    topology = STOCK_TOPOLOGIES["telemetry"]
+    feed = edge_telemetry_trace(
+        params.mean_rate_per_s, duration_s, rig.streams.stream("edge")
+    )
+    traces = phase_shifted_traces(feed, len(topology.sources()))
+    PipelineSystem(
+        rig.env,
+        rig.machine,
+        topology,
+        traces,
+        params.pbpl_config(),
+        consumer_cores=[CONSUMER_CORE],
+    ).start()
+    start = perf_counter()
+    rig.env.run(until=params.duration_s)
+    wall = perf_counter() - start
+    return wall, rig.env.events_processed
+
+
 def _best_of(fn, repeats: int) -> Dict[str, float]:
     """Run ``fn`` ``repeats`` times; report the best wall-clock."""
     walls: List[float] = []
@@ -160,6 +191,10 @@ def bench_kernel(quick: bool = False) -> dict:
         "migration_smoke": {
             "duration_s": smoke_duration,
             **_best_of(lambda: _migration_smoke(smoke_duration), repeats),
+        },
+        "pipeline_smoke": {
+            "duration_s": smoke_duration,
+            **_best_of(lambda: _pipeline_smoke(smoke_duration), repeats),
         },
     }
     return {

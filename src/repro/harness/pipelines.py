@@ -1,0 +1,309 @@
+"""The ``repro pipeline`` experiment: score implementations over DAGs.
+
+Runs every stock :class:`~repro.pipeline.topology.Topology` under the
+edge-telemetry workload for PBPL and the shareable baselines, on the
+same rig the pair experiments use, and reports:
+
+* the headline per-(topology, implementation) cell — extra power, core
+  wakeups, end-to-end latency percentiles over the sink stages, and
+  back-pressure stalls;
+* a per-stage breakdown (wakeups, believed joules, stalls, deadline
+  misses) for each implementation's replicate-0 run;
+* the derived comparison the pipeline subsystem exists to show: PBPL's
+  cross-stage latch alignment buying fewer *core* wakeups than BP on
+  the linear ``telemetry`` topology.
+
+Energy per stage is *believed* energy under the paper's Eq. 8 beliefs
+(ω per activation, e per item) for every implementation — the baseline
+configs carry no energy beliefs of their own, and scoring both sides
+with the same beliefs is what makes the joules comparable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import PBPLConfig
+from repro.harness.parallel import ParallelExecutor
+from repro.harness.params import StandardParams
+from repro.harness.runner import CONSUMER_CORE, Rig, _fill_metrics
+from repro.harness.tables import render_table
+from repro.impls.multi import phase_shifted_traces
+from repro.metrics.run import RunMetrics, Summary, summarise
+from repro.metrics.stats import percent_change
+from repro.pipeline import (
+    STOCK_TOPOLOGIES,
+    BaselinePipelineSystem,
+    PipelineSystem,
+    StageMetrics,
+)
+from repro.workloads.edge import edge_telemetry_trace
+
+#: Implementations the pipeline experiment scores (the §VI set; the
+#: spinners cannot share a core across stages and are excluded).
+PIPELINE_IMPLEMENTATIONS = ("Mutex", "Sem", "BP", "PBPL")
+
+#: Stock topologies, in report order.
+PIPELINE_TOPOLOGIES = tuple(STOCK_TOPOLOGIES)
+
+
+def run_pipeline(
+    impl: str,
+    topology_name: str,
+    params: StandardParams,
+    replicate: int = 0,
+    pbpl_overrides: Optional[dict] = None,
+) -> Tuple[RunMetrics, List[StageMetrics]]:
+    """One pipeline run: ``impl`` over a stock topology.
+
+    Returns the run's :class:`RunMetrics` (pipeline fields filled) and
+    the per-stage breakdown rows.
+    """
+    try:
+        topology = STOCK_TOPOLOGIES[topology_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {topology_name!r}; "
+            f"choose from {sorted(STOCK_TOPOLOGIES)}"
+        ) from None
+    rig = Rig.build(params, replicate)
+    feed = edge_telemetry_trace(
+        params.mean_rate_per_s, params.duration_s, rig.streams.stream("edge")
+    )
+    traces = phase_shifted_traces(feed, len(topology.sources()))
+    if impl == "PBPL":
+        system = PipelineSystem(
+            rig.env,
+            rig.machine,
+            topology,
+            traces,
+            params.pbpl_config(**(pbpl_overrides or {})),
+            consumer_cores=[CONSUMER_CORE],
+        ).start()
+    else:
+        system = BaselinePipelineSystem(
+            rig.env,
+            rig.machine,
+            impl,
+            topology,
+            traces,
+            params.pc_config(),
+            consumer_cores=[CONSUMER_CORE],
+        ).start()
+    rig.env.run(until=params.duration_s)
+
+    metrics = _fill_metrics(
+        impl,
+        params,
+        replicate,
+        rig,
+        system.aggregate_stats(),
+        n_consumers=len(topology.consumer_stages()),
+        buffer_size=params.buffer_size,
+        average_buffer=system.average_buffer_capacity(),
+        lost_signals=getattr(system, "lost_signals", 0),
+        watchdog_recoveries=getattr(system, "watchdog_recoveries", 0),
+    )
+    metrics.topology = topology_name
+    metrics.pipeline_stages = len(topology.consumer_stages())
+    metrics.backpressure_stalls = system.backpressure_stalls
+    e2e = system.e2e_latency_percentiles()
+    metrics.e2e_p50_latency_s = e2e[0.5]
+    metrics.e2e_p95_latency_s = e2e[0.95]
+    metrics.e2e_p99_latency_s = e2e[0.99]
+
+    if impl == "PBPL":
+        stages = system.stage_metrics()
+    else:
+        stages = _baseline_stage_metrics(system)
+    return metrics, stages
+
+
+def _baseline_stage_metrics(system: BaselinePipelineSystem) -> List[StageMetrics]:
+    """Per-stage rows for a baseline run, scored under PBPL's beliefs."""
+    beliefs = PBPLConfig()
+    depths = system.topology.stage_depths()
+    rows = []
+    for pair in system.pairs:
+        s = pair.stats
+        rows.append(
+            StageMetrics(
+                stage=pair.stage.name,
+                role=pair.stage.role,
+                core=pair.core.core_id,
+                depth=depths[pair.stage.name],
+                produced=s.produced,
+                consumed=s.consumed,
+                items_shed=s.items_shed,
+                buffered=len(pair.buffer) + pair.in_flight,
+                invocations=s.invocations,
+                scheduled_wakeups=s.scheduled_wakeups,
+                overflow_wakeups=s.overflow_wakeups,
+                backpressure_stalls=pair.backpressure_stalls,
+                deadline_misses=s.deadline_misses,
+                max_latency_s=s.max_latency_s,
+                energy_j=(
+                    s.invocations * beliefs.wakeup_cost_j
+                    + s.consumed * beliefs.energy_per_item_j
+                ),
+                avg_buffer_capacity=float(pair.buffer.capacity),
+            )
+        )
+    return rows
+
+
+# Module-level task wrapper: picklable by reference, so the same entry
+# point runs serially (jobs=1) or across a process pool (jobs=N) with
+# byte-identical, order-preserved results.
+
+
+def _pipeline_task(task) -> Tuple[RunMetrics, List[StageMetrics]]:
+    impl, topology_name, params, replicate = task
+    return run_pipeline(impl, topology_name, params, replicate)
+
+
+@dataclass
+class PipelineStudyResult:
+    """The pipeline scoreboard: per-cell summaries + stage breakdowns."""
+
+    params: StandardParams
+    implementations: Tuple[str, ...]
+    topologies: Tuple[str, ...]
+    runs: List[RunMetrics]
+    #: (topology, implementation) -> replicate summary.
+    summaries: Dict[Tuple[str, str], Summary]
+    #: (topology, implementation) -> replicate-0 per-stage rows.
+    stage_rows: Dict[Tuple[str, str], List[StageMetrics]]
+
+    def core_wakeup_change_pct(
+        self, topology: str, frm: str = "BP", to: str = "PBPL"
+    ) -> float:
+        """Percent change in consumer-core wakeups going ``frm → to``."""
+        return percent_change(
+            self.summaries[(topology, frm)].mean("core_wakeups_per_s"),
+            self.summaries[(topology, to)].mean("core_wakeups_per_s"),
+        )
+
+    def render(self) -> str:
+        blocks: List[str] = []
+        for topo in self.topologies:
+            rows = []
+            for impl in self.implementations:
+                s = self.summaries[(topo, impl)]
+                rows.append(
+                    (
+                        impl,
+                        f"{s.mean('power_w') * 1000:.1f}",
+                        f"{s.mean('core_wakeups_per_s'):.1f}",
+                        f"{s.mean('scheduled_wakeups'):.0f}",
+                        f"{s.mean('overflow_wakeups'):.0f}",
+                        f"{s.mean('e2e_p50_latency_s') * 1000:.2f}",
+                        f"{s.mean('e2e_p95_latency_s') * 1000:.2f}",
+                        f"{s.mean('e2e_p99_latency_s') * 1000:.2f}",
+                        f"{s.mean('backpressure_stalls'):.0f}",
+                        f"{s.mean('items_dropped'):.0f}",
+                    )
+                )
+            depth = STOCK_TOPOLOGIES[topo].depth
+            blocks.append(
+                render_table(
+                    [
+                        "impl",
+                        "power mW",
+                        "core wk/s",
+                        "sched",
+                        "ovf",
+                        "e2e p50 ms",
+                        "p95 ms",
+                        "p99 ms",
+                        "stalls",
+                        "shed",
+                    ],
+                    rows,
+                    title=(
+                        f"Pipeline '{topo}' ({STOCK_TOPOLOGIES[topo].describe()}, "
+                        f"depth {depth}; {self.params.replicates} replicates)"
+                    ),
+                )
+            )
+            for impl in self.implementations:
+                srows = [
+                    (
+                        f"{r.stage} ({r.role}, d={r.depth})",
+                        f"{r.invocations}",
+                        f"{r.scheduled_wakeups}",
+                        f"{r.overflow_wakeups}",
+                        f"{r.energy_j * 1000:.2f}",
+                        f"{r.backpressure_stalls}",
+                        f"{r.deadline_misses}",
+                        f"{r.max_latency_s * 1000:.2f}",
+                        f"{r.avg_buffer_capacity:.1f}",
+                    )
+                    for r in self.stage_rows[(topo, impl)]
+                ]
+                blocks.append(
+                    render_table(
+                        [
+                            "stage",
+                            "invoc",
+                            "sched",
+                            "ovf",
+                            "energy mJ",
+                            "stalls",
+                            "miss",
+                            "max ms",
+                            "buf cap",
+                        ],
+                        srows,
+                        title=f"  {topo} / {impl} — per-stage (replicate 0)",
+                    )
+                )
+        notes = [""]
+        for topo in self.topologies:
+            if "BP" in self.implementations and "PBPL" in self.implementations:
+                notes.append(
+                    f"PBPL vs BP core wakeups on '{topo}':  "
+                    f"{self.core_wakeup_change_pct(topo):+.1f}%"
+                    "   (cross-stage latch alignment)"
+                )
+        return "\n\n".join(blocks) + "\n" + "\n".join(notes)
+
+
+def run_pipeline_study(
+    params: Optional[StandardParams] = None,
+    jobs: Optional[int] = None,
+    implementations: Sequence[str] = PIPELINE_IMPLEMENTATIONS,
+    topologies: Sequence[str] = PIPELINE_TOPOLOGIES,
+) -> PipelineStudyResult:
+    """Score ``implementations`` over the stock topologies."""
+    params = params or StandardParams()
+    tasks = [
+        (impl, topo, params, replicate)
+        for topo in topologies
+        for impl in implementations
+        for replicate in range(params.replicates)
+    ]
+    results = ParallelExecutor(jobs).map(
+        _pipeline_task,
+        tasks,
+        labels=[f"{topo}/{impl} r{rep}" for impl, topo, _, rep in tasks],
+    )
+    runs = [metrics for metrics, _ in results]
+    stage_rows = {
+        (topo, impl): stages
+        for (impl, topo, _, rep), (_, stages) in zip(tasks, results)
+        if rep == 0
+    }
+    cells: Dict[Tuple[str, str], List[RunMetrics]] = {}
+    for run in runs:
+        cells.setdefault((run.topology, run.implementation), []).append(run)
+    summaries = {key: summarise(cell) for key, cell in cells.items()}
+    return PipelineStudyResult(
+        params=params,
+        implementations=tuple(implementations),
+        topologies=tuple(topologies),
+        runs=runs,
+        summaries=summaries,
+        stage_rows=stage_rows,
+    )

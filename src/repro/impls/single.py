@@ -45,6 +45,11 @@ class PCImplementation:
 
     #: Registry key / paper label; set by subclasses.
     name = "abstract"
+    #: Per-batch forward hook (``forward(batch)`` generator): the
+    #: pipeline subsystem points this at a delivery loop into the next
+    #: stage's buffer so the baselines can run the same topologies as
+    #: PBPL; None (the default) keeps the plain-pair behaviour.
+    _forward = None
 
     def __init__(
         self,
@@ -96,7 +101,11 @@ class PCImplementation:
         """Block the producer until the consumer frees buffer space."""
         self.stats.overflows += 1
         while self.buffer.is_full:
-            self._space_event = self.env.event()
+            # One shared pending event for all blocked producers — a
+            # pipeline fan-in stage has several upstream forwarders,
+            # and overwriting would orphan every blocker but the last.
+            if self._space_event is None or self._space_event.triggered:
+                self._space_event = self.env.event()
             yield self._space_event
 
     def _record_consumed(self, produced_t: float) -> None:
@@ -226,6 +235,8 @@ class MutexCondvar(PCImplementation):
             )
             self._record_consumed(t)
             self.in_flight = 0
+            if self._forward is not None:
+                yield from self._forward((t,))
 
 
 class SemaphorePair(PCImplementation):
@@ -262,6 +273,8 @@ class SemaphorePair(PCImplementation):
             )
             self._record_consumed(t)
             self.in_flight = 0
+            if self._forward is not None:
+                yield from self._forward((t,))
 
 
 class BatchProcessing(PCImplementation):
@@ -305,6 +318,8 @@ class BatchProcessing(PCImplementation):
                 self._record_consumed(t)
                 self.in_flight -= 1
             hold.release()
+            if self._forward is not None and batch:
+                yield from self._forward(batch)
 
 
 class _PeriodicBatchBase(PCImplementation):
@@ -381,6 +396,8 @@ class _PeriodicBatchBase(PCImplementation):
                     self._record_consumed(t)
                     self.in_flight -= 1
                 hold.release()
+                if self._forward is not None and batch:
+                    yield from self._forward(batch)
 
 
 class PeriodicBatch(_PeriodicBatchBase):

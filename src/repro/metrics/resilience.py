@@ -132,6 +132,12 @@ class ResilienceMetrics:
     adaptive_shed_windows: int = 0
     #: Adaptive overflow: total seconds spent in shed mode.
     adaptive_shed_s: float = 0.0
+    #: Pipeline scenarios: the stock topology the faults ran against
+    #: (None for independent-pair scenarios).
+    topology: Optional[str] = None
+    #: Pipeline scenarios: forward deliveries that hit a full
+    #: downstream buffer (back-pressure pushed upstream).
+    backpressure_stalls: int = 0
     #: Per-consumer breakdown rows (empty when not collected).
     per_consumer: List[ConsumerResilience] = field(default_factory=list)
     #: Free-form per-fault notes ("stall 0.8-1.3s on consumer-0", ...).
@@ -204,6 +210,8 @@ class ResilienceMetrics:
             "migration_unrecovered": self.migration_unrecovered,
             "adaptive_shed_windows": self.adaptive_shed_windows,
             "adaptive_shed_s": self.adaptive_shed_s,
+            "topology": self.topology,
+            "backpressure_stalls": self.backpressure_stalls,
             "latency_bound_ok": self.latency_bound_ok,
             "conservation_ok": self.conservation_ok,
             "verdict": self.verdict,

@@ -51,6 +51,17 @@ class RunMetrics:
     items_dropped: int = 0
     lost_signals: int = 0
     watchdog_recoveries: int = 0
+    #: Pipeline runs: the stock topology (empty for pair experiments).
+    topology: str = ""
+    #: Pipeline runs: consumer stages in the topology (0 for pairs).
+    pipeline_stages: int = 0
+    #: Pipeline runs: forward deliveries that found the downstream
+    #: buffer full (flow-control waits pushed upstream).
+    backpressure_stalls: int = 0
+    #: Pipeline runs: end-to-end latency percentiles over sink items.
+    e2e_p50_latency_s: float = 0.0
+    e2e_p95_latency_s: float = 0.0
+    e2e_p99_latency_s: float = 0.0
 
     @property
     def total_batch_wakeups(self) -> int:
@@ -84,6 +95,11 @@ NUMERIC_FIELDS = (
     "items_dropped",
     "lost_signals",
     "watchdog_recoveries",
+    "pipeline_stages",
+    "backpressure_stalls",
+    "e2e_p50_latency_s",
+    "e2e_p95_latency_s",
+    "e2e_p99_latency_s",
 )
 
 

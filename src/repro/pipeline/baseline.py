@@ -1,0 +1,204 @@
+"""Baseline implementations over a pipeline topology.
+
+:class:`BaselinePipelineSystem` runs the same stage DAGs as
+:class:`~repro.pipeline.system.PipelineSystem`, but with one classic
+single-pair implementation (Mutex/Sem/BP/PBP/SPBP) per consumer stage:
+each stage keeps its own fixed buffer and synchronisation discipline,
+and re-produces its drained items into the downstream stages' delivery
+routines via the :attr:`~repro.impls.single.PCImplementation._forward`
+hook. That makes the comparison fair — identical topology, identical
+workload, identical forwarding semantics (origin timestamps carried
+end-to-end) — with only the wakeup discipline differing, which is
+exactly what ``repro pipeline`` scores.
+
+The spinners (BW/Yield) are rejected: a spinning consumer never
+releases its core, so two stages sharing a core could never both run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.cpu.machine import Machine
+from repro.impls.base import PCConfig, Producer
+from repro.impls.multi import MultiPairSystem
+from repro.impls.single import PCImplementation, SINGLE_IMPLEMENTATIONS
+from repro.pipeline.system import E2E_QUANTILES
+from repro.pipeline.topology import Topology
+from repro.workloads.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.environment import Environment
+
+#: Implementations that cannot share a core across pipeline stages.
+_SPINNERS = ("BW", "Yield")
+
+
+def _make_forward(src: PCImplementation, dests: List[PCImplementation]):
+    """Forward a drained batch into every downstream stage's deliver."""
+
+    def forward(batch):
+        stalls = 0
+        for dest in dests:
+            deliver = dest._deliver
+            dstats = dest.stats
+            for t in batch:
+                if dest.buffer.is_full:
+                    stalls += 1
+                yield from deliver(t)
+                dstats.produced += 1
+        if stalls:
+            src.backpressure_stalls += stalls
+
+    return forward
+
+
+class BaselinePipelineSystem(MultiPairSystem):
+    """One baseline implementation instance per consumer stage.
+
+    The :class:`~repro.impls.multi.MultiPairSystem` aggregation surface
+    (``pairs``/``aggregate_stats``/``buffered_items``/…) carries over;
+    only construction and start-up differ (stages instead of
+    independent traces, producers only on source edges).
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        machine: Machine,
+        impl: str,
+        topology: Topology,
+        traces: Sequence[Trace],
+        config: Optional[PCConfig] = None,
+        consumer_cores: Optional[Sequence[int]] = None,
+    ) -> None:
+        if impl in _SPINNERS:
+            raise ValueError(
+                f"{impl} cannot run a pipeline: a spinning consumer never "
+                f"releases its core, so downstream stages would starve"
+            )
+        sources = topology.sources()
+        if len(traces) != len(sources):
+            raise ValueError(
+                f"topology {topology.name!r} has {len(sources)} source(s) "
+                f"but {len(traces)} trace(s) were supplied"
+            )
+        try:
+            impl_cls = SINGLE_IMPLEMENTATIONS[impl]
+        except KeyError:
+            raise ValueError(
+                f"unknown implementation {impl!r}; "
+                f"choose from {sorted(SINGLE_IMPLEMENTATIONS)}"
+            ) from None
+        self.env = env
+        self.machine = machine
+        self.impl_cls = impl_cls
+        self.topology = topology
+        self.config = config or PCConfig()
+        cores = list(consumer_cores) if consumer_cores else [0]
+
+        stages = topology.consumer_stages()
+        depths = topology.stage_depths()
+        self.stage_pairs: Dict[str, PCImplementation] = {}
+        self.pairs: List[PCImplementation] = []
+        for i, stage in enumerate(stages):
+            stage_config = replace(
+                self.config,
+                service_time_s=(
+                    stage.service_time_s
+                    if stage.service_time_s is not None
+                    else self.config.service_time_s
+                ),
+                max_response_latency_s=(
+                    self.config.max_response_latency_s * depths[stage.name]
+                ),
+            )
+            pair = impl_cls(
+                env,
+                machine.core(cores[i % len(cores)]),
+                machine.timers,
+                None,  # no external trace: fed by the upstream stage
+                stage_config,
+                owner=f"consumer-{stage.name}",
+            )
+            pair.stage = stage
+            pair.backpressure_stalls = 0
+            self.stage_pairs[stage.name] = pair
+            self.pairs.append(pair)
+
+        for stage in stages:
+            pair = self.stage_pairs[stage.name]
+            dests = [
+                self.stage_pairs[d.name]
+                for d in topology.downstream(stage.name)
+            ]
+            if dests:
+                pair._forward = _make_forward(pair, dests)
+
+        self._source_feeds = [
+            (
+                source,
+                trace,
+                [
+                    self.stage_pairs[d.name]
+                    for d in topology.downstream(source.name)
+                ],
+            )
+            for source, trace in zip(sources, traces)
+        ]
+
+    #: Alias so duck-typed fault injectors find the consumer list.
+    @property
+    def consumers(self) -> List[PCImplementation]:
+        return self.pairs
+
+    def start(self) -> "BaselinePipelineSystem":
+        for pair in self.pairs:
+            # Stage consumers start without a producer of their own —
+            # their items arrive via the upstream stage's forward.
+            self.env.process(pair._consumer(), name=pair.owner)
+        for source, trace, dests in self._source_feeds:
+            for dest in dests:
+                name = f"{dest.owner}-producer"
+                producer = Producer(
+                    self.env, trace, dest._deliver, dest.stats, name
+                )
+                self.env.process(producer.process(), name=name)
+        return self
+
+    # -- pipeline metrics -------------------------------------------------------
+    @property
+    def backpressure_stalls(self) -> int:
+        return sum(p.backpressure_stalls for p in self.pairs)
+
+    def e2e_latency_percentiles(
+        self, quantiles: Sequence[float] = E2E_QUANTILES
+    ) -> Dict[float, float]:
+        """End-to-end quantiles over all sink-stage items (items carry
+        origin timestamps, so sink latencies are end-to-end)."""
+        sinks = [p for p in self.pairs if p.stage.role == "sink"]
+        raw: List[float] = []
+        for p in sinks:
+            raw.extend(p.stats.latencies)
+        if raw:
+            arr = np.sort(np.asarray(raw))
+            return {
+                q: float(np.quantile(arr, q, method="linear"))
+                for q in quantiles
+            }
+        out: Dict[float, float] = {}
+        for q in quantiles:
+            estimates = [
+                p.stats.latency_percentile(q) for p in sinks if p.stats.consumed
+            ]
+            out[q] = max(estimates, default=0.0)
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"<BaselinePipelineSystem {self.impl_cls.name} "
+            f"{self.topology.name!r} x{len(self.pairs)}>"
+        )

@@ -1,0 +1,309 @@
+"""Declarative pipeline topologies: stages, typed edges, validation.
+
+The paper evaluates PBPL on N *independent* producer-consumer pairs.
+This module generalises the shape of the system to an arbitrary DAG of
+stages — a :class:`Topology` is a validated, immutable description of
+
+* **source** stages: external arrival processes (a workload trace),
+* **operation** stages: simultaneously a consumer of their upstream
+  buffer and a producer into their downstream buffer(s),
+* **sink** stages: terminal consumers (where end-to-end latency is
+  measured).
+
+Validation is strict and happens at construction time: stage names are
+unique, every edge references known stages and carries a matching item
+type (``src.emits == dst.accepts``), sources have no in-edges, sinks no
+out-edges, the graph is acyclic and weakly connected. Everything
+downstream (the :class:`~repro.pipeline.system.PipelineSystem`, the
+chaos scenarios, the CLI experiment) can therefore assume a well-formed
+DAG.
+
+Two stock topologies ship in :data:`STOCK_TOPOLOGIES`:
+
+* ``telemetry`` — the 3-stage linear edge pipeline
+  (``sensor → parse → store``);
+* ``aggregate`` — a diamond with fan-out and fan-in
+  (``edge → {north, south} → gateway``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: The three stage roles.
+ROLES = ("source", "operation", "sink")
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One node of a pipeline DAG.
+
+    ``emits``/``accepts`` are item-type labels; edge validation requires
+    the producer's ``emits`` to equal the consumer's ``accepts`` — a
+    cheap structural typo catcher for hand-written topologies.
+
+    ``service_time_s`` overrides the config's per-item service time for
+    this stage (None keeps the config default); ``cost_spread`` adds a
+    deterministic per-item cost jitter of ``±spread`` (fractional), the
+    edge workloads' "CPU-intensive operation" knob.
+    """
+
+    name: str
+    role: str
+    emits: str = "item"
+    accepts: str = "item"
+    service_time_s: Optional[float] = None
+    cost_spread: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("stage name must be non-empty")
+        if self.role not in ROLES:
+            raise ValueError(
+                f"stage {self.name!r}: role must be one of {ROLES}, "
+                f"got {self.role!r}"
+            )
+        if self.service_time_s is not None and self.service_time_s <= 0:
+            raise ValueError(f"stage {self.name!r}: service_time_s must be > 0")
+        if not 0.0 <= self.cost_spread < 1.0:
+            raise ValueError(
+                f"stage {self.name!r}: cost_spread must be in [0, 1)"
+            )
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A typed, directed item flow between two stages."""
+
+    src: str
+    dst: str
+
+    def __post_init__(self) -> None:
+        if self.src == self.dst:
+            raise ValueError(f"self-edge on stage {self.src!r}")
+
+
+@dataclass(frozen=True)
+class Topology:
+    """A validated pipeline DAG (stages + typed edges)."""
+
+    name: str
+    stages: Tuple[Stage, ...]
+    edges: Tuple[Edge, ...]
+    #: Populated by ``__post_init__``: stage name -> Stage.
+    _by_name: Dict[str, Stage] = field(
+        default=None, repr=False, compare=False  # type: ignore[arg-type]
+    )
+
+    def __post_init__(self) -> None:
+        stages = tuple(self.stages)
+        edges = tuple(self.edges)
+        object.__setattr__(self, "stages", stages)
+        object.__setattr__(self, "edges", edges)
+        if not stages:
+            raise ValueError(f"topology {self.name!r}: needs at least one stage")
+        by_name: Dict[str, Stage] = {}
+        for stage in stages:
+            if stage.name in by_name:
+                raise ValueError(
+                    f"topology {self.name!r}: duplicate stage {stage.name!r}"
+                )
+            by_name[stage.name] = stage
+        object.__setattr__(self, "_by_name", by_name)
+
+        seen = set()
+        for edge in edges:
+            for end in (edge.src, edge.dst):
+                if end not in by_name:
+                    raise ValueError(
+                        f"topology {self.name!r}: edge {edge.src}->{edge.dst} "
+                        f"references unknown stage {end!r}"
+                    )
+            if (edge.src, edge.dst) in seen:
+                raise ValueError(
+                    f"topology {self.name!r}: duplicate edge "
+                    f"{edge.src}->{edge.dst}"
+                )
+            seen.add((edge.src, edge.dst))
+            src, dst = by_name[edge.src], by_name[edge.dst]
+            if src.emits != dst.accepts:
+                raise ValueError(
+                    f"topology {self.name!r}: edge {edge.src}->{edge.dst} is "
+                    f"ill-typed ({src.name} emits {src.emits!r}, "
+                    f"{dst.name} accepts {dst.accepts!r})"
+                )
+
+        in_deg = {s.name: 0 for s in stages}
+        out_deg = {s.name: 0 for s in stages}
+        for edge in edges:
+            out_deg[edge.src] += 1
+            in_deg[edge.dst] += 1
+        for stage in stages:
+            n_in, n_out = in_deg[stage.name], out_deg[stage.name]
+            if stage.role == "source" and (n_in or not n_out):
+                raise ValueError(
+                    f"topology {self.name!r}: source {stage.name!r} must have "
+                    f"no in-edges and at least one out-edge "
+                    f"(has {n_in} in, {n_out} out)"
+                )
+            if stage.role == "sink" and (n_out or not n_in):
+                raise ValueError(
+                    f"topology {self.name!r}: sink {stage.name!r} must have "
+                    f"no out-edges and at least one in-edge "
+                    f"(has {n_in} in, {n_out} out)"
+                )
+            if stage.role == "operation" and (not n_in or not n_out):
+                raise ValueError(
+                    f"topology {self.name!r}: operation {stage.name!r} needs "
+                    f"both in- and out-edges (has {n_in} in, {n_out} out)"
+                )
+        if not any(s.role == "source" for s in stages):
+            raise ValueError(f"topology {self.name!r}: needs a source stage")
+        if not any(s.role == "sink" for s in stages):
+            raise ValueError(f"topology {self.name!r}: needs a sink stage")
+
+        # Acyclic: Kahn's algorithm, declaration order for determinism.
+        order = self.topological_order()
+        if len(order) != len(stages):
+            raise ValueError(f"topology {self.name!r}: contains a cycle")
+
+        # Weakly connected: undirected reachability from the first stage.
+        if len(stages) > 1:
+            adj: Dict[str, List[str]] = {s.name: [] for s in stages}
+            for edge in edges:
+                adj[edge.src].append(edge.dst)
+                adj[edge.dst].append(edge.src)
+            seen_names = {stages[0].name}
+            frontier = [stages[0].name]
+            while frontier:
+                for neighbour in adj[frontier.pop()]:
+                    if neighbour not in seen_names:
+                        seen_names.add(neighbour)
+                        frontier.append(neighbour)
+            missing = [s.name for s in stages if s.name not in seen_names]
+            if missing:
+                raise ValueError(
+                    f"topology {self.name!r}: not connected — unreachable "
+                    f"stage(s) {missing}"
+                )
+
+    # -- queries ----------------------------------------------------------------
+    def stage(self, name: str) -> Stage:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(
+                f"topology {self.name!r} has no stage {name!r}"
+            ) from None
+
+    def topological_order(self) -> List[Stage]:
+        """Stages in dependency order (Kahn; ties broken by declaration
+        order, so the order — and everything seeded from it — is
+        deterministic)."""
+        in_deg = {s.name: 0 for s in self.stages}
+        for edge in self.edges:
+            in_deg[edge.dst] += 1
+        order: List[Stage] = []
+        ready = [s for s in self.stages if in_deg[s.name] == 0]
+        while ready:
+            stage = ready.pop(0)
+            order.append(stage)
+            for edge in self.edges:
+                if edge.src == stage.name:
+                    in_deg[edge.dst] -= 1
+                    if in_deg[edge.dst] == 0:
+                        ready.append(self._by_name[edge.dst])
+            ready.sort(key=lambda s: self.stages.index(s))
+        return order
+
+    def sources(self) -> List[Stage]:
+        return [s for s in self.stages if s.role == "source"]
+
+    def sinks(self) -> List[Stage]:
+        return [s for s in self.stages if s.role == "sink"]
+
+    def consumer_stages(self) -> List[Stage]:
+        """Operation + sink stages in topological order — the stages
+        that get a :class:`~repro.pipeline.stage.StageConsumer` (sources
+        are external arrival processes, not consumers)."""
+        return [s for s in self.topological_order() if s.role != "source"]
+
+    def downstream(self, name: str) -> List[Stage]:
+        self.stage(name)
+        return [self._by_name[e.dst] for e in self.edges if e.src == name]
+
+    def upstream(self, name: str) -> List[Stage]:
+        self.stage(name)
+        return [self._by_name[e.src] for e in self.edges if e.dst == name]
+
+    def stage_depths(self) -> Dict[str, int]:
+        """Consumer-stage depth: the number of consumer stages on the
+        longest source→stage path (sources are depth 0). A stage at
+        depth ``k`` owes its items a cumulative response-latency budget
+        of ``k·L``."""
+        depths: Dict[str, int] = {}
+        for stage in self.topological_order():
+            ups = self.upstream(stage.name)
+            base = max((depths[u.name] for u in ups), default=0)
+            depths[stage.name] = base + (0 if stage.role == "source" else 1)
+        return depths
+
+    @property
+    def depth(self) -> int:
+        """Consumer stages on the longest source→sink path."""
+        return max(self.stage_depths().values(), default=0)
+
+    def describe(self) -> str:
+        parts = [f"{e.src}->{e.dst}" for e in self.edges]
+        return f"{self.name}: " + ", ".join(parts)
+
+
+# -- stock topologies ------------------------------------------------------------
+
+#: 3-stage linear edge pipeline: a sensor feed is parsed, then stored.
+#: The parse operation is the CPU-heavy middle stage (2× per-item cost
+#: with a ±30% deterministic per-item spread — the edge benchmark's
+#: "CPU-intensive operation").
+TELEMETRY = Topology(
+    name="telemetry",
+    stages=(
+        Stage("sensor", "source", emits="raw"),
+        Stage(
+            "parse", "operation", accepts="raw", emits="record",
+            service_time_s=20e-6, cost_spread=0.3,
+        ),
+        Stage("store", "sink", accepts="record"),
+    ),
+    edges=(Edge("sensor", "parse"), Edge("parse", "store")),
+)
+
+#: Diamond: one edge feed fans out to two parallel operations whose
+#: outputs fan back into one gateway sink.
+AGGREGATE = Topology(
+    name="aggregate",
+    stages=(
+        Stage("edge", "source", emits="raw"),
+        Stage(
+            "north", "operation", accepts="raw", emits="record",
+            service_time_s=15e-6, cost_spread=0.2,
+        ),
+        Stage(
+            "south", "operation", accepts="raw", emits="record",
+            service_time_s=25e-6, cost_spread=0.2,
+        ),
+        Stage("gateway", "sink", accepts="record"),
+    ),
+    edges=(
+        Edge("edge", "north"),
+        Edge("edge", "south"),
+        Edge("north", "gateway"),
+        Edge("south", "gateway"),
+    ),
+)
+
+#: The stock topology registry (CLI / chaos scenario lookup).
+STOCK_TOPOLOGIES: Dict[str, Topology] = {
+    TELEMETRY.name: TELEMETRY,
+    AGGREGATE.name: AGGREGATE,
+}

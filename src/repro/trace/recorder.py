@@ -31,9 +31,15 @@ from repro.harness.params import StandardParams
 from repro.harness.runner import CONSUMER_CORE, Rig
 from repro.impls.base import PairStats
 from repro.impls.multi import MultiPairSystem, phase_shifted_traces
+from repro.pipeline import (
+    STOCK_TOPOLOGIES,
+    BaselinePipelineSystem,
+    PipelineSystem,
+)
 from repro.trace.power import TracePowerListener
 from repro.trace.stream import StreamingTraceWriter
 from repro.trace.tracer import Tracer
+from repro.workloads.edge import edge_telemetry_trace
 from repro.workloads.generators import worldcup_like_trace
 
 #: Track hosting fault-window spans.
@@ -110,6 +116,11 @@ def record_run(
     for core in rig.machine.cores:
         power_listener.watch(core)
 
+    # Pipeline scenarios trace a stage DAG instead of independent pairs
+    # (same workload/system wiring as repro.faults.chaos.run_scenario).
+    topology = (
+        STOCK_TOPOLOGIES[chaos.topology] if chaos and chaos.topology else None
+    )
     if scenario == "webserver":
         base = worldcup_like_trace(
             params.mean_rate_per_s,
@@ -119,9 +130,17 @@ def record_run(
             flash_magnitude=5.0,
             diurnal_depth=0.5,
         )
+    elif topology is not None:
+        base = edge_telemetry_trace(
+            params.mean_rate_per_s, duration_s, rig.streams.stream("edge")
+        )
     else:
         base = params.trace(rig.streams)
-    traces = phase_shifted_traces(base, n_consumers)
+    if topology is not None:
+        n_consumers = len(topology.consumer_stages())
+        traces = phase_shifted_traces(base, len(topology.sources()))
+    else:
+        traces = phase_shifted_traces(base, n_consumers)
     traces = perturb_traces(traces, plan, rig.streams.stream("chaos"))
 
     buf = buffer_size or params.buffer_size
@@ -129,13 +148,34 @@ def record_run(
         overrides = dict(overflow_policy="shed-to-deadline", harden_predictor=True)
         overrides.update((chaos.config_overrides or {}) if chaos else {})
         overrides.update(config_overrides or {})
-        system = PBPLSystem(
+        if topology is not None:
+            system = PipelineSystem(
+                rig.env,
+                rig.machine,
+                topology,
+                traces,
+                params.pbpl_config(buf, **overrides),
+                consumer_cores=cores,
+                tracer=tracer,
+            ).start()
+        else:
+            system = PBPLSystem(
+                rig.env,
+                rig.machine,
+                traces,
+                params.pbpl_config(buf, **overrides),
+                consumer_cores=cores,
+                tracer=tracer,
+            ).start()
+    elif topology is not None:
+        system = BaselinePipelineSystem(
             rig.env,
             rig.machine,
+            impl,
+            topology,
             traces,
-            params.pbpl_config(buf, **overrides),
+            params.pc_config(buf),
             consumer_cores=cores,
-            tracer=tracer,
         ).start()
     else:
         system = MultiPairSystem(

@@ -1,0 +1,186 @@
+"""Edge-telemetry workload family (after Szydlo et al., arXiv 2505.07755).
+
+Edge stream-processing pipelines see a characteristic arrival mix that
+none of the existing generators capture alone:
+
+* **periodic sensor ticks** — near-regular samples with bounded jitter
+  (:func:`periodic_ticks`);
+* **MQTT-like bursts** — long quiet stretches punctuated by message
+  storms when devices flush (:func:`mqtt_burst_trace`, a two-state
+  MMPP);
+* **diurnal cycling** — slow sinusoidal modulation of the ambient rate
+  (:func:`diurnal_trace`);
+* **CPU-intensive operations** — per-item processing cost varies item
+  to item (:func:`per_item_cost_s`, a *deterministic* spread so the
+  simulation stays byte-reproducible).
+
+:func:`edge_telemetry_trace` composes the first three into the stock
+feed the pipeline experiments and chaos scenarios run on. Every
+function is a pure function of its RNG, so traces built from named
+:class:`~repro.harness.rng.RandomStreams` streams are deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.workloads.generators import mmpp_trace, nonhomogeneous_poisson
+from repro.workloads.trace import Trace, merge_traces
+
+
+def periodic_ticks(
+    period_s: float,
+    duration_s: float,
+    rng: np.random.Generator,
+    jitter_s: float = 0.0,
+    phase_s: float = 0.0,
+    name: Optional[str] = None,
+) -> Trace:
+    """Near-regular sensor samples every ``period_s`` seconds.
+
+    ``jitter_s`` bounds a uniform ±jitter on each tick (clipped into
+    ``[0, duration_s)``); ``phase_s`` offsets the first tick.
+    """
+    if period_s <= 0:
+        raise ValueError("period must be positive")
+    if duration_s <= 0:
+        raise ValueError("duration must be positive")
+    if jitter_s < 0:
+        raise ValueError("jitter must be non-negative")
+    ticks = np.arange(phase_s % period_s, duration_s, period_s)
+    if jitter_s > 0 and len(ticks):
+        ticks = ticks + rng.uniform(-jitter_s, jitter_s, size=len(ticks))
+        ticks = np.sort(np.clip(ticks, 0.0, np.nextafter(duration_s, 0.0)))
+    return Trace(ticks, duration_s, name or f"ticks-{1.0 / period_s:g}Hz")
+
+
+def mqtt_burst_trace(
+    mean_rate_per_s: float,
+    duration_s: float,
+    rng: np.random.Generator,
+    burst_factor: float = 8.0,
+    mean_burst_s: float = 0.05,
+    mean_idle_s: float = 0.35,
+    name: Optional[str] = None,
+) -> Trace:
+    """Bursty MQTT-like arrivals: a two-state MMPP (idle ↔ storm).
+
+    The storm state runs at ``burst_factor`` times the idle state's
+    rate; the duty cycle is chosen so the long-run mean stays at
+    ``mean_rate_per_s``.
+    """
+    if mean_rate_per_s < 0:
+        raise ValueError("rate must be non-negative")
+    if burst_factor < 1:
+        raise ValueError("burst factor must be >= 1")
+    duty = mean_burst_s / (mean_burst_s + mean_idle_s)
+    # mean = idle·(1-duty) + idle·factor·duty  =>  solve for idle rate.
+    idle_rate = mean_rate_per_s / (1.0 - duty + burst_factor * duty)
+    return mmpp_trace(
+        (idle_rate, idle_rate * burst_factor),
+        (mean_idle_s, mean_burst_s),
+        duration_s,
+        rng,
+        name=name or "mqtt-bursts",
+    )
+
+
+def diurnal_trace(
+    mean_rate_per_s: float,
+    duration_s: float,
+    rng: np.random.Generator,
+    cycles: float = 1.0,
+    depth: float = 0.5,
+    name: Optional[str] = None,
+) -> Trace:
+    """Ambient telemetry with a day/night cycle compressed into the run.
+
+    ``depth`` in [0, 1) scales the sinusoidal swing around the mean
+    (0 = flat Poisson); ``cycles`` counts full periods over the run.
+    """
+    if not 0.0 <= depth < 1.0:
+        raise ValueError("depth must be in [0, 1)")
+    omega = 2.0 * math.pi * cycles / duration_s
+
+    def rate_fn(t: np.ndarray) -> np.ndarray:
+        return mean_rate_per_s * (1.0 + depth * np.sin(omega * t))
+
+    return nonhomogeneous_poisson(
+        rate_fn,
+        mean_rate_per_s * (1.0 + depth),
+        duration_s,
+        rng,
+        name=name or "diurnal",
+    )
+
+
+def edge_telemetry_trace(
+    mean_rate_per_s: float,
+    duration_s: float,
+    rng: np.random.Generator,
+    tick_fraction: float = 0.2,
+    burst_fraction: float = 0.4,
+    diurnal_depth: float = 0.5,
+    name: Optional[str] = None,
+) -> Trace:
+    """The stock edge feed: ticks + MQTT bursts + diurnal ambient.
+
+    ``tick_fraction``/``burst_fraction`` split the mean rate between
+    the periodic and bursty components; the remainder is the
+    diurnally-modulated ambient stream.
+    """
+    if tick_fraction < 0 or burst_fraction < 0:
+        raise ValueError("component fractions must be non-negative")
+    if tick_fraction + burst_fraction >= 1.0:
+        raise ValueError("component fractions must leave ambient headroom")
+    tick_rate = mean_rate_per_s * tick_fraction
+    parts = []
+    if tick_rate > 0:
+        parts.append(
+            periodic_ticks(
+                1.0 / tick_rate,
+                duration_s,
+                rng,
+                jitter_s=0.1 / tick_rate,
+                name="ticks",
+            )
+        )
+    burst_rate = mean_rate_per_s * burst_fraction
+    if burst_rate > 0:
+        parts.append(mqtt_burst_trace(burst_rate, duration_s, rng))
+    ambient = mean_rate_per_s - tick_rate - burst_rate
+    parts.append(
+        diurnal_trace(ambient, duration_s, rng, depth=diurnal_depth)
+    )
+    return merge_traces(parts, name=name or "edge-telemetry")
+
+
+# -- per-item CPU cost ------------------------------------------------------------
+
+#: Irrational multipliers for the unit-interval hash (the classic
+#: fract(sin(x·a)·b) construction — statistically uniform, and a pure
+#: function of the timestamp, so per-item costs never depend on run
+#: order or process identity).
+_HASH_A = 127.1
+_HASH_B = 43758.5453123
+
+
+def unit_hash(t: float) -> float:
+    """A deterministic pseudo-uniform value in [0, 1) derived from ``t``."""
+    return abs(math.sin(t * _HASH_A + 311.7) * _HASH_B) % 1.0
+
+
+def per_item_cost_s(base_s: float, spread: float, t: float) -> float:
+    """Per-item CPU cost: ``base_s`` spread uniformly by ``±spread``.
+
+    The spread is a pure function of the item's production timestamp
+    (via :func:`unit_hash`), so cost sequences are identical across
+    reruns, ``--jobs`` fan-out and stage migrations — the pipeline's
+    determinism guarantee depends on that.
+    """
+    if spread <= 0.0:
+        return base_s
+    return base_s * (1.0 + spread * (2.0 * unit_hash(t) - 1.0))

@@ -10,6 +10,7 @@ CLI's ``trace inspect`` command.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import dataclass
 from pathlib import Path
@@ -53,19 +54,38 @@ def load_trace(path: Union[str, Path]) -> Trace:
 _TRACE_FILE_CACHE: dict = {}
 
 
+def _content_digest(path: Path) -> str:
+    """BLAKE2b digest of the file bytes (streamed, not slurped)."""
+    digest = hashlib.blake2b(digest_size=16)
+    with path.open("rb") as fh:
+        for chunk in iter(lambda: fh.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
 def load_trace_cached(path: Union[str, Path]) -> Trace:
-    """Like :func:`load_trace`, memoized on ``(path, mtime, size)``.
+    """Like :func:`load_trace`, memoized on ``(path, digest, mtime, size)``.
 
     Sweeps and multi-worker harness runs open the same archived
     workload once per *run* without this; the cache keys on the file's
-    identity **and** its stat signature, so editing or regenerating the
-    archive invalidates naturally. Traces are immutable in practice
-    (every consumer of a shared trace derives shifted/perturbed copies
-    rather than mutating it), so handing out the same object is safe.
+    identity **and** its content digest, so editing or regenerating the
+    archive invalidates naturally. The stat signature alone is not
+    enough: a same-size archive regenerated within the filesystem's
+    mtime granularity (or copied with ``cp -p``/``tar`` preserving
+    timestamps) would silently serve the *stale* trace. Hashing costs
+    one extra read per call but the parse — the expensive part — still
+    happens once. Traces are immutable in practice (every consumer of a
+    shared trace derives shifted/perturbed copies rather than mutating
+    it), so handing out the same object is safe.
     """
     resolved = Path(path).resolve()
     stat = resolved.stat()
-    key = (str(resolved), stat.st_mtime_ns, stat.st_size)
+    key = (
+        str(resolved),
+        _content_digest(resolved),
+        stat.st_mtime_ns,
+        stat.st_size,
+    )
     trace = _TRACE_FILE_CACHE.get(key)
     if trace is None:
         _TRACE_FILE_CACHE[key] = trace = load_trace(resolved)

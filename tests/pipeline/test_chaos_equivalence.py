@@ -1,0 +1,36 @@
+"""A zero-fault chaos run is the same experiment as a plain pipeline run.
+
+``pipeline-clean`` exists as the control arm of the chaos report; if
+its numbers ever drift from ``run_pipeline`` under the same degradation
+config, one of the two paths changed its trace construction or system
+wiring and the control stops being a control.
+"""
+
+from repro.faults.chaos import DEFAULT_SCENARIOS, run_scenario
+from repro.harness.params import StandardParams
+from repro.harness.pipelines import run_pipeline
+
+BY_NAME = {s.name: s for s in DEFAULT_SCENARIOS}
+
+
+def test_zero_fault_chaos_matches_plain_run():
+    params = StandardParams(duration_s=0.5, seed=2014)
+    chaos = run_scenario(BY_NAME["pipeline-clean"], params, n_consumers=3)
+    plain, _ = run_pipeline(
+        "PBPL",
+        "telemetry",
+        params,
+        pbpl_overrides=dict(
+            overflow_policy="shed-to-deadline", harden_predictor=True
+        ),
+    )
+    assert chaos.produced == plain.produced
+    assert chaos.consumed == plain.consumed
+    assert chaos.items_shed == plain.items_dropped
+    assert chaos.scheduled_wakeups == plain.scheduled_wakeups
+    assert chaos.overflow_wakeups == plain.overflow_wakeups
+    assert chaos.backpressure_stalls == plain.backpressure_stalls
+    assert chaos.max_latency_s == plain.max_latency_s
+    # And it really was a clean run: no faults, no recovery tail.
+    assert chaos.recovery_time_s == 0.0
+    assert chaos.cores_failed == 0

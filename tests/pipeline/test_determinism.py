@@ -1,0 +1,35 @@
+"""Pipeline runs must be bit-reproducible, including under parallelism."""
+
+from repro.harness.params import quick_params
+from repro.harness.pipelines import run_pipeline, run_pipeline_study
+from repro.trace.recorder import record_run
+from repro.trace.stream import to_jsonl
+
+
+def test_study_identical_across_jobs():
+    """The study result is byte-identical whether cells run serially
+    or fan out across workers — scheduling must not leak into results."""
+    params = quick_params(duration_s=0.4, replicates=1)
+    serial = run_pipeline_study(params, jobs=1)
+    threaded = run_pipeline_study(params, jobs=2)
+    assert serial.runs == threaded.runs
+    assert serial.render() == threaded.render()
+
+
+def test_run_identical_across_reruns():
+    params = quick_params(duration_s=0.4, replicates=1)
+    first = run_pipeline("PBPL", "aggregate", params)
+    second = run_pipeline("PBPL", "aggregate", params)
+    assert first == second
+
+
+def test_recorded_trace_byte_identical():
+    """Two recordings of the pipeline golden scenario serialise to the
+    same bytes — the property the CI trace-diff matrix relies on."""
+    runs = [
+        record_run("PBPL", "pipeline-clean", duration_s=0.3)
+        for _ in range(2)
+    ]
+    first, second = (to_jsonl(run.tracer) for run in runs)
+    assert first == second
+    assert "stage.forward" in first

@@ -1,0 +1,129 @@
+"""Topology spec validation: the declarative DAG layer."""
+
+import pytest
+
+from repro.pipeline import AGGREGATE, Edge, Stage, TELEMETRY, Topology
+from repro.pipeline.topology import STOCK_TOPOLOGIES
+
+
+def _linear(*names_roles):
+    stages = tuple(Stage(n, r) for n, r in names_roles)
+    edges = tuple(
+        Edge(stages[i].name, stages[i + 1].name)
+        for i in range(len(stages) - 1)
+    )
+    return stages, edges
+
+
+def test_valid_linear_topology():
+    stages, edges = _linear(
+        ("a", "source"), ("b", "operation"), ("c", "sink")
+    )
+    topo = Topology("t", stages, edges)
+    assert [s.name for s in topo.topological_order()] == ["a", "b", "c"]
+    assert [s.name for s in topo.sources()] == ["a"]
+    assert [s.name for s in topo.sinks()] == ["c"]
+    assert [s.name for s in topo.consumer_stages()] == ["b", "c"]
+    assert topo.stage_depths() == {"a": 0, "b": 1, "c": 2}
+    assert topo.depth == 2
+
+
+def test_duplicate_stage_names_rejected():
+    stages = (Stage("a", "source"), Stage("a", "sink"), Stage("b", "sink"))
+    with pytest.raises(ValueError, match="duplicate"):
+        Topology("t", stages, (Edge("a", "b"),))
+
+
+def test_self_edge_rejected():
+    with pytest.raises(ValueError, match="self-edge"):
+        Edge("a", "a")
+
+
+def test_unknown_edge_endpoint_rejected():
+    stages, edges = _linear(("a", "source"), ("b", "sink"))
+    with pytest.raises(ValueError, match="unknown"):
+        Topology("t", stages, edges + (Edge("b", "ghost"),))
+
+
+def test_type_mismatched_edge_rejected():
+    stages = (
+        Stage("a", "source", emits="raw"),
+        Stage("b", "sink", accepts="record"),
+    )
+    with pytest.raises(ValueError, match="emits"):
+        Topology("t", stages, (Edge("a", "b"),))
+
+
+def test_cycle_rejected():
+    stages = (
+        Stage("a", "source"),
+        Stage("b", "operation"),
+        Stage("c", "operation"),
+        Stage("d", "sink"),
+    )
+    edges = (
+        Edge("a", "b"),
+        Edge("b", "c"),
+        Edge("c", "b"),
+        Edge("c", "d"),
+    )
+    with pytest.raises(ValueError, match="[Cc]ycle"):
+        Topology("t", stages, edges)
+
+
+def test_disconnected_graph_rejected():
+    stages = (
+        Stage("a", "source"),
+        Stage("b", "sink"),
+        Stage("x", "source"),
+        Stage("y", "sink"),
+    )
+    edges = (Edge("a", "b"), Edge("x", "y"))
+    with pytest.raises(ValueError, match="connected"):
+        Topology("t", stages, edges)
+
+
+def test_source_with_incoming_edge_rejected():
+    stages = (
+        Stage("a", "source"),
+        Stage("b", "source"),
+        Stage("c", "sink"),
+    )
+    edges = (Edge("a", "b"), Edge("b", "c"))
+    with pytest.raises(ValueError, match="source"):
+        Topology("t", stages, edges)
+
+
+def test_sink_with_outgoing_edge_rejected():
+    stages = (
+        Stage("a", "source"),
+        Stage("b", "sink"),
+        Stage("c", "sink"),
+    )
+    edges = (Edge("a", "b"), Edge("b", "c"))
+    with pytest.raises(ValueError, match="sink"):
+        Topology("t", stages, edges)
+
+
+def test_stock_topologies_are_valid_and_registered():
+    assert set(STOCK_TOPOLOGIES) == {"telemetry", "aggregate"}
+    assert STOCK_TOPOLOGIES["telemetry"] is TELEMETRY
+    assert STOCK_TOPOLOGIES["aggregate"] is AGGREGATE
+    assert TELEMETRY.depth == 2
+    assert AGGREGATE.depth == 2
+    # Diamond: two parallel operations feeding one sink.
+    assert [s.name for s in AGGREGATE.consumer_stages()] == [
+        "north",
+        "south",
+        "gateway",
+    ]
+    assert {s.name for s in AGGREGATE.upstream("gateway")} == {
+        "north",
+        "south",
+    }
+
+
+def test_describe_mentions_every_edge():
+    text = AGGREGATE.describe()
+    for edge in AGGREGATE.edges:
+        assert f"{edge.src}->{edge.dst}" in text

@@ -1,0 +1,113 @@
+"""Size-based trace rotation: gzip history segments + live tail.
+
+A rotated trace must read back exactly like an unrotated one — same
+header, same events, same footer — with the segments reassembled
+transparently by :class:`TraceReader`. Segments are written with
+``mtime=0`` so identical runs produce byte-identical archives.
+"""
+
+import gzip
+import json
+
+import pytest
+
+from repro.trace import (
+    StreamingTraceWriter,
+    TraceReader,
+    TraceTruncatedError,
+    read_trace,
+)
+from repro.trace.stream import event_to_dict
+from repro.trace.tracer import TraceEvent
+
+
+def _events(n):
+    return [
+        TraceEvent(
+            ts_s=i * 0.001,
+            dur_s=None,
+            phase="i",
+            category="test",
+            track="t",
+            name="tick",
+            seq=i,
+            args={},
+        )
+        for i in range(n)
+    ]
+
+
+def _write(path, events, rotate_bytes=None):
+    with StreamingTraceWriter(
+        path, meta={"seed": 7}, rotate_bytes=rotate_bytes
+    ) as writer:
+        for event in events:
+            writer.write_event(event)
+    return writer
+
+
+def test_rotated_trace_reads_back_identically(tmp_path):
+    events = _events(200)
+    plain, rotated = tmp_path / "plain.jsonl", tmp_path / "rot.jsonl"
+    _write(plain, events)
+    writer = _write(rotated, events, rotate_bytes=4096)
+    assert writer.segments_rotated >= 2
+    assert (tmp_path / "rot.jsonl.1.gz").exists()
+
+    back_plain, reader_plain = read_trace(plain)
+    back_rot, reader_rot = read_trace(rotated)
+    assert [event_to_dict(e) for e in back_rot] == [
+        event_to_dict(e) for e in back_plain
+    ]
+    assert reader_rot.header == reader_plain.header
+    assert reader_rot.footer == reader_plain.footer == {"events": 200}
+
+
+def test_header_only_in_first_segment(tmp_path):
+    path = tmp_path / "t.jsonl"
+    writer = _write(path, _events(200), rotate_bytes=4096)
+    first = gzip.open(
+        tmp_path / "t.jsonl.1.gz", "rt", encoding="utf-8"
+    ).readline()
+    assert json.loads(first).get("schema") == "repro.trace"
+    for seg in range(2, writer.segments_rotated + 1):
+        line = gzip.open(
+            tmp_path / f"t.jsonl.{seg}.gz", "rt", encoding="utf-8"
+        ).readline()
+        assert "schema" not in json.loads(line)
+    # The live tail holds only the newest events plus the footer.
+    tail_lines = path.read_text().splitlines()
+    assert json.loads(tail_lines[-1]).get("footer") == {"events": 200}
+    assert "schema" not in json.loads(tail_lines[0])
+
+
+def test_segments_byte_identical_across_runs(tmp_path):
+    events = _events(200)
+    a, b = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+    _write(a, events, rotate_bytes=4096)
+    _write(b, events, rotate_bytes=4096)
+    assert (tmp_path / "a.jsonl.1.gz").read_bytes() == (
+        tmp_path / "b.jsonl.1.gz"
+    ).read_bytes()
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_rotation_requires_path_target(tmp_path):
+    with (tmp_path / "f.jsonl").open("w") as fh:
+        with pytest.raises(ValueError, match="path"):
+            StreamingTraceWriter(fh, rotate_bytes=4096)
+
+
+def test_rotate_bytes_must_be_positive(tmp_path):
+    with pytest.raises(ValueError, match="positive"):
+        StreamingTraceWriter(tmp_path / "f.jsonl", rotate_bytes=0)
+
+
+def test_truncated_tail_raises_truncation_error(tmp_path):
+    path = tmp_path / "t.jsonl"
+    _write(path, _events(200), rotate_bytes=4096)
+    whole = path.read_bytes()
+    path.write_bytes(whole[:-20])  # clip mid-line: a crashed run
+    reader = TraceReader(path)
+    with pytest.raises(TraceTruncatedError):
+        list(reader.iter_events())

@@ -166,6 +166,12 @@ def _default_names_path() -> Path:
     return Path(repro.__file__).resolve().parent / "trace" / "names.py"
 
 
+def _default_metric_names_path() -> Path:
+    import repro
+
+    return Path(repro.__file__).resolve().parent / "telemetry" / "names.py"
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro lint",
@@ -186,13 +192,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--write-names",
         action="store_true",
-        help="regenerate trace/names.py from tracer call sites and exit",
+        help="regenerate trace/names.py (tracer call sites) and "
+        "telemetry/names.py (instrument call sites), then exit",
     )
     parser.add_argument(
         "--names-out",
         type=Path,
         default=None,
-        help="override the generated names.py location (with --write-names)",
+        help="override the generated trace names.py location "
+        "(with --write-names; given alone, only the trace table is written)",
+    )
+    parser.add_argument(
+        "--metric-names-out",
+        type=Path,
+        default=None,
+        help="override the generated telemetry names.py location "
+        "(with --write-names; given alone, only the metric table is written)",
     )
     args = parser.parse_args(argv)
 
@@ -204,11 +219,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     if args.write_names:
+        # An explicit single override regenerates only that table —
+        # tooling pointing --names-out at a scratch file must not
+        # silently rewrite the *other* committed table in-tree.
+        from repro.analysis.rules_metrics import write_metric_names_module
         from repro.analysis.rules_trace import write_names_module
 
-        out = args.names_out or _default_names_path()
-        names = write_names_module(paths, out)
-        print(f"wrote {len(names)} registered trace names to {out}")
+        write_trace = args.metric_names_out is None or args.names_out is not None
+        write_metric = args.names_out is None or args.metric_names_out is not None
+        if write_trace:
+            out = args.names_out or _default_names_path()
+            names = write_names_module(paths, out)
+            print(f"wrote {len(names)} registered trace names to {out}")
+        if write_metric:
+            out = args.metric_names_out or _default_metric_names_path()
+            names = write_metric_names_module(paths, out)
+            print(f"wrote {len(names)} registered metric names to {out}")
         return 0
 
     findings, errors = lint_paths(paths)
@@ -227,5 +253,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 # the registry helpers above exist when they run.
 from repro.analysis import rules_det  # noqa: E402,F401
 from repro.analysis import rules_layer  # noqa: E402,F401
+from repro.analysis import rules_metrics  # noqa: E402,F401
 from repro.analysis import rules_pure  # noqa: E402,F401
 from repro.analysis import rules_trace  # noqa: E402,F401

@@ -6,7 +6,12 @@ import the measurement harness, the CLI, the chaos driver, or the trace
 recorder (all of which sit *above* them and are allowed to import
 *down*). The trace core is a leaf library too: everything in
 ``repro.trace`` except ``trace.recorder`` (which intentionally drives
-harness runs) must not import ``harness`` or ``cli``.
+harness runs) must not import ``harness`` or ``cli``. The telemetry
+core sits beside it: kernel layers may import ``repro.telemetry`` (the
+instrumentation hooks live there), so telemetry itself must never
+import the harness (except the ``repro.harness.clock`` shim the
+self-profiler times with), the CLI, the chaos driver, the recorder, or
+the analysis pass.
 
 Imports inside ``if TYPE_CHECKING:`` blocks are annotations-only and are
 exempt.
@@ -36,6 +41,16 @@ _TRACE_FORBIDDEN = (
     "repro.harness",
     "repro.cli",
 )
+_TELEMETRY_FORBIDDEN = (
+    "repro.harness",
+    "repro.cli",
+    "repro.faults.chaos",
+    "repro.trace.recorder",
+    "repro.analysis",
+)
+#: The one harness import telemetry may take: the monotonic-clock shim
+#: (``repro.harness.clock``) the kernel self-profiler measures with.
+_TELEMETRY_ALLOWED = ("repro.harness.clock",)
 RECORDER_MODULE = "repro.trace.recorder"
 
 
@@ -128,18 +143,28 @@ class LayerBoundaryRule(LintRule):
     def check(self, ctx: "ModuleContext") -> List["Finding"]:
         if ctx.module is None or ctx.layer is None:
             return []
+        allowed: Tuple[str, ...] = ()
         if ctx.layer in KERNEL_LAYERS:
             forbidden = _KERNEL_FORBIDDEN
             role = f"kernel layer `{ctx.layer}`"
         elif ctx.layer == "trace" and ctx.module != RECORDER_MODULE:
             forbidden = _TRACE_FORBIDDEN
             role = "trace core"
+        elif ctx.layer == "telemetry":
+            forbidden = _TELEMETRY_FORBIDDEN
+            allowed = _TELEMETRY_ALLOWED
+            role = "telemetry core"
         else:
             return []
         out: List["Finding"] = []
         seen = set()
         for stmt in iter_runtime_imports(ctx.tree):
             for module, node in imported_modules(stmt, ctx.module):
+                if any(
+                    module == ok or module.startswith(ok + ".")
+                    for ok in allowed
+                ):
+                    continue
                 hit = _violates(module, forbidden)
                 if hit and (node.lineno, hit) not in seen:
                     seen.add((node.lineno, hit))

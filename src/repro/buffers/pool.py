@@ -15,9 +15,13 @@ capacity the pool adjusts — the "elastic walls" of the paper's Fig. 8.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.buffers.segmented import SegmentedBuffer
+from repro.telemetry.registry import NULL_REGISTRY
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.registry import MetricsRegistry
 
 
 class GlobalBufferPool:
@@ -32,7 +36,12 @@ class GlobalBufferPool:
         M — number of consumers the pool is sized for.
     """
 
-    def __init__(self, base_allocation: int, n_consumers: int) -> None:
+    def __init__(
+        self,
+        base_allocation: int,
+        n_consumers: int,
+        metrics: Optional["MetricsRegistry"] = None,
+    ) -> None:
         if base_allocation < 1:
             raise ValueError("base allocation must be >= 1")
         if n_consumers < 1:
@@ -41,6 +50,28 @@ class GlobalBufferPool:
         self.n_consumers = n_consumers
         self.total_slots = base_allocation * n_consumers
         self._buffers: Dict[str, SegmentedBuffer] = {}
+        #: Aggregated telemetry (falsy NULL_REGISTRY when metrics off).
+        self.metrics = metrics or NULL_REGISTRY
+        self._m_upsize_req = self.metrics.counter(
+            "pool_upsize_requests_total",
+            help="Upsize requests consumers made to the global pool.",
+        )
+        self._m_upsize_grant = self.metrics.counter(
+            "pool_upsize_grants_total",
+            help="Upsize requests the pool granted (fully or partially).",
+        )
+        self._m_lent = self.metrics.counter(
+            "pool_slots_lent_total",
+            help="Lifetime slots lent beyond base entitlements.",
+        )
+        self._m_contention = self.metrics.counter(
+            "pool_contention_events_total",
+            help="Forced-contention withholds by fault injectors.",
+        )
+        self._m_migrations = self.metrics.counter(
+            "pool_migrations_total",
+            help="Buffers carried across core migrations.",
+        )
         #: Lifetime grants / denials, for the evaluation metrics.
         self.upsize_requests = 0
         self.upsize_grants = 0
@@ -100,6 +131,8 @@ class GlobalBufferPool:
                 f"consumer {consumer_id!r} is not registered with the pool"
             )
         self.migrations += 1
+        if self.metrics:
+            self._m_migrations.inc()
         return len(buffer)
 
     # -- accounting -------------------------------------------------------------
@@ -142,6 +175,8 @@ class GlobalBufferPool:
         """
         buffer = self._buffers[consumer_id]
         self.upsize_requests += 1
+        if self.metrics:
+            self._m_upsize_req.inc()
         if desired_capacity <= buffer.capacity:
             return buffer.capacity
         extra_wanted = desired_capacity - buffer.capacity
@@ -150,6 +185,9 @@ class GlobalBufferPool:
             return buffer.capacity
         self.upsize_grants += 1
         self.slots_lent += extra_granted
+        if self.metrics:
+            self._m_upsize_grant.inc()
+            self._m_lent.inc(extra_granted)
         return buffer.set_capacity(buffer.capacity + extra_granted)
 
     def withhold(self, slots: int) -> int:
@@ -168,6 +206,8 @@ class GlobalBufferPool:
             self.total_slots -= taken
             self.slots_withheld += taken
             self.contention_events += 1
+            if self.metrics:
+                self._m_contention.inc()
         return taken
 
     def restore(self, slots: int) -> None:

@@ -22,6 +22,11 @@ Installed as the ``repro`` console script (also ``python -m repro``)::
     repro trace --smoke             # CI gate: validate + reconcile a trace
     repro trace generate -o t.npz   # synthesise & archive a workload
     repro trace inspect t.npz       # summarise a workload's character
+    repro metrics snapshot          # OpenMetrics snapshot + reconciliation
+    repro metrics watch --window 0.05  # per-window delta tables
+    repro metrics diff a.prom b.prom   # exit 1 on drift — the CI gate
+    repro metrics profile           # deterministic kernel self-profile
+    repro metrics bless             # regenerate the golden metrics snapshot
 
 Common options (figures): ``--duration``, ``--replicates``, ``--seed``,
 ``--csv FILE`` (raw per-run metrics), ``--out FILE`` (the text figure),
@@ -117,6 +122,19 @@ def _emit(args: argparse.Namespace, text: str, runs=None) -> None:
         runs_to_csv(runs, args.csv)
 
 
+def _write_metrics_artifacts(directory: Path, artifacts, info=sys.stdout) -> None:
+    """Write one ``<scenario>.prom`` OpenMetrics file per collected
+    snapshot (the per-scenario artifacts CI uploads)."""
+    directory.mkdir(parents=True, exist_ok=True)
+    for name in sorted(artifacts):
+        path = directory / f"{name}.prom"
+        path.write_text(artifacts[name], encoding="utf-8")
+    print(
+        f"metrics: wrote {len(artifacts)} OpenMetrics artifact(s) to {directory}",
+        file=info,
+    )
+
+
 # -- figure commands -------------------------------------------------------------
 
 
@@ -167,7 +185,32 @@ def cmd_pipeline(args: argparse.Namespace) -> int:
         topologies=tuple(args.topologies),
     )
     _emit(args, result.render(), result.runs)
+    if args.metrics_dir is not None:
+        _pipeline_metrics_pass(args, params)
     return 0
+
+
+def _pipeline_metrics_pass(args: argparse.Namespace, params) -> None:
+    """Re-run each pipeline chaos scenario whose topology is in the
+    study with a live registry attached and drop per-scenario
+    OpenMetrics artifacts next to the report."""
+    from repro.faults import DEFAULT_SCENARIOS
+    from repro.faults.chaos import run_scenario
+    from repro.telemetry import MetricsRegistry, to_openmetrics
+
+    wanted = set(args.topologies)
+    artifacts = {}
+    for scenario in DEFAULT_SCENARIOS:
+        if scenario.topology not in wanted:
+            continue
+        registry = MetricsRegistry(
+            const_labels={"impl": "PBPL", "scenario": scenario.name}
+        )
+        # Pipeline scenarios size themselves from the topology's stage
+        # DAG; the n_consumers knob only shapes non-topology runs.
+        run_scenario(scenario, params, n_consumers=4, metrics=registry)
+        artifacts[scenario.name] = to_openmetrics(registry.snapshot())
+    _write_metrics_artifacts(args.metrics_dir, artifacts)
 
 
 def cmd_accounting(args: argparse.Namespace) -> int:
@@ -221,8 +264,15 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         baseline_impls=BASELINE_IMPLS if args.baselines else (),
         progress=(None if args.json else (lambda m: print(m, flush=True))),
         jobs=args.jobs,
+        collect_metrics=args.metrics_dir is not None,
     )
     _emit(args, report.to_json() if args.json else report.render())
+    if args.metrics_dir is not None:
+        _write_metrics_artifacts(
+            args.metrics_dir,
+            report.metrics_artifacts,
+            info=sys.stderr if args.json else sys.stdout,
+        )
     rc = 0
     if not report.passed:
         bad = [r.scenario for r in report.results if r.verdict not in ("OK", "SHED")]
@@ -277,6 +327,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
         argv.append("--write-names")
     if args.names_out is not None:
         argv += ["--names-out", str(args.names_out)]
+    if args.metric_names_out is not None:
+        argv += ["--metric-names-out", str(args.metric_names_out)]
     return lint_main(argv)
 
 
@@ -325,6 +377,15 @@ def cmd_bench(args: argparse.Namespace) -> int:
     if not harness["chaos_matrix"]["byte_identical"]:
         print(
             "bench: FAIL parallel chaos report is not byte-identical to serial",
+            file=sys.stderr,
+        )
+        rc = 1
+    overhead = kernel.get("metrics_overhead", {})
+    if overhead and overhead["overhead_frac"] > overhead["tolerance"]:
+        print(
+            f"bench: FAIL metrics overhead {overhead['overhead_frac']:+.1%} "
+            f"exceeds {overhead['tolerance']:.0%} (active registry vs "
+            "NullRegistry events/sec)",
             file=sys.stderr,
         )
         rc = 1
@@ -743,32 +804,15 @@ def cmd_trace_diff(args: argparse.Namespace) -> int:
 
 
 def _window_events(events, from_s: Optional[float], to_s: Optional[float]):
-    """Clip a trace to ``[from_s, to_s)``: point events inside the
-    window survive, spans overlapping it are trimmed to it (so
-    self-time/joules aggregation only counts in-window time)."""
-    from repro.trace import TraceEvent
+    """Clip a trace to ``[from_s, to_s)``.
 
-    lo = float("-inf") if from_s is None else from_s
-    hi = float("inf") if to_s is None else to_s
-    out = []
-    for e in events:
-        if e.dur_s is None:
-            if lo <= e.ts_s < hi:
-                out.append(e)
-            continue
-        start, end = max(e.ts_s, lo), min(e.end_s, hi)
-        if end < start or (end == start and not lo <= e.ts_s < hi):
-            continue
-        if start == e.ts_s and end == e.end_s:
-            out.append(e)
-        else:
-            out.append(
-                TraceEvent(
-                    start, end - start, e.phase, e.category, e.track,
-                    e.name, e.seq, e.args,
-                )
-            )
-    return out
+    Thin alias for :func:`repro.trace.intervals.clip_events` — the same
+    interval arithmetic windowed metrics aggregation uses, so the trace
+    report and the telemetry windows can never disagree about edges.
+    """
+    from repro.trace import clip_events
+
+    return clip_events(events, from_s, to_s)
 
 
 def cmd_trace_report(args: argparse.Namespace) -> int:
@@ -862,6 +906,207 @@ def cmd_trace_smoke(args: argparse.Namespace) -> int:
     return 0
 
 
+# -- metrics commands --------------------------------------------------------------
+
+#: Where the blessed golden metrics snapshot lives (diffed by the CI
+#: ``metrics-smoke`` job; re-bless with ``repro metrics bless``).
+def metrics_golden_path(directory: Path = GOLDEN_DIR) -> Path:
+    return directory / "pbpl_smoke.metrics.prom"
+
+
+def _metrics_record(args: argparse.Namespace, window_s=None, profiler=None):
+    """Run the requested impl × scenario with a live registry attached;
+    returns ``(run, registry)``."""
+    from repro.telemetry import MetricsRegistry
+    from repro.trace import record_run
+
+    registry = MetricsRegistry(
+        const_labels={"impl": args.impl, "scenario": args.scenario}
+    )
+    run = record_run(
+        args.impl,
+        args.scenario,
+        duration_s=args.duration,
+        n_consumers=args.consumers,
+        seed=args.seed,
+        metrics=registry,
+        window_s=window_s,
+        profiler=profiler,
+    )
+    return run, registry
+
+
+def _reconcile_run(run, snapshot) -> List:
+    """Every reconciliation check the run's impl supports.
+
+    PBPL threads instruments through the whole system, so its counters
+    are held to RunMetrics totals; baselines only carry the power
+    collector, so they are held to the ledger and core-wakeup truth.
+    """
+    from repro.harness.runner import CONSUMER_CORE
+    from repro.telemetry import (
+        reconcile_core_wakeups,
+        reconcile_counters,
+        reconcile_energy,
+    )
+
+    checks = []
+    if run.impl == "PBPL":
+        checks.extend(reconcile_counters(snapshot, run.stats))
+    checks.extend(reconcile_energy(snapshot, run.ledger_total_j))
+    checks.extend(
+        reconcile_core_wakeups(snapshot, CONSUMER_CORE, run.consumer_core_wakeups)
+    )
+    return checks
+
+
+def cmd_metrics_snapshot(args: argparse.Namespace) -> int:
+    """Run one impl × scenario with the registry attached, export the
+    snapshot (OpenMetrics text, or byte-stable JSONL with ``--jsonl``),
+    and reconcile it against the run's ground truth — exit 1 when any
+    counter disagrees with RunMetrics or energy drifts off the ledger."""
+    from repro.telemetry import render_checks, snapshot_to_jsonl, to_openmetrics
+
+    to_stdout = str(args.output) == "-"
+    if not to_stdout:
+        problem = _check_writable(args.output)
+        if problem is not None:
+            print(f"metrics snapshot: {problem}", file=sys.stderr)
+            return 2
+    info = sys.stderr if to_stdout else sys.stdout
+    run, registry = _metrics_record(args)
+    snapshot = registry.snapshot()
+    payload = (
+        snapshot_to_jsonl(snapshot) if args.jsonl else to_openmetrics(snapshot)
+    )
+    if to_stdout:
+        sys.stdout.write(payload)
+    else:
+        args.output.write_text(payload, encoding="utf-8")
+    checks = _reconcile_run(run, snapshot)
+    print(
+        f"{run.impl} × {run.scenario}: {len(snapshot.families)} metric "
+        f"families, {sum(len(s) for _, _, _, s in snapshot.families)} series, "
+        f"{run.duration_s:g}s simulated",
+        file=info,
+    )
+    print(render_checks(checks), file=info)
+    if not to_stdout:
+        print(f"wrote {args.output}", file=info)
+    bad = [c for c in checks if not c.ok]
+    if bad:
+        for c in bad:
+            print(f"metrics snapshot: FAIL {c.name}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def cmd_metrics_watch(args: argparse.Namespace) -> int:
+    """Windowed run: tumbling-window deltas rendered as per-window
+    terminal tables (the ``watch``-style view, replayed deterministically
+    from virtual time rather than sampled from a live process)."""
+    from repro.telemetry import render_frames
+
+    if args.window <= 0:
+        print("metrics watch: --window must be positive", file=sys.stderr)
+        return 2
+    run, _registry = _metrics_record(args, window_s=args.window)
+    title = (
+        f"metrics watch — {run.impl} × {run.scenario}, "
+        f"{args.window:g}s tumbling windows, {run.duration_s:g}s simulated"
+    )
+    text = title + "\n\n" + render_frames(run.frames)
+    _emit_simple(args, text)
+    return 0
+
+
+def cmd_metrics_diff(args: argparse.Namespace) -> int:
+    """Compare two OpenMetrics snapshots sample-by-sample; exit 1 on
+    drift above the thresholds (the CI metrics gate), 2 on unreadable
+    input."""
+    import json as json_mod
+
+    from repro.telemetry import MetricsParseError, diff_openmetrics
+
+    texts = []
+    for path in (args.prom_a, args.prom_b):
+        try:
+            texts.append(path.read_text(encoding="utf-8"))
+        except OSError as exc:
+            print(f"metrics diff: {path}: {exc}", file=sys.stderr)
+            return 2
+    try:
+        diff = diff_openmetrics(
+            texts[0],
+            texts[1],
+            rel_tol=args.threshold_rel,
+            abs_tol=args.threshold_abs,
+        )
+    except MetricsParseError as exc:
+        print(f"metrics diff: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json_mod.dumps(diff.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(diff.render())
+    if diff.drifted and not args.json:
+        print(
+            "metrics diff: drift detected — if intentional, re-bless the "
+            "golden (`repro metrics bless`) and commit it",
+            file=sys.stderr,
+        )
+    return 1 if diff.drifted else 0
+
+
+def cmd_metrics_profile(args: argparse.Namespace) -> int:
+    """Drive the run through the self-profiling event loop and print the
+    top-N hot-spot table (dispatches + measured self-time per event type
+    and handler). Dispatch counts are deterministic; self-times are
+    wall-clock and vary run to run."""
+    from repro.telemetry import KernelProfiler
+
+    profiler = KernelProfiler()
+    run, _registry = _metrics_record(args, profiler=profiler)
+    report = profiler.report()
+    title = (
+        f"metrics profile — {run.impl} × {run.scenario}, "
+        f"{run.duration_s:g}s simulated"
+    )
+    _emit_simple(args, title + "\n\n" + report.render(top=args.top))
+    return 0
+
+
+def cmd_metrics_bless(args: argparse.Namespace) -> int:
+    """Regenerate the golden OpenMetrics snapshot the CI metrics gate
+    diffs against (the PBPL webserver smoke — same spec as the primary
+    golden trace). Commit the result after intentional drift."""
+    from repro.telemetry import MetricsRegistry, to_openmetrics
+    from repro.trace import record_run
+
+    spec = GOLDEN_SPEC
+    out = args.output or metrics_golden_path(args.out_dir)
+    problem = _check_writable(out)
+    if problem is not None:
+        print(f"metrics bless: {problem}", file=sys.stderr)
+        return 2
+    registry = MetricsRegistry(
+        const_labels={"impl": spec["impl"], "scenario": spec["scenario"]}
+    )
+    record_run(
+        spec["impl"],
+        spec["scenario"],
+        duration_s=spec["duration_s"],
+        n_consumers=spec["n_consumers"],
+        seed=spec["seed"],
+        metrics=registry,
+    )
+    out.write_text(to_openmetrics(registry.snapshot()), encoding="utf-8")
+    desc = ", ".join(f"{k}={v}" for k, v in spec.items())
+    print(f"blessed {out} ({desc})")
+    print("commit this file; `repro metrics diff` gates CI against it")
+    return 0
+
+
 def cmd_trace_default(args: argparse.Namespace) -> int:
     """``repro trace`` with no subcommand: ``--smoke`` runs the CI gate;
     anything else is a usage error."""
@@ -932,6 +1177,14 @@ def build_parser() -> argparse.ArgumentParser:
         default=list(PIPELINE_TOPOLOGIES),
         help="comma-separated stock topologies (default: telemetry,aggregate)",
     )
+    p.add_argument(
+        "--metrics-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also run each pipeline chaos scenario with a metrics "
+        "registry and write one OpenMetrics <scenario>.prom each to DIR",
+    )
     p.set_defaults(func=cmd_pipeline)
 
     p = sub.add_parser("accounting", help="§VI-C wakeup accounting scalars")
@@ -980,6 +1233,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="re-run each scenario under the simultaneity sanitizer "
         "(DES race detector); exit non-zero on any race",
+    )
+    p.add_argument(
+        "--metrics-dir",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also collect a metrics registry per PBPL scenario and "
+        "write one OpenMetrics <scenario>.prom artifact each to DIR",
     )
     p.set_defaults(func=cmd_chaos)
 
@@ -1215,10 +1476,130 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("file", type=Path)
     p.set_defaults(func=cmd_trace_inspect)
 
+    metrics = sub.add_parser(
+        "metrics",
+        help="typed instruments over the DES: snapshots, OpenMetrics "
+        "export, windowed watch, drift diffs, kernel self-profile",
+    )
+    msub = metrics.add_subparsers(dest="metrics_command", required=True)
+
+    def _add_metrics_run_args(mp: argparse.ArgumentParser) -> None:
+        mp.add_argument(
+            "--impl",
+            default=GOLDEN_SPEC["impl"],
+            help="implementation: PBPL or a §III name (Mutex, Sem, BP, ...)",
+        )
+        mp.add_argument(
+            "--scenario",
+            default=GOLDEN_SPEC["scenario"],
+            help="webserver, clean, or any chaos scenario name",
+        )
+        mp.add_argument(
+            "--duration", type=float, default=GOLDEN_SPEC["duration_s"]
+        )
+        mp.add_argument(
+            "--consumers", type=int, default=GOLDEN_SPEC["n_consumers"]
+        )
+        mp.add_argument("--seed", type=int, default=GOLDEN_SPEC["seed"])
+
+    p = msub.add_parser(
+        "snapshot",
+        help="run once with a live registry, export OpenMetrics, and "
+        "reconcile counters/energy against the run's ground truth",
+    )
+    _add_metrics_run_args(p)
+    p.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=Path("metrics.prom"),
+        help="output path ('-' = stdout; default metrics.prom)",
+    )
+    p.add_argument(
+        "--jsonl",
+        action="store_true",
+        help="emit the byte-stable JSONL encoding instead of OpenMetrics",
+    )
+    p.set_defaults(func=cmd_metrics_snapshot)
+
+    p = msub.add_parser(
+        "watch",
+        help="tumbling-window deltas as per-window terminal tables "
+        "(deterministic replay of a live `watch` view)",
+    )
+    _add_metrics_run_args(p)
+    p.add_argument(
+        "--window",
+        type=float,
+        default=0.1,
+        metavar="S",
+        help="tumbling window width in simulated seconds (default 0.1)",
+    )
+    p.add_argument(
+        "--out", type=Path, default=None, help="also write the tables here"
+    )
+    p.set_defaults(func=cmd_metrics_watch)
+
+    p = msub.add_parser(
+        "diff",
+        help="compare two OpenMetrics snapshots sample-by-sample; "
+        "exit 1 on drift — the CI metrics gate",
+    )
+    p.add_argument("prom_a", type=Path, help="baseline .prom snapshot")
+    p.add_argument("prom_b", type=Path, help="candidate .prom snapshot")
+    p.add_argument(
+        "--threshold-rel",
+        type=float,
+        default=0.0,
+        help="relative drift tolerance per sample (default 0: bit-exact)",
+    )
+    p.add_argument(
+        "--threshold-abs",
+        type=float,
+        default=0.0,
+        help="absolute drift tolerance per sample (default 0)",
+    )
+    p.add_argument(
+        "--json", action="store_true", help="emit the diff as JSON"
+    )
+    p.set_defaults(func=cmd_metrics_diff)
+
+    p = msub.add_parser(
+        "profile",
+        help="drive the run through the self-profiling event loop; "
+        "top-N event-dispatch hot spots with measured self-time",
+    )
+    _add_metrics_run_args(p)
+    p.add_argument("--top", type=int, default=10, help="rows in the table")
+    p.add_argument(
+        "--out", type=Path, default=None, help="also write the table here"
+    )
+    p.set_defaults(func=cmd_metrics_profile)
+
+    p = msub.add_parser(
+        "bless",
+        help="re-record the golden OpenMetrics snapshot the CI metrics "
+        "gate diffs against",
+    )
+    p.add_argument(
+        "--out-dir",
+        type=Path,
+        default=GOLDEN_DIR,
+        help=f"directory for the blessed snapshot (default {GOLDEN_DIR})",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        type=Path,
+        default=None,
+        help="explicit output path (overrides --out-dir)",
+    )
+    p.set_defaults(func=cmd_metrics_bless)
+
     p = sub.add_parser(
         "lint",
         help="static determinism/purity/layering analysis (DET/LAYER/"
-        "PURE/TRACE rules)",
+        "PURE/TRACE/METRIC rules)",
     )
     p.add_argument(
         "paths",
@@ -1235,13 +1616,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--write-names",
         action="store_true",
-        help="regenerate trace/names.py from tracer call sites and exit",
+        help="regenerate trace/names.py (tracer call sites) and "
+        "telemetry/names.py (instrument call sites), then exit",
     )
     p.add_argument(
         "--names-out",
         type=Path,
         default=None,
-        help="override the generated names.py location (with --write-names)",
+        help="override the generated trace names.py location "
+        "(with --write-names; given alone, only the trace table is written)",
+    )
+    p.add_argument(
+        "--metric-names-out",
+        type=Path,
+        default=None,
+        help="override the generated telemetry names.py location "
+        "(with --write-names; given alone, only the metric table is written)",
     )
     p.set_defaults(func=cmd_lint)
 

@@ -32,12 +32,19 @@ from repro.core.manager import CoreManager
 from repro.core.predictors import HardenedPredictor, RatePredictor, make_predictor
 from repro.impls.base import PairStats, Producer
 from repro.impls.single import WAKE_CHECK_S
+from repro.telemetry.registry import NULL_REGISTRY
 from repro.trace.tracer import NULL_TRACER
 from repro.workloads.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.environment import Environment
+    from repro.telemetry.registry import MetricsRegistry
     from repro.trace.tracer import Tracer
+
+#: Upper bounds for the per-batch item-count histogram (powers of two:
+#: batch sizes follow buffer capacities, which the pool hands out in
+#: small integer steps).
+BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
 
 
 class LatchingConsumer:
@@ -62,6 +69,7 @@ class LatchingConsumer:
         owner: str = "consumer",
         predictor: Optional[RatePredictor] = None,
         tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.env = env
         self.core = core
@@ -73,6 +81,78 @@ class LatchingConsumer:
         #: Event tracer (the falsy NULL_TRACER when tracing is off);
         #: the consumer's events live on the track named after it.
         self.tracer = tracer or NULL_TRACER
+        #: Aggregated telemetry (the falsy NULL_REGISTRY when metrics
+        #: are off). Instruments are resolved once here so every hot
+        #: site is a truthiness guard plus one pre-bound method call;
+        #: the NULL path hands back shared no-op singletons.
+        self.metrics = metrics or NULL_REGISTRY
+        self._m_produced = self.metrics.counter(
+            "items_produced_total",
+            help="Items delivered into consumer buffers.", consumer=owner,
+        )
+        self._m_consumed = self.metrics.counter(
+            "items_consumed_total",
+            help="Items drained and serviced by consumers.", consumer=owner,
+        )
+        self._m_wake_scheduled = self.metrics.counter(
+            "wakeups_total",
+            help="Consumer wake episodes by cause.",
+            consumer=owner, kind="scheduled",
+        )
+        self._m_wake_overflow = self.metrics.counter(
+            "wakeups_total", consumer=owner, kind="overflow",
+        )
+        self._m_latched = self.metrics.counter(
+            "slots_latched_total",
+            help="Reservations adopted onto an existing slot (w=0).",
+            consumer=owner,
+        )
+        self._m_missed = self.metrics.counter(
+            "slots_missed_total",
+            help="Reservations that opened a fresh slot.", consumer=owner,
+        )
+        self._m_overflows = self.metrics.counter(
+            "overflows_total",
+            help="Full-buffer encounters on delivery.", consumer=owner,
+        )
+        self._m_shed = self.metrics.counter(
+            "overflow_drops_total",
+            help="Items discarded by lossy overflow policies.",
+            consumer=owner,
+        )
+        self._m_resize_up = self.metrics.counter(
+            "buffer_resizes_total",
+            help="Dynamic buffer resizes by direction.",
+            consumer=owner, direction="up",
+        )
+        self._m_resize_down = self.metrics.counter(
+            "buffer_resizes_total", consumer=owner, direction="down",
+        )
+        self._m_capacity = self.metrics.gauge(
+            "buffer_capacity",
+            help="Current buffer capacity in slots.", consumer=owner,
+        )
+        self._m_batch_items = self.metrics.histogram(
+            "batch_items", BATCH_BUCKETS,
+            help="Items drained per batch.", consumer=owner,
+        )
+        self._m_clamps = self.metrics.counter(
+            "predictor_clamps_total",
+            help="Hardened-predictor outlier clamps.", consumer=owner,
+        )
+        self._m_reconv = self.metrics.counter(
+            "predictor_reconvergences_total",
+            help="Hardened-predictor regime re-convergences.",
+            consumer=owner,
+        )
+        # Pre-bound `.inc` for the per-item/per-slot sites: one
+        # attribute load + call instead of re-creating the bound method
+        # on every delivery (measurable under `metrics_overhead`).
+        self._inc_produced = self._m_produced.inc
+        self._inc_latched = self._m_latched.inc
+        self._inc_missed = self._m_missed.inc
+        self._inc_wake_scheduled = self._m_wake_scheduled.inc
+        self._inc_wake_overflow = self._m_wake_overflow.inc
         self.stats = PairStats()
         self.predictor = predictor or make_predictor(
             config.predictor,
@@ -106,6 +186,8 @@ class LatchingConsumer:
             ),
             clock=lambda: self.env.now,
         )
+        if self.metrics:
+            self._m_capacity.set(self.buffer.capacity)
         #: Transient service-time multiplier (fault injectors raise it
         #: during a consumer-slowdown window).
         self.service_scale = 1.0
@@ -139,8 +221,12 @@ class LatchingConsumer:
         into ``stats.items_shed`` — the resilience report's
         conservation check depends on that accounting being exact.
         """
+        if self.metrics:
+            self._inc_produced()
         if self.buffer.is_full:
             self.stats.overflows += 1
+            if self.metrics:
+                self._m_overflows.inc()
             if self.on_overflow:
                 for hook in self.on_overflow:
                     hook()
@@ -165,6 +251,8 @@ class LatchingConsumer:
                 self.buffer.try_push(t)
                 shed = self.buffer.items_dropped - before
                 self.stats.items_shed += shed
+                if shed and self.metrics:
+                    self._m_shed.inc(shed)
                 if self.tracer:
                     self.tracer.instant(
                         self.owner, "overflow", "buffer",
@@ -254,6 +342,10 @@ class LatchingConsumer:
                 self.manager.cancel(self)
             else:
                 self.stats.scheduled_wakeups += 1
+            if self.metrics:
+                (
+                    self._inc_wake_scheduled if scheduled else self._inc_wake_overflow
+                )()
             self.stats.invocations += 1
 
             batch_span = None
@@ -276,6 +368,11 @@ class LatchingConsumer:
                     env.now - t, deadline_s, keep_raw, now_s=env.now
                 )
                 self.in_flight -= 1
+            if self.metrics:
+                # Batch-level accounting: one observe + one add per
+                # batch, never per item.
+                self._m_batch_items.observe(len(batch))
+                self._m_consumed.inc(len(batch))
 
             # Prediction update (r_j over the inter-invocation gap).
             gap = env.now - self._last_invocation
@@ -310,19 +407,28 @@ class LatchingConsumer:
         return self.config.service_time_s * self.service_scale
 
     def _observe_rate(self, rate: float) -> None:
-        """Feed the predictor; trace clamp/re-convergence decisions."""
+        """Feed the predictor; trace/count clamp and re-convergence."""
         predictor = self.predictor
-        if self.tracer and isinstance(predictor, HardenedPredictor):
+        if (self.tracer or self.metrics) and isinstance(
+            predictor, HardenedPredictor
+        ):
             clamped, reconverged = predictor.clamped, predictor.reconvergences
             predictor.observe(rate)
             if predictor.clamped > clamped:
-                self.tracer.instant(
-                    self.owner, "predictor.clamp", "predictor", rate=rate,
-                )
+                if self.tracer:
+                    self.tracer.instant(
+                        self.owner, "predictor.clamp", "predictor", rate=rate,
+                    )
+                if self.metrics:
+                    self._m_clamps.inc()
             if predictor.reconvergences > reconverged:
-                self.tracer.instant(
-                    self.owner, "predictor.reconverge", "predictor", rate=rate,
-                )
+                if self.tracer:
+                    self.tracer.instant(
+                        self.owner, "predictor.reconverge", "predictor",
+                        rate=rate,
+                    )
+                if self.metrics:
+                    self._m_reconv.inc()
         else:
             predictor.observe(rate)
 
@@ -379,6 +485,8 @@ class LatchingConsumer:
                 pool_capped=capped,
                 capacity=self.buffer.capacity,
             )
+        if self.metrics:
+            (self._inc_latched if latched else self._inc_missed)()
         self.manager.reserve(self, chosen)
         return chosen, latched
 
@@ -441,6 +549,13 @@ class LatchingConsumer:
                 self.tracer.counter(
                     self.owner, "buffer.capacity", self.buffer.capacity, "buffer"
                 )
+            if self.metrics:
+                (
+                    self._m_resize_up
+                    if self.buffer.capacity > before
+                    else self._m_resize_down
+                ).inc()
+                self._m_capacity.set(self.buffer.capacity)
         if not self.buffer.is_full:
             # Growing the buffer frees space just like draining does; a
             # producer blocked on the old wall must learn about it.

@@ -28,11 +28,13 @@ from repro.cpu.core import Core
 from repro.cpu.timers import TimerService
 from repro.core.slots import SlotTrack
 from repro.sim.errors import Interrupt
+from repro.telemetry.registry import NULL_REGISTRY
 from repro.trace.tracer import NULL_TRACER
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.environment import Environment
     from repro.core.consumer import LatchingConsumer
+    from repro.telemetry.registry import MetricsRegistry
     from repro.trace.tracer import Tracer
 
 #: Watchdog backoff starts at grace/WATCHDOG_BACKOFF_DIV and doubles per
@@ -52,12 +54,36 @@ class CoreManager:
         grid_origin_s: float = 0.0,
         watchdog_grace_s: Optional[float] = None,
         tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         self.env = env
         self.core = core
         self.timers = timers
         #: Event tracer (the falsy NULL_TRACER when tracing is off).
         self.tracer = tracer or NULL_TRACER
+        #: Aggregated telemetry (falsy NULL_REGISTRY when metrics off);
+        #: instruments pre-resolved so the loop pays one guard per site.
+        self.metrics = metrics or NULL_REGISTRY
+        core_label = str(core.core_id)
+        self._m_slots = self.metrics.counter(
+            "slots_fired_total",
+            help="Slots fired with at least one reservation.",
+            core=core_label,
+        )
+        self._m_activations = self.metrics.counter(
+            "activations_total",
+            help="Consumer activations delivered at slots.", core=core_label,
+        )
+        self._m_lost = self.metrics.counter(
+            "lost_signals_total",
+            help="Slot timer signals swallowed by the fault model.",
+            core=core_label,
+        )
+        self._m_watchdog = self.metrics.counter(
+            "watchdog_recoveries_total",
+            help="Slots fired by the watchdog instead of their timer.",
+            core=core_label,
+        )
         #: Trace track hosting this manager's slot lifecycle.
         self.track_name = f"core{core.core_id}.mgr"
         # All managers default to a shared grid origin: on hardware with
@@ -192,6 +218,8 @@ class CoreManager:
                 timer = self.timers.slot_alarm(when)
                 if timer is None:
                     self.lost_signals += 1
+                    if self.metrics:
+                        self._m_lost.inc()
                     if self.tracer:
                         self.tracer.instant(
                             self.track_name, "signal.lost", "slot",
@@ -219,6 +247,8 @@ class CoreManager:
                 if recovering:
                     self.watchdog_recoveries += 1
                     self._consecutive_recoveries += 1
+                    if self.metrics:
+                        self._m_watchdog.inc()
                     if self.tracer:
                         self.tracer.instant(
                             self.track_name, "watchdog.recovery", "slot",
@@ -235,6 +265,8 @@ class CoreManager:
             if not holders:
                 continue  # everyone cancelled while the timer was in flight
             self.scheduled_wakeups += 1
+            if self.metrics:
+                self._m_slots.inc()
             slot_span = None
             if self.tracer:
                 slot_span = self.tracer.begin(
@@ -249,6 +281,8 @@ class CoreManager:
             for consumer in holders:
                 done = consumer.activate(next_slot)
                 self.activations += 1
+                if self.metrics:
+                    self._m_activations.inc()
                 if done is not None:
                     done_events.append(done)
             if done_events:

@@ -24,6 +24,7 @@ from repro.workloads.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.environment import Environment
+    from repro.telemetry.registry import MetricsRegistry
     from repro.trace.tracer import Tracer
 
 
@@ -60,6 +61,7 @@ class PBPLSystem:
         consumer_cores: Optional[Sequence[int]] = None,
         desync_grids: bool = False,
         tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         if not traces:
             raise ValueError("need at least one trace")
@@ -69,10 +71,15 @@ class PBPLSystem:
         #: Event tracer threaded into every manager and consumer
         #: (None keeps them on the zero-cost NULL_TRACER path).
         self.tracer = tracer
+        #: Metrics registry threaded the same way (None keeps every
+        #: instrumentation site on the zero-cost NULL_REGISTRY path).
+        self.metrics = metrics
         cores = list(consumer_cores) if consumer_cores else [0]
         slot = self.config.effective_slot_size()
 
-        self.pool = GlobalBufferPool(self.config.buffer_size, len(traces))
+        self.pool = GlobalBufferPool(
+            self.config.buffer_size, len(traces), metrics=metrics
+        )
         distinct = list(dict.fromkeys(cores))
         self.managers: Dict[int, CoreManager] = {
             core_id: CoreManager(
@@ -85,6 +92,7 @@ class PBPLSystem:
                 ),
                 watchdog_grace_s=self.config.watchdog_grace_s,
                 tracer=tracer,
+                metrics=metrics,
             )
             for i, core_id in enumerate(distinct)
         }
@@ -98,6 +106,7 @@ class PBPLSystem:
                 self.config,
                 owner=f"consumer-{i}",
                 tracer=tracer,
+                metrics=metrics,
             )
             for i, trace in enumerate(traces)
         ]

@@ -80,6 +80,16 @@ class Core:
         self._idle_history: Deque[float] = deque(maxlen=8)
         self._idle_since: Optional[float] = None
         self._listeners: list[CoreListener] = []
+        # Interest-based dispatch: per-hook lists holding only listeners
+        # that *override* the hook. A listener subscribing for wakeups
+        # (e.g. the telemetry PowerCollector) then costs nothing on the
+        # much hotter execute/yield paths — the loops there iterate
+        # empty lists instead of calling inherited no-ops.
+        self._on_state_change: list[CoreListener] = []
+        self._on_wakeup: list[CoreListener] = []
+        self._on_execute: list[CoreListener] = []
+        self._on_yield: list[CoreListener] = []
+        self._on_task_wakeup: list[CoreListener] = []
 
         #: Total idle→active transitions (the paper's wakeup count).
         self.total_wakeups = 0
@@ -90,12 +100,33 @@ class Core:
     def add_listener(self, listener: CoreListener) -> None:
         """Subscribe to this core's activity events."""
         self._listeners.append(listener)
+        self._rebuild_hook_lists()
 
     def remove_listener(self, listener: CoreListener) -> None:
         self._listeners.remove(listener)
+        self._rebuild_hook_lists()
+
+    def _rebuild_hook_lists(self) -> None:
+        for hook in (
+            "on_state_change",
+            "on_wakeup",
+            "on_execute",
+            "on_yield",
+            "on_task_wakeup",
+        ):
+            base = getattr(CoreListener, hook)
+            setattr(
+                self,
+                f"_{hook}",
+                [
+                    lst
+                    for lst in self._listeners
+                    if getattr(type(lst), hook, base) is not base
+                ],
+            )
 
     def _notify_state(self, old: str, new: str) -> None:
-        for listener in self._listeners:
+        for listener in self._on_state_change:
             listener.on_state_change(
                 self, self.env.now, old, new, self.cstate, self.pstate
             )
@@ -166,7 +197,7 @@ class Core:
         grant = self.env.event()
         self._queue.append((grant, owner, self.env.now))
         if after_block:
-            for listener in self._listeners:
+            for listener in self._on_task_wakeup:
                 listener.on_task_wakeup(self, self.env.now, owner)
         if not self._busy:
             self._dispatch()
@@ -200,7 +231,7 @@ class Core:
     def sched_yield(self, owner: Any, count: int = 1) -> None:
         """Record ``count`` voluntary yields by ``owner`` (DVFS bias)."""
         self.governor.on_yield(self.env.now, count)
-        for listener in self._listeners:
+        for listener in self._on_yield:
             listener.on_yield(self, self.env.now, owner)
 
     def cancel(self, grant: Event) -> bool:
@@ -225,7 +256,7 @@ class Core:
         now = self.env.now
         self.total_busy_s += duration
         self.governor.on_busy(now, duration)
-        for listener in self._listeners:
+        for listener in self._on_execute:
             listener.on_execute(self, now, owner, duration)
 
     # -- dispatch machinery ----------------------------------------------------
@@ -253,7 +284,7 @@ class Core:
         self.total_wakeups += 1
         self._pending_wake_latency = from_cstate.exit_latency_s
         self._notify_state(old, ACTIVE)
-        for listener in self._listeners:
+        for listener in self._on_wakeup:
             listener.on_wakeup(self, self.env.now, owner, from_cstate)
 
     def _go_idle(self) -> None:

@@ -40,6 +40,9 @@ from repro.impls.multi import MultiPairSystem, phase_shifted_traces
 from repro.metrics.resilience import ConsumerResilience, ResilienceMetrics
 from repro.core.system import PBPLSystem
 from repro.pipeline import BaselinePipelineSystem, PipelineSystem, STOCK_TOPOLOGIES
+from repro.telemetry.collectors import PowerCollector
+from repro.telemetry.export import to_openmetrics
+from repro.telemetry.registry import MetricsRegistry
 from repro.workloads.edge import edge_telemetry_trace
 
 #: Baseline implementations the comparative chaos run scores against
@@ -257,6 +260,7 @@ def run_scenario(
     config_overrides: Optional[dict] = None,
     impl: str = "PBPL",
     env=None,
+    metrics: Optional[MetricsRegistry] = None,
 ) -> ResilienceMetrics:
     """Run one fault scenario on a fresh rig and score it.
 
@@ -265,6 +269,9 @@ def run_scenario(
     same fault plan then drives a :class:`MultiPairSystem`, which is
     what makes the report's degradation columns comparable.
     ``env`` injects a pre-built environment (the sanitizer uses this).
+    ``metrics`` threads a registry through the system under test (PBPL
+    only — baselines carry no instruments) plus a power collector over
+    every core; None keeps every site on the zero-cost null path.
     """
     plan = scenario.build(params.duration_s, n_consumers)
     rig = Rig.build(params, replicate, env=env, n_cores=scenario.n_cores)
@@ -284,6 +291,11 @@ def run_scenario(
         depth = 1
     traces = perturb_traces(traces, plan, rig.streams.stream("chaos"))
     cores = list(scenario.consumer_cores)
+    collector = None
+    if metrics is not None:
+        collector = PowerCollector(metrics, rig.model)
+        for core in rig.machine.cores:
+            collector.watch(core, now=rig.env.now)
 
     if impl == "PBPL":
         overrides = dict(
@@ -296,11 +308,12 @@ def run_scenario(
         if topology is not None:
             system = PipelineSystem(
                 rig.env, rig.machine, topology, traces, config,
-                consumer_cores=cores,
+                consumer_cores=cores, metrics=metrics,
             ).start()
         else:
             system = PBPLSystem(
-                rig.env, rig.machine, traces, config, consumer_cores=cores
+                rig.env, rig.machine, traces, config, consumer_cores=cores,
+                metrics=metrics,
             ).start()
         slot_s = config.effective_slot_size()
     else:
@@ -333,6 +346,8 @@ def run_scenario(
 
     stats = system.aggregate_stats()
     rig.ledger.settle()
+    if collector is not None:
+        collector.settle(rig.env.now)
     if plan and stats.last_miss_s > float("-inf"):
         last_end = min(plan.last_fault_end_s, params.duration_s)
         recovery_s = max(0.0, stats.last_miss_s - last_end)
@@ -428,6 +443,11 @@ class ChaosReport:
     #: only — a baseline VIOLATING under faults is the expected finding,
     #: not a regression.
     baselines: List[ResilienceMetrics] = field(default_factory=list)
+    #: Per-scenario OpenMetrics text (PBPL cells, populated only when
+    #: ``run_chaos(collect_metrics=True)``). Deliberately excluded from
+    #: :meth:`to_json` — the scored report stays byte-identical whether
+    #: or not telemetry artifacts were collected alongside it.
+    metrics_artifacts: Dict[str, str] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -607,13 +627,32 @@ class ChaosReport:
         )
 
 
-def _scenario_task(task) -> ResilienceMetrics:
+def _scenario_task(task):
     """Pool-side wrapper for one (scenario, impl) cell — module-level so
-    the :class:`ParallelExecutor` can pickle it by reference."""
-    scenario, params, n_consumers, config_overrides, impl = task
-    return run_scenario(
-        scenario, params, n_consumers, config_overrides=config_overrides, impl=impl
+    the :class:`ParallelExecutor` can pickle it by reference.
+
+    Returns ``(ResilienceMetrics, openmetrics_text_or_None)``; the
+    exposition text (not the registry) crosses the process boundary, so
+    parallel artifact collection stays byte-identical to serial.
+    """
+    scenario, params, n_consumers, config_overrides, impl, collect = task
+    metrics = (
+        MetricsRegistry(
+            const_labels={"impl": impl, "scenario": scenario.name}
+        )
+        if collect
+        else None
     )
+    result = run_scenario(
+        scenario,
+        params,
+        n_consumers,
+        config_overrides=config_overrides,
+        impl=impl,
+        metrics=metrics,
+    )
+    prom = to_openmetrics(metrics.snapshot()) if metrics is not None else None
+    return result, prom
 
 
 def run_chaos(
@@ -626,6 +665,7 @@ def run_chaos(
     baseline_impls: Sequence[str] = (),
     progress: Optional[Callable[[str], None]] = None,
     jobs: Optional[int] = None,
+    collect_metrics: bool = False,
 ) -> ChaosReport:
     """Run the scenario matrix and assemble the resilience report.
 
@@ -639,22 +679,39 @@ def run_chaos(
     pure function of ``(seed, duration, consumers)`` on a fresh rig, so
     the assembled report — results in dispatch order, progress printed
     at dispatch — is byte-identical to a serial run.
+
+    ``collect_metrics`` additionally snapshots each PBPL cell's
+    telemetry registry as OpenMetrics text into
+    :attr:`ChaosReport.metrics_artifacts` (the per-scenario ``.prom``
+    artifact the CI metrics job uploads). The scored report itself is
+    unchanged by collection.
     """
     scenarios = tuple(scenarios) if scenarios is not None else DEFAULT_SCENARIOS
     params = StandardParams(duration_s=duration_s, seed=seed)
     report = ChaosReport(seed=seed, duration_s=duration_s, n_consumers=n_consumers)
     tasks, labels, is_baseline = [], [], []
     for scenario in scenarios:
-        tasks.append((scenario, params, n_consumers, config_overrides, "PBPL"))
+        tasks.append(
+            (
+                scenario,
+                params,
+                n_consumers,
+                config_overrides,
+                "PBPL",
+                collect_metrics,
+            )
+        )
         labels.append(f"chaos: {scenario.name} — {scenario.summary}")
         is_baseline.append(False)
         for impl in baseline_impls:
-            tasks.append((scenario, params, n_consumers, None, impl))
+            tasks.append((scenario, params, n_consumers, None, impl, False))
             labels.append(f"chaos: {scenario.name} × {impl}")
             is_baseline.append(True)
     metrics = ParallelExecutor(jobs).map(
         _scenario_task, tasks, labels=labels, progress=progress
     )
-    for baseline, result in zip(is_baseline, metrics):
+    for baseline, (result, prom) in zip(is_baseline, metrics):
         (report.baselines if baseline else report.results).append(result)
+        if prom is not None:
+            report.metrics_artifacts[result.scenario] = prom
     return report

@@ -51,6 +51,11 @@ HARNESS_SCHEMA = "repro.bench.harness/1"
 #: Allowed events/sec drop before the baseline gate fails (20 %).
 REGRESSION_TOLERANCE = 0.20
 
+#: Allowed slowdown of the PBPL smoke with an *active* metrics registry
+#: vs the NullRegistry default (5 %) — the "disabled telemetry is free,
+#: enabled telemetry is cheap" contract, enforced by ``repro bench``.
+METRICS_OVERHEAD_TOLERANCE = 0.05
+
 
 # -- kernel micro-benchmarks -----------------------------------------------------
 
@@ -93,6 +98,43 @@ def _pbpl_smoke(duration_s: float, seed: int = 2014, n_consumers: int = 3
     start = perf_counter()
     rig.env.run(until=params.duration_s)
     wall = perf_counter() - start
+    return wall, rig.env.events_processed
+
+
+def _pbpl_metrics_smoke(duration_s: float, seed: int = 2014, n_consumers: int = 3
+                        ) -> Tuple[float, int]:
+    """The PBPL smoke with an *active* metrics registry; (wall, events).
+
+    Identical wiring to :func:`_pbpl_smoke` plus a live
+    :class:`~repro.telemetry.registry.MetricsRegistry` threaded through
+    the system and a :class:`~repro.telemetry.collectors.PowerCollector`
+    watching every core — the full instrumented hot path, no windows
+    (window flushes would add events and change the workload). The
+    events/sec ratio against the null run is the ``metrics_overhead``
+    gate.
+    """
+    from repro.telemetry.collectors import PowerCollector
+    from repro.telemetry.registry import MetricsRegistry
+
+    params = StandardParams(duration_s=duration_s, seed=seed)
+    rig = Rig.build(params, 0)
+    registry = MetricsRegistry()
+    collector = PowerCollector(registry, rig.model)
+    for core in rig.machine.cores:
+        collector.watch(core)
+    traces = phase_shifted_traces(base_trace(params, 0), n_consumers)
+    PBPLSystem(
+        rig.env,
+        rig.machine,
+        traces,
+        params.pbpl_config(),
+        consumer_cores=[CONSUMER_CORE],
+        metrics=registry,
+    ).start()
+    start = perf_counter()
+    rig.env.run(until=params.duration_s)
+    wall = perf_counter() - start
+    collector.settle(rig.env.now)
     return wall, rig.env.events_processed
 
 
@@ -188,6 +230,10 @@ def bench_kernel(quick: bool = False) -> dict:
             "duration_s": smoke_duration,
             **_best_of(lambda: _pbpl_smoke(smoke_duration), repeats),
         },
+        "metrics_smoke": {
+            "duration_s": smoke_duration,
+            **_best_of(lambda: _pbpl_metrics_smoke(smoke_duration), repeats),
+        },
         "migration_smoke": {
             "duration_s": smoke_duration,
             **_best_of(lambda: _migration_smoke(smoke_duration), repeats),
@@ -201,6 +247,38 @@ def bench_kernel(quick: bool = False) -> dict:
         "schema": KERNEL_SCHEMA,
         **_environment_block(quick),
         "benchmarks": benchmarks,
+        "metrics_overhead": _measure_metrics_overhead(
+            smoke_duration, max(repeats, 5)
+        ),
+    }
+
+
+def _measure_metrics_overhead(duration_s: float, repeats: int) -> dict:
+    """Paired null-vs-active measurement for the ``metrics_overhead`` gate.
+
+    The null and active smokes run *interleaved* (null, active, null,
+    active, ...) rather than as two independent best-of blocks: on a
+    noisy shared container the machine's speed drifts between blocks by
+    more than the 5% tolerance, so only a paired design can resolve the
+    ratio. Same workload, same event count — the ratio isolates the
+    cost of live instrumentation (`repro bench` fails above tolerance).
+    """
+    null_walls: List[float] = []
+    active_walls: List[float] = []
+    null_events = active_events = 0
+    for _ in range(repeats):
+        wall, null_events = _pbpl_smoke(duration_s)
+        null_walls.append(wall)
+        wall, active_events = _pbpl_metrics_smoke(duration_s)
+        active_walls.append(wall)
+    null_rate = null_events / min(null_walls)
+    active_rate = active_events / min(active_walls)
+    return {
+        "repeats": repeats,
+        "null_events_per_s": null_rate,
+        "active_events_per_s": active_rate,
+        "overhead_frac": 1.0 - active_rate / null_rate if null_rate > 0 else 0.0,
+        "tolerance": METRICS_OVERHEAD_TOLERANCE,
     }
 
 
@@ -354,6 +432,9 @@ def history_entry(kernel: dict, harness: dict) -> dict:
         "events_per_s": {
             name: b["events_per_s"] for name, b in kernel["benchmarks"].items()
         },
+        "metrics_overhead_frac": kernel.get("metrics_overhead", {}).get(
+            "overhead_frac"
+        ),
         "chaos_jobs": cm["jobs"],
         "chaos_speedup": cm["speedup"],
     }
@@ -447,6 +528,13 @@ def render_summary(kernel: dict, harness: dict) -> str:
             f"  kernel/{name:<14} {b['events_per_s']:>12,.0f} events/s "
             f"({b['events']} events, best of {b['repeats']}: "
             f"{b['best_wall_s'] * 1000:.1f} ms)"
+        )
+    mo = kernel.get("metrics_overhead")
+    if mo:
+        lines.append(
+            f"  kernel/metrics_overhead  {mo['overhead_frac'] * 100:+.1f}% "
+            f"active vs null registry "
+            f"(tolerance {mo['tolerance'] * 100:.0f}%)"
         )
     cm = harness["chaos_matrix"]
     lines += [

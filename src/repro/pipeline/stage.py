@@ -42,6 +42,7 @@ from repro.workloads.edge import per_item_cost_s
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.environment import Environment
+    from repro.telemetry.registry import MetricsRegistry
     from repro.trace.tracer import Tracer
     from repro.workloads.trace import Trace
 
@@ -62,6 +63,7 @@ class StageConsumer(LatchingConsumer):
         trace: Optional["Trace"] = None,
         owner: Optional[str] = None,
         tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         super().__init__(
             env,
@@ -72,8 +74,14 @@ class StageConsumer(LatchingConsumer):
             config,
             owner=owner or f"consumer-{stage.name}",
             tracer=tracer,
+            metrics=metrics,
         )
         self.stage = stage
+        self._m_stalls = self.metrics.counter(
+            "backpressure_stalls_total",
+            help="Forward deliveries that hit a full downstream buffer.",
+            stage=stage.name,
+        )
         #: Per-stage response budget L (the config's
         #: ``max_response_latency_s`` is the *cumulative* ``depth·L``).
         self.stage_budget_s = stage_budget_s
@@ -125,13 +133,19 @@ class StageConsumer(LatchingConsumer):
         for dest in self.downstreams:
             accept = dest._accept_forward
             dstats = dest.stats
+            dest_metrics = dest.metrics
+            dm_produced = dest._m_produced
             for t in batch:
                 if dest.buffer.is_full:
                     stalls += 1
                 yield from accept(t)
                 dstats.produced += 1
+                if dest_metrics:
+                    dm_produced.inc()
         if stalls:
             self.backpressure_stalls += stalls
+            if self.metrics:
+                self._m_stalls.inc(stalls)
         if self.tracer:
             self.tracer.instant(
                 self.owner, "stage.forward", "pipeline",

@@ -41,6 +41,7 @@ from repro.workloads.trace import Trace
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.sim.environment import Environment
+    from repro.telemetry.registry import MetricsRegistry
     from repro.trace.tracer import Tracer
 
 #: End-to-end latency quantiles the pipeline reports.
@@ -88,6 +89,7 @@ class PipelineSystem(PBPLSystem):
         consumer_cores: Optional[Sequence[int]] = None,
         desync_grids: bool = False,
         tracer: Optional["Tracer"] = None,
+        metrics: Optional["MetricsRegistry"] = None,
     ) -> None:
         sources = topology.sources()
         if len(traces) != len(sources):
@@ -100,12 +102,15 @@ class PipelineSystem(PBPLSystem):
         self.topology = topology
         self.config = config or PBPLConfig()
         self.tracer = tracer
+        self.metrics = metrics
         cores = list(consumer_cores) if consumer_cores else [0]
         slot = self.config.effective_slot_size()
 
         stages = topology.consumer_stages()
         depths = topology.stage_depths()
-        self.pool = GlobalBufferPool(self.config.buffer_size, len(stages))
+        self.pool = GlobalBufferPool(
+            self.config.buffer_size, len(stages), metrics=metrics
+        )
         distinct = list(dict.fromkeys(cores))
         self.managers: Dict[int, CoreManager] = {
             core_id: CoreManager(
@@ -118,6 +123,7 @@ class PipelineSystem(PBPLSystem):
                 ),
                 watchdog_grace_s=self.config.watchdog_grace_s,
                 tracer=tracer,
+                metrics=metrics,
             )
             for i, core_id in enumerate(distinct)
         }
@@ -150,6 +156,7 @@ class PipelineSystem(PBPLSystem):
                 stage,
                 stage_budget_s=self.config.max_response_latency_s,
                 tracer=tracer,
+                metrics=metrics,
             )
             self.stage_consumers[stage.name] = consumer
             self.consumers.append(consumer)

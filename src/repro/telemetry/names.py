@@ -1,0 +1,36 @@
+"""Registered metric names (generated).
+
+Regenerate with ``repro lint --write-names`` after adding or removing
+a metric emission site — do not edit by hand. ``repro lint``
+(METRIC001) flags any metric name literal missing from this table.
+"""
+
+REGISTERED_NAMES = frozenset(
+    (
+        "activations_total",
+        "backpressure_stalls_total",
+        "batch_items",
+        "buffer_capacity",
+        "buffer_resizes_total",
+        "core_wakeups_total",
+        "cstate_residency_seconds_total",
+        "energy_joules_total",
+        "items_consumed_total",
+        "items_produced_total",
+        "lost_signals_total",
+        "overflow_drops_total",
+        "overflows_total",
+        "pool_contention_events_total",
+        "pool_migrations_total",
+        "pool_slots_lent_total",
+        "pool_upsize_grants_total",
+        "pool_upsize_requests_total",
+        "predictor_clamps_total",
+        "predictor_reconvergences_total",
+        "slots_fired_total",
+        "slots_latched_total",
+        "slots_missed_total",
+        "wakeups_total",
+        "watchdog_recoveries_total",
+    )
+)

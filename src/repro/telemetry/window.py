@@ -1,0 +1,94 @@
+"""Tumbling-window aggregation of registry state in virtual time.
+
+Long runs must emit *bounded* series: instead of per-event points, a
+flush process snapshots the registry at every window edge (a virtual-
+time timeout, so flush points are deterministic) and keeps only the
+per-window *delta* — counters and histograms subtract, gauges sample.
+Because histogram deltas merge associatively (see
+:class:`repro.telemetry.instruments.Histogram`), any regrouping of
+window frames recombines into the cumulative totals.
+
+The final partial window is clipped to the run horizon with the same
+interval helper that ``repro trace report --from/--to`` uses
+(:func:`repro.trace.intervals.clip_span`).
+
+Window flushes schedule plain timeouts, so attaching windows to a run
+*does* consume event ids — which is why golden/scored runs leave the
+registry (and therefore the flush process) off; with no window
+attached, metrics add zero events to the schedule.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.telemetry.registry import MetricsRegistry, MetricsSnapshot
+from repro.trace.intervals import clip_span
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.environment import Environment
+
+
+class WindowFrame:
+    """One tumbling window: ``[start_s, end_s)`` plus the delta snapshot."""
+
+    __slots__ = ("index", "start_s", "end_s", "snapshot")
+
+    def __init__(self, index: int, start_s: float, end_s: float, snapshot: MetricsSnapshot):
+        self.index = index
+        self.start_s = start_s
+        self.end_s = end_s
+        self.snapshot = snapshot
+
+
+class TumblingWindows:
+    """Deterministic window-edge flushes of a :class:`MetricsRegistry`."""
+
+    def __init__(self, env: "Environment", registry: MetricsRegistry, window_s: float):
+        if window_s <= 0:
+            raise ValueError(f"window must be positive, got {window_s!r}")
+        self.env = env
+        self.registry = registry
+        self.window_s = float(window_s)
+        self.frames: List[WindowFrame] = []
+        self._origin = env.now
+        self._last_edge = env.now
+        self._prev = registry.snapshot()
+        self._finalized = False
+
+    def start(self) -> "TumblingWindows":
+        """Spawn the flush process (call before ``env.run``)."""
+        self.env.process(self._run(), name="telemetry-windows")
+        return self
+
+    def _run(self):
+        while True:
+            yield self.env.timeout(self.window_s)
+            self._flush(self.env.now)
+
+    def _flush(self, end_s: float) -> None:
+        cur = self.registry.snapshot()
+        self.frames.append(
+            WindowFrame(len(self.frames), self._last_edge, end_s, cur.delta(self._prev))
+        )
+        self._prev = cur
+        self._last_edge = end_s
+
+    def finalize(self, end_s: Optional[float] = None) -> None:
+        """Flush the trailing partial window, clipped to the run horizon.
+
+        The nominal window ``[last_edge, last_edge + W)`` extends past
+        the end of the run; :func:`clip_span` trims it to the elapsed
+        interval. Idempotent; a run that ended exactly on a window edge
+        adds no frame.
+        """
+        if self._finalized:
+            return
+        self._finalized = True
+        end = self.env.now if end_s is None else end_s
+        clipped = clip_span(
+            self._last_edge, self._last_edge + self.window_s, self._origin, end
+        )
+        if clipped is None or clipped[1] <= clipped[0]:
+            return
+        self._flush(clipped[1])

@@ -54,6 +54,7 @@ from repro.trace.export import (
     to_text_timeline,
     validate_chrome_trace,
 )
+from repro.trace.intervals import clip_events, clip_span
 from repro.trace.power import TracePowerListener, core_track
 from repro.trace.query import TraceQuery
 from repro.trace.names import REGISTERED_NAMES
@@ -107,6 +108,8 @@ __all__ = [
     "attribute_span",
     "attribute_spans",
     "chrome_trace_dict",
+    "clip_events",
+    "clip_span",
     "consumer_energy_table",
     "core_track",
     "diff_events",

@@ -1,0 +1,70 @@
+"""Virtual-time interval clipping, shared across observability layers.
+
+One definition of "what part of this span falls inside that window"
+serves both consumers: ``repro trace report --from/--to`` (clipping
+recorded spans to the requested window) and the telemetry subsystem's
+tumbling windows (clipping the final partial window to the run
+horizon). Keeping a single helper is the point — the two used to
+duplicate the span-trimming rules and could drift.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.trace.tracer import TraceEvent
+
+
+def clip_span(
+    start_s: float, end_s: float, lo_s: float, hi_s: float
+) -> Optional[Tuple[float, float]]:
+    """Intersect ``[start_s, end_s]`` with ``[lo_s, hi_s]``.
+
+    Returns the (possibly zero-length) overlapping interval, or ``None``
+    when the span lies entirely outside the window.
+    """
+    s = start_s if start_s > lo_s else lo_s
+    e = end_s if end_s < hi_s else hi_s
+    if e < s:
+        return None
+    return (s, e)
+
+
+def clip_events(
+    events: Iterable[TraceEvent],
+    from_s: Optional[float] = None,
+    to_s: Optional[float] = None,
+) -> List[TraceEvent]:
+    """Restrict trace events to the half-open window ``[from_s, to_s)``.
+
+    Point events (instants/counters) are kept iff their timestamp lies
+    in the window. Spans are trimmed to the overlap; a span reduced to
+    a zero-length touch at the window edge is kept only when its start
+    itself lies in the window (so a span *ending* exactly at ``from_s``
+    is dropped, while one *starting* at ``from_s`` survives). Spans
+    that need no trimming pass through unchanged; trimmed spans are
+    rebuilt with the clipped extent and their original metadata.
+    """
+    lo = float("-inf") if from_s is None else from_s
+    hi = float("inf") if to_s is None else to_s
+    out: List[TraceEvent] = []
+    for e in events:
+        if e.dur_s is None:
+            if lo <= e.ts_s < hi:
+                out.append(e)
+            continue
+        clipped = clip_span(e.ts_s, e.end_s, lo, hi)
+        if clipped is None:
+            continue
+        start, end = clipped
+        if end == start and not lo <= e.ts_s < hi:
+            continue
+        if start == e.ts_s and end == e.end_s:
+            out.append(e)
+        else:
+            out.append(
+                TraceEvent(
+                    start, end - start, e.phase, e.category, e.track, e.name, e.seq, e.args
+                )
+            )
+    return out

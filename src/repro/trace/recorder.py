@@ -20,8 +20,8 @@ Scenarios:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.system import PBPLSystem
 from repro.faults.chaos import DEFAULT_SCENARIOS
@@ -36,11 +36,17 @@ from repro.pipeline import (
     BaselinePipelineSystem,
     PipelineSystem,
 )
+from repro.telemetry.collectors import PowerCollector
+from repro.telemetry.window import TumblingWindows, WindowFrame
 from repro.trace.power import TracePowerListener
 from repro.trace.stream import StreamingTraceWriter
 from repro.trace.tracer import Tracer
 from repro.workloads.edge import edge_telemetry_trace
 from repro.workloads.generators import worldcup_like_trace
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.profiler import KernelProfiler
+    from repro.telemetry.registry import MetricsRegistry
 
 #: Track hosting fault-window spans.
 FAULT_TRACK = "faults"
@@ -67,6 +73,11 @@ class RecordedRun:
     stats: PairStats
     #: Wakeups of the consumer core over the run.
     consumer_core_wakeups: int
+    #: The metrics registry threaded through the run (None when the
+    #: caller left telemetry off — the zero-cost default).
+    metrics: Optional["MetricsRegistry"] = None
+    #: Tumbling-window frames (empty unless ``window_s`` was given).
+    frames: List[WindowFrame] = field(default_factory=list)
 
 
 def _fault_plan(scenario: str, duration_s: float, n_consumers: int) -> FaultPlan:
@@ -92,6 +103,9 @@ def record_run(
     capacity: int = 1_000_000,
     config_overrides: Optional[Dict] = None,
     stream: Optional["StreamingTraceWriter"] = None,
+    metrics: Optional["MetricsRegistry"] = None,
+    window_s: Optional[float] = None,
+    profiler: Optional["KernelProfiler"] = None,
 ) -> RecordedRun:
     """Run ``impl`` under ``scenario`` with the tracer attached.
 
@@ -100,6 +114,14 @@ def record_run(
     file receives every event even when the run overflows the ring
     buffer. The caller closes the writer (the footer wants the ledger
     total, which only exists after the run).
+
+    ``metrics`` threads a :class:`~repro.telemetry.registry.
+    MetricsRegistry` through the whole rig (instrumented kernel objects
+    plus a :class:`~repro.telemetry.collectors.PowerCollector` watching
+    every core); ``window_s`` additionally arms tumbling-window
+    aggregation, and ``profiler`` (a :class:`~repro.telemetry.profiler.
+    KernelProfiler`) drives the run through the self-profiling event
+    loop instead of ``env.run``.
     """
     params = StandardParams(duration_s=duration_s, seed=seed)
     plan = _fault_plan(scenario, duration_s, n_consumers)
@@ -115,6 +137,16 @@ def record_run(
     rig.machine.add_listener(power_listener)
     for core in rig.machine.cores:
         power_listener.watch(core)
+    collector = None
+    windows = None
+    if metrics is not None:
+        # Independent energy accrual (not a ledger read-through): its
+        # joules reconcile with the EnergyLedger to <1e-9 J by test.
+        collector = PowerCollector(metrics, rig.model)
+        for core in rig.machine.cores:
+            collector.watch(core, now=rig.env.now)
+        if window_s is not None:
+            windows = TumblingWindows(rig.env, metrics, window_s).start()
 
     # Pipeline scenarios trace a stage DAG instead of independent pairs
     # (same workload/system wiring as repro.faults.chaos.run_scenario).
@@ -157,6 +189,7 @@ def record_run(
                 params.pbpl_config(buf, **overrides),
                 consumer_cores=cores,
                 tracer=tracer,
+                metrics=metrics,
             ).start()
         else:
             system = PBPLSystem(
@@ -166,6 +199,7 @@ def record_run(
                 params.pbpl_config(buf, **overrides),
                 consumer_cores=cores,
                 tracer=tracer,
+                metrics=metrics,
             ).start()
     elif topology is not None:
         system = BaselinePipelineSystem(
@@ -201,10 +235,17 @@ def record_run(
     if plan.runtime_faults:
         RuntimeInjector(rig.env, system, plan, tracer=tracer).start()
 
-    rig.env.run(until=duration_s)
+    if profiler is not None:
+        profiler.run(rig.env, until=duration_s)
+    else:
+        rig.env.run(until=duration_s)
     power_listener.finalize()
     tracer.finalize()
     rig.ledger.settle()
+    if windows is not None:
+        windows.finalize(rig.env.now)
+    if collector is not None:
+        collector.settle(rig.env.now)
 
     return RecordedRun(
         tracer=tracer,
@@ -216,4 +257,6 @@ def record_run(
         ledger_total_j=rig.ledger.total_energy_j(),
         stats=system.aggregate_stats(),
         consumer_core_wakeups=rig.machine.core(CONSUMER_CORE).total_wakeups,
+        metrics=metrics,
+        frames=list(windows.frames) if windows is not None else [],
     )

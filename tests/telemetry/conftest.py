@@ -1,0 +1,31 @@
+"""Shared fixtures: one instrumented run reused across telemetry tests."""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+from repro.trace import record_run
+
+SPEC = dict(impl="PBPL", scenario="webserver", duration_s=0.3, n_consumers=3, seed=2014)
+
+
+@pytest.fixture(scope="session")
+def metered_run():
+    """A short PBPL webserver run with a live registry attached
+    (expensive — recorded once per session, read-only everywhere)."""
+    registry = MetricsRegistry(
+        const_labels={"impl": SPEC["impl"], "scenario": SPEC["scenario"]}
+    )
+    run = record_run(
+        SPEC["impl"],
+        SPEC["scenario"],
+        duration_s=SPEC["duration_s"],
+        n_consumers=SPEC["n_consumers"],
+        seed=SPEC["seed"],
+        metrics=registry,
+    )
+    return run
+
+
+@pytest.fixture(scope="session")
+def metered_snapshot(metered_run):
+    return metered_run.metrics.snapshot()

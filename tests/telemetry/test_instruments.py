@@ -1,0 +1,85 @@
+"""Instrument semantics: counters, gauges, histograms, and the null
+variants the disabled registry hands out."""
+
+import pytest
+
+from repro.telemetry import (
+    NULL_REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+)
+
+
+def test_counter_accumulates():
+    c = Counter()
+    c.inc()
+    c.inc(3)
+    assert c.value == 4
+
+
+def test_counter_rejects_negative():
+    c = Counter()
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_holds_last_value():
+    g = Gauge()
+    g.set(7)
+    g.set(2.5)
+    assert g.value == 2.5
+
+
+def test_histogram_buckets_cumulative_fill():
+    h = Histogram((1, 2, 4))
+    for v in (0.5, 1.5, 3, 100):
+        h.observe(v)
+    # Per-bucket (non-cumulative) fill: <=1, <=2, <=4, +Inf.
+    assert h.counts == [1, 1, 1, 1]
+    assert h.count == 4
+    assert h.sum == 105.0
+
+
+def test_histogram_merge_and_delta_are_inverse():
+    a = Histogram((1, 10))
+    b = Histogram((1, 10))
+    for v in (0.1, 5):
+        a.observe(v)
+    b.observe(20)
+    merged = a.merge(b)
+    assert merged.count == 3
+    back = merged.delta(a)
+    assert back == b
+    assert back is not b  # a fresh histogram, not an alias
+
+
+def test_histogram_merge_requires_same_bounds():
+    with pytest.raises(ValueError):
+        Histogram((1,)).merge(Histogram((2,)))
+
+
+def test_null_registry_is_falsy_and_inert():
+    assert not NULL_REGISTRY
+    assert not NullRegistry()
+    c = NULL_REGISTRY.counter("wakeups_total", core=0)
+    g = NULL_REGISTRY.gauge("buffer_capacity")
+    h = NULL_REGISTRY.histogram("batch_items", buckets=(1, 2))
+    c.inc(5)
+    g.set(3)
+    h.observe(1)
+    assert NULL_REGISTRY.snapshot().families == []
+
+
+def test_null_registry_shares_instruments():
+    # The null instruments are singletons: handing them out allocates
+    # nothing per call site.
+    a = NULL_REGISTRY.counter("wakeups_total")
+    b = NULL_REGISTRY.counter("overflows_total", consumer="c1")
+    assert a is b
+
+
+def test_active_registry_is_truthy():
+    assert MetricsRegistry()

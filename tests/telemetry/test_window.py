@@ -1,0 +1,135 @@
+"""Tumbling windows in virtual time, plus the histogram-merge
+associativity property that makes window deltas recombine exactly."""
+
+import pytest
+
+from repro.sim import Environment
+from repro.telemetry import Histogram, MetricsRegistry, TumblingWindows
+from repro.trace import clip_span
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+def _driven_run(window_s, until_s, emissions):
+    """Drive a registry under tumbling windows with timed emissions:
+    ``emissions`` is a list of ``(t, amount)`` counter increments."""
+    env = Environment()
+    registry = MetricsRegistry()
+    counter = registry.counter("items_produced_total")
+
+    def emit(t, amount):
+        yield env.timeout(t)
+        counter.inc(amount)
+
+    for t, amount in emissions:
+        env.process(emit(t, amount))
+    windows = TumblingWindows(env, registry, window_s).start()
+    env.run(until=until_s)
+    windows.finalize(env.now)
+    return registry, windows
+
+
+def test_windows_cover_the_run_without_gaps():
+    _, windows = _driven_run(0.1, 0.35, [(0.05, 1), (0.15, 2), (0.32, 4)])
+    frames = windows.frames
+    assert [f.index for f in frames] == [0, 1, 2, 3]
+    assert frames[0].start_s == 0.0
+    assert frames[-1].end_s == 0.35
+    # Consecutive windows tile the run: each starts where the last ended.
+    for prev, cur in zip(frames, frames[1:]):
+        assert cur.start_s == prev.end_s
+    for f in frames[:-1]:
+        assert f.end_s - f.start_s == pytest.approx(0.1)
+
+
+def test_window_deltas_sum_to_cumulative_total():
+    registry, windows = _driven_run(
+        0.1, 0.35, [(0.05, 1), (0.15, 2), (0.17, 3), (0.32, 4)]
+    )
+    per_window = [
+        f.snapshot.value("items_produced_total") for f in windows.frames
+    ]
+    assert per_window == [1, 5, 0, 4]
+    assert sum(per_window) == registry.snapshot().value("items_produced_total")
+
+
+def test_flushes_land_exactly_on_window_edges():
+    _, windows = _driven_run(0.25, 1.0, [(0.999, 1)])
+    assert [f.end_s for f in windows.frames] == [0.25, 0.5, 0.75, 1.0]
+
+
+def test_finalize_is_idempotent():
+    env = Environment()
+    registry = MetricsRegistry()
+    windows = TumblingWindows(env, registry, 0.1).start()
+    env.run(until=0.25)
+    windows.finalize(env.now)
+    n = len(windows.frames)
+    windows.finalize(env.now)
+    assert len(windows.frames) == n
+
+
+def test_run_ending_on_a_window_edge_adds_no_empty_tail():
+    # 0.25 is exactly representable, so the edges are exact; whether the
+    # final flush fires inside env.run or via finalize, the frame count
+    # and the last edge come out the same.
+    _, windows = _driven_run(0.25, 0.5, [(0.1, 1)])
+    assert len(windows.frames) == 2
+    assert windows.frames[-1].end_s == 0.5
+
+
+def test_window_uses_shared_interval_clipping():
+    # The trailing partial window is exactly what clip_span says it is.
+    assert clip_span(0.3, 0.4, 0.0, 0.35) == (0.3, 0.35)
+    _, windows = _driven_run(0.2, 0.3, [(0.25, 1)])
+    tail = windows.frames[-1]
+    assert (tail.start_s, tail.end_s) == clip_span(0.2, 0.4, 0.0, 0.3)
+
+
+_bounds = st.lists(
+    st.floats(min_value=0.001, max_value=1e6, allow_nan=False),
+    min_size=1,
+    max_size=6,
+    unique=True,
+).map(lambda xs: tuple(sorted(xs)))
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    bounds=_bounds,
+    chunks=st.lists(
+        st.lists(
+            st.floats(min_value=0.0, max_value=2e6, allow_nan=False),
+            max_size=8,
+        ),
+        min_size=1,
+        max_size=5,
+    ),
+    split=st.integers(min_value=0, max_value=5),
+)
+def test_histogram_merge_is_associative_across_flushes(bounds, chunks, split):
+    """Merging per-window histogram deltas in any grouping reproduces
+    the all-at-once histogram — the invariant tumbling windows rely on
+    when frames are recombined downstream."""
+    split = min(split, len(chunks))
+
+    def fold(groups):
+        out = Histogram(bounds)
+        for group in groups:
+            h = Histogram(bounds)
+            for v in group:
+                h.observe(v)
+            out = out.merge(h)
+        return out
+
+    everything = fold([[v for group in chunks for v in group]])
+    per_chunk = fold(chunks)
+    two_phase = fold([
+        [v for group in chunks[:split] for v in group],
+        [v for group in chunks[split:] for v in group],
+    ])
+    assert per_chunk.counts == everything.counts == two_phase.counts
+    assert per_chunk.count == everything.count == two_phase.count
+    assert per_chunk.sum == pytest.approx(everything.sum)

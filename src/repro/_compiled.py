@@ -1,0 +1,33 @@
+"""Which kernel am I running? Pure python or the mypyc build.
+
+The compiled build (``REPRO_COMPILED=1 pip install -e .[compiled]``,
+see ``setup.py`` and DESIGN.md §13) replaces the DES-kernel hot modules
+with C extensions that shadow their ``.py`` sources at import time.
+Nothing else about the package changes — same modules, same API, same
+byte-identical outputs — so the only reliable way to know which kernel
+is live is to ask the imported module itself. Bench rows and CI logs
+record :func:`kernel_backend` so pure-vs-compiled numbers are never
+silently conflated.
+"""
+
+from __future__ import annotations
+
+PURE = "pure-python"
+COMPILED = "compiled"
+
+
+def kernel_backend() -> str:
+    """``"compiled"`` when the mypyc kernel extension is live, else
+    ``"pure-python"``."""
+    from repro.sim import environment
+
+    # mypyc-compiled modules load from a C extension (.so/.pyd) and carry
+    # no source loader; the pure module's __file__ ends in .py.
+    origin = getattr(environment, "__file__", "") or ""
+    if origin.endswith((".so", ".pyd")):
+        return COMPILED
+    return PURE
+
+
+def is_compiled() -> bool:
+    return kernel_backend() == COMPILED

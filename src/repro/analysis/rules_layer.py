@@ -135,6 +135,48 @@ def _violates(module: str, forbidden: Tuple[str, ...]) -> str:
     return ""
 
 
+#: Where numpy is *sanctioned*: the vectorized batch layers. Workload
+#: synthesis (``workloads``) and power instrumentation/waveforms
+#: (``power``) compute over whole arrays by design, as do the harness,
+#: impls, metrics and reporting layers above the kernel. The DES core
+#: (``sim``) is the one place numpy is banned: dispatch must stay pure
+#: scalar python so the event loop has no per-event ufunc overhead, no
+#: numpy-scalar leakage into timestamps, and a mypyc-compilable surface
+#: (DESIGN.md §13). Exception: ``repro.sim.rng`` — the numpy Generator
+#: *is* the seeded random source the whole tree shares.
+NUMPY_BANNED_LAYERS = ("sim",)
+_NUMPY_EXEMPT_MODULES = ("repro.sim.rng",)
+
+
+@register
+class NumpyBoundaryRule(LintRule):
+    code = "LAYER002"
+    summary = "numpy import in the scalar DES core"
+
+    def check(self, ctx: "ModuleContext") -> List["Finding"]:
+        if (
+            ctx.module is None
+            or ctx.layer not in NUMPY_BANNED_LAYERS
+            or ctx.module in _NUMPY_EXEMPT_MODULES
+        ):
+            return []
+        out: List["Finding"] = []
+        for stmt in iter_runtime_imports(ctx.tree):
+            for module, node in imported_modules(stmt, ctx.module):
+                if module == "numpy" or module.startswith("numpy."):
+                    out.append(
+                        self.finding(
+                            ctx,
+                            node,
+                            "the DES core (`sim`) must stay scalar python — "
+                            "numpy belongs in `workloads`/`power` and the "
+                            "layers above the kernel (sim.rng excepted)",
+                        )
+                    )
+                    break
+        return out
+
+
 @register
 class LayerBoundaryRule(LintRule):
     code = "LAYER001"

@@ -39,7 +39,6 @@ from __future__ import annotations
 import functools
 import sys
 from dataclasses import dataclass, field
-from heapq import heappop
 from typing import Any, Dict, List, Optional, Set, Tuple
 
 from repro.sim.environment import Environment, _StopSimulation
@@ -303,10 +302,11 @@ class SanitizingEnvironment(Environment):
         return event
 
     def step(self) -> None:
-        if not self._queue:
+        entry = self._pop_entry()
+        if entry is None:
             raise SimulationError("step() on an empty schedule")
         sanitizer = self.sanitizer
-        when, prio, _eid, event = heappop(self._queue)
+        when, prio, _eid, event = entry
         self.now = when
         self.events_processed += 1
         sanitizer.begin_dispatch(event, when, prio)
@@ -326,18 +326,27 @@ class SanitizingEnvironment(Environment):
             raise exc
 
     def run(self, until=None) -> Any:
-        """The base run loop with sanitizer hooks around each dispatch."""
+        """The base run loop with sanitizer hooks around each dispatch.
+
+        Uses the calendar queue's single-event surface (``peek`` /
+        ``_pop_entry``) instead of mirroring the batched drain: the
+        sanitizer needs the ``(when, priority)`` of every entry anyway,
+        and batch dispatch changes nothing it observes — equal-timestamp
+        events still arrive consecutively in (priority, eid) order.
+        """
         sanitizer = self.sanitizer
-        queue = self._queue
-        pop = heappop
+        pop_entry = self._pop_entry
+        peek = self.peek
         processed = 0
         watched: Optional[Event] = None
         stop_at = float("inf")
         token = _activate(sanitizer)
         try:
             stop_at, watched = self._arm_until(until)
-            while queue and queue[0][0] < stop_at:
-                when, prio, _eid, event = pop(queue)
+            while peek() < stop_at:
+                entry = pop_entry()
+                assert entry is not None  # peek() was finite
+                when, prio, _eid, event = entry
                 self.now = when
                 processed += 1
                 sanitizer.begin_dispatch(event, when, prio)

@@ -32,6 +32,7 @@ from repro.core.manager import CoreManager
 from repro.core.predictors import HardenedPredictor, RatePredictor, make_predictor
 from repro.impls.base import PairStats, Producer
 from repro.impls.single import WAKE_CHECK_S
+from repro.sim.errors import SimulationError
 from repro.telemetry.registry import NULL_REGISTRY
 from repro.trace.tracer import NULL_TRACER
 from repro.workloads.trace import Trace
@@ -221,46 +222,67 @@ class LatchingConsumer:
         into ``stats.items_shed`` — the resilience report's
         conservation check depends on that accounting being exact.
         """
+        blocked = self.try_deliver(t)
+        if blocked is not None:
+            yield from blocked
+
+    def try_deliver(self, t: float):
+        """Synchronous fast path of :meth:`deliver`.
+
+        Returns None when the item was placed without suspending (the
+        overwhelming majority of deliveries), else a generator carrying
+        the overflow/back-pressure path for the caller to ``yield
+        from``. Same operations in the same order as the plain
+        generator route — the split only avoids allocating and resuming
+        a generator for deliveries that never block.
+        """
         if self.metrics:
             self._inc_produced()
-        if self.buffer.is_full:
-            self.stats.overflows += 1
-            if self.metrics:
-                self._m_overflows.inc()
-            if self.on_overflow:
-                for hook in self.on_overflow:
-                    hook()
+        buffer = self.buffer
+        if buffer.is_full:
+            return self._deliver_overflow(t)
+        buffer.push(t)
+        if buffer.is_full:
             self._trigger_overflow()
-            if self.buffer.policy == "block":
-                if self.tracer:
-                    self.tracer.instant(
-                        self.owner, "overflow", "buffer",
-                        policy="block", capacity=self.buffer.capacity,
-                    )
-                while self.buffer.is_full:
-                    # Share one pending event across *all* blocked
-                    # deliverers: a pipeline fan-in stage has several
-                    # upstream forwarders, and overwriting the event
-                    # would orphan (starve) every blocker but the last.
-                    if self._space_event is None or self._space_event.triggered:
-                        self._space_event = self.env.event()
-                    yield self._space_event
-                self.buffer.push(t)
-            else:
-                before = self.buffer.items_dropped
-                self.buffer.try_push(t)
-                shed = self.buffer.items_dropped - before
-                self.stats.items_shed += shed
-                if shed and self.metrics:
-                    self._m_shed.inc(shed)
-                if self.tracer:
-                    self.tracer.instant(
-                        self.owner, "overflow", "buffer",
-                        policy=self.buffer.policy, shed=shed,
-                        capacity=self.buffer.capacity,
-                    )
-        else:
+        return None
+
+    def _deliver_overflow(self, t: float):
+        """The full-buffer branch of delivery (block or shed)."""
+        self.stats.overflows += 1
+        if self.metrics:
+            self._m_overflows.inc()
+        if self.on_overflow:
+            for hook in self.on_overflow:
+                hook()
+        self._trigger_overflow()
+        if self.buffer.policy == "block":
+            if self.tracer:
+                self.tracer.instant(
+                    self.owner, "overflow", "buffer",
+                    policy="block", capacity=self.buffer.capacity,
+                )
+            while self.buffer.is_full:
+                # Share one pending event across *all* blocked
+                # deliverers: a pipeline fan-in stage has several
+                # upstream forwarders, and overwriting the event
+                # would orphan (starve) every blocker but the last.
+                if self._space_event is None or self._space_event.triggered:
+                    self._space_event = self.env.event()
+                yield self._space_event
             self.buffer.push(t)
+        else:
+            before = self.buffer.items_dropped
+            self.buffer.try_push(t)
+            shed = self.buffer.items_dropped - before
+            self.stats.items_shed += shed
+            if shed and self.metrics:
+                self._m_shed.inc(shed)
+            if self.tracer:
+                self.tracer.instant(
+                    self.owner, "overflow", "buffer",
+                    policy=self.buffer.policy, shed=shed,
+                    capacity=self.buffer.capacity,
+                )
         if self.buffer.is_full:
             self._trigger_overflow()
 
@@ -319,6 +341,7 @@ class LatchingConsumer:
         stats = self.stats
         record_latency = stats.record_latency
         item_cost_s = self._item_cost_s
+        base_cost = type(self)._item_cost_s is LatchingConsumer._item_cost_s
         deadline_s = cfg.max_response_latency_s
         keep_raw = cfg.track_latencies
         # Bootstrap: no history yet — reserve the very next slot.
@@ -354,15 +377,41 @@ class LatchingConsumer:
                     self.owner, "batch", "consumer",
                     scheduled=scheduled, core=self.core.core_id,
                 )
-            hold = yield from self.core.acquire(self.owner, after_block=True)
+            core = self.core
+            hold = yield from core.acquire(self.owner, after_block=True)
             yield from hold.busy(WAKE_CHECK_S)
             batch = self.buffer.drain()
             self.in_flight = len(batch)
             self._notify_space()
+            # The per-item loop is hold.busy() inlined (same operations,
+            # same order — one generator allocation and two resumes saved
+            # per consumed item). hold is never released inside the loop,
+            # and the batch-opening busy(WAKE_CHECK_S) above has already
+            # consumed the hold's pending wake/context-switch cost, so
+            # the startup branch reduces to plain division.
+            timeout = env.timeout
+            speedup = core.pstates.speedup
+            account_busy = core._account_busy
+            owner = self.owner
+            service_time_s = self.config.service_time_s
             for t in batch:
-                # service_scale is read per item (inside _item_cost_s)
-                # on purpose: fault injectors change it mid-run.
-                yield from hold.busy(item_cost_s(t))
+                # service_scale is read per item on purpose: fault
+                # injectors change it mid-run. Subclasses overriding
+                # _item_cost_s (pipeline stages) keep their hook; the
+                # base cost is computed inline.
+                cost = (
+                    service_time_s * self.service_scale
+                    if base_cost
+                    else item_cost_s(t)
+                )
+                if cost < 0:
+                    raise SimulationError(f"negative cpu time {cost!r}")
+                if not core._pstate_settled:
+                    core._reselect_pstate()
+                duration = cost / speedup(core.pstate)
+                if duration > 0:
+                    yield timeout(duration)
+                account_busy(owner, duration)
                 stats.consumed += 1
                 record_latency(
                     env.now - t, deadline_s, keep_raw, now_s=env.now

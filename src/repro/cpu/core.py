@@ -66,6 +66,14 @@ class Core:
         self.pstates = pstates
         self.governor = governor or PerformanceGovernor(pstates)
         self.context_switch_s = context_switch_s
+        # Per-item fast-path flags (the governor is fixed for the core's
+        # lifetime — nothing in the tree reassigns it after construction).
+        # A static governor's selection can never change after its first
+        # call, and a base-class on_busy is a no-op: both checks let the
+        # consumer batch loop skip two method calls per consumed item.
+        self._gov_static = type(self.governor).static_select
+        self._gov_passive_busy = type(self.governor).on_busy is Governor.on_busy
+        self._pstate_settled = False
 
         self.state = IDLE
         self.cstate: Optional[CState] = cstates.select(None)
@@ -244,18 +252,25 @@ class Core:
 
     # -- accounting helpers (used by CoreHold) -----------------------------------
     def _reselect_pstate(self) -> None:
+        if self._pstate_settled:
+            return
         new_pstate = self.governor.select(self.env.now)
         if new_pstate is not self.pstate:
             self.pstate = new_pstate
             # ACTIVE→ACTIVE signals "P-state changed" to power listeners.
             self._notify_state(ACTIVE, ACTIVE)
+        if self._gov_static:
+            # A static governor always returns the same state: further
+            # selects are provably no-ops, so stop making them.
+            self._pstate_settled = True
 
     def _account_busy(self, owner: Any, duration: float) -> None:
         if duration <= 0:
             return
         now = self.env.now
         self.total_busy_s += duration
-        self.governor.on_busy(now, duration)
+        if not self._gov_passive_busy:
+            self.governor.on_busy(now, duration)
         for listener in self._on_execute:
             listener.on_execute(self, now, owner, duration)
 

@@ -28,6 +28,11 @@ from repro.cpu.pstates import PState, PStateTable
 class Governor:
     """Interface: map recent core behaviour to a P-state."""
 
+    #: True when :meth:`select` is a pure function of the table (no
+    #: history): after one call the chosen P-state can never change, so
+    #: the core may stop consulting the governor on the per-item path.
+    static_select = False
+
     def __init__(self, pstates: PStateTable) -> None:
         self.pstates = pstates
 
@@ -45,12 +50,16 @@ class Governor:
 class PerformanceGovernor(Governor):
     """Always the fastest P-state (race-to-idle's natural partner)."""
 
+    static_select = True
+
     def select(self, now: float) -> PState:
         return self.pstates.fastest
 
 
 class PowersaveGovernor(Governor):
     """Always the slowest P-state."""
+
+    static_select = True
 
     def select(self, now: float) -> PState:
         return self.pstates.slowest

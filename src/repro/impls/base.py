@@ -171,6 +171,11 @@ class Producer:
     subsequent deliveries later, exactly like a blocked POSIX producer.
     """
 
+    #: Arrival timestamps are materialised from the numpy trace in
+    #: chunks of this many floats — bounded memory however long the
+    #: trace, without paying a per-item numpy-scalar conversion.
+    CHUNK = 4096
+
     def __init__(
         self,
         env: "Environment",
@@ -191,8 +196,25 @@ class Producer:
         deliver = self.deliver
         stats = self.stats
         timeout = env.timeout
-        for t in self.trace.times.tolist():
-            if env.now < t:
-                yield timeout(t - env.now)
-            yield from deliver(t)
-            stats.produced += 1
+        # Delivery routines exposing the split synchronous fast path
+        # (see LatchingConsumer.try_deliver) skip a generator allocation
+        # and two resumes per arrival; plain generator routines take the
+        # classic route.
+        try_deliver = getattr(getattr(deliver, "__self__", None), "try_deliver", None)
+        times = self.trace.times
+        chunk = self.CHUNK
+        for start in range(0, len(times), chunk):
+            if try_deliver is not None:
+                for t in times[start : start + chunk].tolist():
+                    if env.now < t:
+                        yield timeout(t - env.now)
+                    blocked = try_deliver(t)
+                    if blocked is not None:
+                        yield from blocked
+                    stats.produced += 1
+            else:
+                for t in times[start : start + chunk].tolist():
+                    if env.now < t:
+                        yield timeout(t - env.now)
+                    yield from deliver(t)
+                    stats.produced += 1

@@ -145,7 +145,19 @@ class P2Quantile:
 
 @dataclass
 class StreamingLatency:
-    """Constant-memory latency statistics for very long runs."""
+    """Constant-memory latency statistics for very long runs.
+
+    The P² marker updates are *deferred*: ``observe`` only appends to a
+    bounded staging buffer, and the estimators replay it on the first
+    quantile read (or when the buffer fills, keeping memory constant).
+    P² is order-dependent but deterministic, and the estimators are
+    mutually independent, so replaying the buffered values in arrival
+    order — one estimator at a time — produces bit-identical marker
+    state to the old eager per-observation update. Runs that never read
+    a quantile (e.g. ``track_latencies=True`` runs, which report
+    exact percentiles from the raw samples) skip the P² arithmetic for
+    everything still in the buffer.
+    """
 
     quantiles: Sequence[float] = (0.5, 0.95, 0.99)
     _estimators: Dict[float, P2Quantile] = field(default_factory=dict)
@@ -153,20 +165,37 @@ class StreamingLatency:
     total: float = 0.0
     maximum: float = 0.0
 
+    #: Staging-buffer cap; bounds deferred memory at a few pages.
+    _FLUSH_AT = 4096
+
     def __post_init__(self) -> None:
         for q in self.quantiles:
             self._estimators[q] = P2Quantile(q)
-        # Stable tuple view of the estimators for the per-item hot loop
+        # Stable tuple view of the estimators for the replay loop
         # (dict.values() builds a view object on every call).
         self._est = tuple(self._estimators.values())
+        self._pending: List[float] = []
 
     def observe(self, latency_s: float) -> None:
         self.count += 1
         self.total += latency_s
         if latency_s > self.maximum:
             self.maximum = latency_s
+        pending = self._pending
+        pending.append(latency_s)
+        if len(pending) >= self._FLUSH_AT:
+            self._drain()
+
+    def _drain(self) -> None:
+        """Replay staged observations into the P² estimators."""
+        pending = self._pending
+        if not pending:
+            return
         for estimator in self._est:
-            estimator.observe(latency_s)
+            observe = estimator.observe
+            for x in pending:
+                observe(x)
+        pending.clear()
 
     @property
     def mean(self) -> float:
@@ -176,4 +205,5 @@ class StreamingLatency:
         """Estimated quantile (must be one of the configured targets)."""
         if q not in self._estimators:
             raise KeyError(f"quantile {q} not tracked; have {sorted(self._estimators)}")
+        self._drain()
         return self._estimators[q].value

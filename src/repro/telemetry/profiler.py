@@ -25,7 +25,6 @@ functions report their qualname.
 
 from __future__ import annotations
 
-from heapq import heappop
 from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from repro.harness.clock import perf_counter
@@ -107,9 +106,15 @@ class KernelProfiler:
         self._events = 0
 
     def run(self, env: "Environment", until=None):
-        """Mirror of ``Environment.run`` with per-callback timing."""
-        queue = env._queue
-        pop = heappop
+        """Mirror of ``Environment.run`` with per-callback timing.
+
+        Drives the calendar queue through its single-event surface
+        (``peek`` / ``_pop_entry``) — dispatch order and counts stay
+        byte-identical to the batched drain, only the per-callback
+        timing wrappers differ.
+        """
+        pop_entry = env._pop_entry
+        peek = env.peek
         acc = self._acc
         processed = 0
         watched = None
@@ -117,8 +122,11 @@ class KernelProfiler:
         t_start = perf_counter()
         try:
             stop_at, watched = env._arm_until(until)
-            while queue and queue[0][0] < stop_at:
-                when, _prio, _eid, event = pop(queue)
+            while peek() < stop_at:
+                entry = pop_entry()
+                assert entry is not None  # peek() was finite
+                when = entry[0]
+                event = entry[3]
                 env.now = when
                 processed += 1
                 callbacks = event.callbacks

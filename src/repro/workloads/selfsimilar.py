@@ -62,20 +62,24 @@ def pareto_onoff_trace(
     duty_cycle = mean_on_s / (mean_on_s + mean_off_s)
     rate_per_source = mean_rate_per_s / (n_sources * duty_cycle)
 
-    def pareto_lengths(alpha: float, mean: float, size: int) -> np.ndarray:
-        # Pareto with shape α has mean x_m·α/(α−1); solve for x_m.
-        x_m = mean * (alpha - 1) / alpha
-        return x_m * (1 + rng.pareto(alpha, size=size))
+    # Pareto with shape α has mean x_m·α/(α−1); solve for x_m. Period
+    # lengths are drawn one at a time as *scalars*: the sequential
+    # draw-until-duration loop cannot know its length up front, and a
+    # scalar ``rng.pareto(α)`` consumes exactly the same bit-stream
+    # position (and yields the same value) as ``rng.pareto(α, size=1)[0]``
+    # while skipping three single-element array allocations per period.
+    on_xm = mean_on_s * (alpha_on - 1) / alpha_on
+    off_xm = mean_off_s * (alpha_off - 1) / alpha_off
 
     pieces = []
     for _ in range(n_sources):
         t = float(rng.uniform(0, mean_on_s + mean_off_s))  # desynchronise
         on = bool(rng.random() < duty_cycle)
         while t < duration_s:
-            length = float(
-                pareto_lengths(alpha_on if on else alpha_off,
-                               mean_on_s if on else mean_off_s, 1)[0]
-            )
+            if on:
+                length = float(on_xm * (1 + rng.pareto(alpha_on)))
+            else:
+                length = float(off_xm * (1 + rng.pareto(alpha_off)))
             end = min(t + length, duration_s)
             if on and end > t:
                 k = rng.poisson(rate_per_source * (end - t))

@@ -151,6 +151,40 @@ def test_layer001_type_checking_imports_exempt(lint_snippet):
     assert findings == []
 
 
+# -- LAYER002: numpy stays out of the scalar DES core ------------------------
+
+
+def test_layer002_sim_core_must_not_import_numpy(lint_snippet):
+    findings = lint_snippet(
+        "import numpy as np\n",
+        rel="sim/fastpath.py",
+    )
+    assert codes(findings) == ["LAYER002"]
+    assert "scalar" in findings[0].message
+
+
+def test_layer002_numpy_submodule_counts(lint_snippet):
+    findings = lint_snippet(
+        "from numpy.random import Generator\n",
+        rel="sim/fastpath.py",
+    )
+    assert codes(findings) == ["LAYER002"]
+
+
+def test_layer002_sim_rng_is_exempt(lint_snippet):
+    findings = lint_snippet(
+        "import numpy as np\n",
+        rel="sim/rng.py",
+    )
+    assert findings == []
+
+
+def test_layer002_workloads_and_power_are_sanctioned(lint_snippet):
+    for rel in ("workloads/vectors.py", "power/vectors.py"):
+        findings = lint_snippet("import numpy as np\n", rel=rel)
+        assert findings == [], rel
+
+
 # -- PURE: kernel purity -----------------------------------------------------
 
 

@@ -97,6 +97,47 @@ def test_report_counts_contended_groups():
     assert "0 race(s)" in report.render()
 
 
+def test_injected_race_still_flagged_under_batched_dispatch():
+    """Regression for the calendar-queue kernel (DESIGN.md §13): the two
+    racing reserves land mid-burst in one bucket of 102 same-timestamp
+    events, so they dispatch inside a single batched drain — the
+    sanitizer must flag exactly that double-push race, nothing else."""
+    env = _sanitized_env()
+    track = SlotTrack(0.01)
+
+    def filler():
+        yield env.timeout(0.5)
+
+    def racer_alpha():
+        yield env.timeout(0.5)
+        track.reserve(0, "alpha")
+
+    def racer_beta():
+        yield env.timeout(0.5)
+        track.reserve(1, "beta")
+
+    for i in range(50):
+        env.process(filler(), name=f"filler-a{i}")
+    env.process(racer_alpha(), name="alpha")
+    for i in range(50):
+        env.process(filler(), name=f"filler-b{i}")
+    env.process(racer_beta(), name="beta")
+    env.run()
+    report = env.sanitizer.finish()
+
+    assert not report.ok
+    assert len(report.races) == 1
+    race = report.races[0]
+    assert race.state == "SlotTrack#0"
+    assert race.time_s == 0.5
+    assert "racer_alpha" in race.site_a
+    assert "racer_beta" in race.site_b
+    # Every event of all 102 processes (start, timeout wakeup, exit)
+    # went through the sanitizer's instrumented loop — batching hid
+    # none of them.
+    assert report.events_seen == 306
+
+
 def test_golden_scenario_sanitizes_clean():
     from repro.faults.chaos import SMOKE_SCENARIOS
     from repro.harness.params import StandardParams

@@ -105,6 +105,36 @@ def test_streaming_latency_unknown_quantile_rejected():
         s.quantile(0.9)
 
 
+def test_deferred_replay_is_bit_identical_to_eager_updates():
+    """The staged-buffer replay (one estimator at a time, arrival order)
+    leaves every P² marker exactly where eager per-observation updates
+    would — across multiple flush boundaries."""
+    rng = np.random.default_rng(9)
+    data = [float(x) for x in rng.exponential(0.01, 10_000)]
+    deferred = StreamingLatency(quantiles=(0.5, 0.95, 0.99))
+    eager = {q: P2Quantile(q) for q in (0.5, 0.95, 0.99)}
+    for x in data:
+        deferred.observe(x)
+        for est in eager.values():
+            est.observe(x)
+    for q, ref in eager.items():
+        assert deferred.quantile(q) == ref.value
+        got = deferred._estimators[q]
+        assert got._heights == ref._heights
+        assert got._pos == ref._pos
+        assert got._desired == ref._desired
+
+
+def test_deferred_buffer_flushes_at_cap():
+    s = StreamingLatency(quantiles=(0.5,))
+    for i in range(s._FLUSH_AT - 1):
+        s.observe(float(i))
+    assert len(s._pending) == s._FLUSH_AT - 1
+    s.observe(0.0)  # hits the cap
+    assert s._pending == []
+    assert s._estimators[0.5].n == s._FLUSH_AT
+
+
 def test_streaming_latency_memory_is_constant():
     """No per-observation storage: the estimator keeps 5 markers."""
     s = StreamingLatency(quantiles=(0.99,))

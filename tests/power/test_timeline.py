@@ -76,6 +76,28 @@ def test_sample_grid():
     assert samples[6].power_w == pytest.approx(0.1)
 
 
+def test_sample_bitwise_matches_per_point_power_at():
+    """The vectorized searchsorted sweep returns exactly what a scalar
+    power_at() loop over the same grid would — times and values both."""
+    env, core, timeline = make_rig()
+
+    def task(env):
+        for _ in range(5):
+            yield env.timeout(0.3)
+            yield from core.execute("t", 0.21)
+
+    env.process(task(env))
+    env.run(until=4.0)
+    n = 101
+    t0, t1 = 0.0, 3.7
+    samples = timeline.sample(t0, t1, n)
+    dt = (t1 - t0) / (n - 1)
+    for i, s in enumerate(samples):
+        t = t0 + i * dt
+        assert s.time_s == t
+        assert s.power_w == timeline.power_at(t)
+
+
 def test_sample_validation():
     env, core, timeline = make_rig()
     env.run(until=1.0)

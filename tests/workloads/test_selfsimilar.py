@@ -39,6 +39,61 @@ def test_validation():
         pareto_onoff_trace(100.0, 5.0, rng(), mean_on_s=0.0)
 
 
+def test_scalar_pareto_draws_match_size1_bit_stream():
+    """The generator's scalar ``rng.pareto(α)`` draws consume the exact
+    bit-stream positions (and yield the exact values) of the
+    ``size=1`` array draws they replaced."""
+    a = np.random.default_rng(42)
+    b = np.random.default_rng(42)
+    for alpha in (1.4, 1.6, 1.4, 1.9, 1.1):
+        scalar = float(a.pareto(alpha))
+        array = float(b.pareto(alpha, size=1)[0])
+        assert scalar == array
+    assert float(a.random()) == float(b.random())
+
+
+def test_trace_bitwise_matches_size1_reference():
+    """End-to-end: the optimized generator replays the pre-optimization
+    draw structure (per-period ``size=1`` arrays) byte-for-byte."""
+    seed = 2014
+    kwargs = dict(
+        mean_rate_per_s=500.0, duration_s=2.0, n_sources=8,
+        alpha_on=1.4, alpha_off=1.6, mean_on_s=0.2, mean_off_s=0.6,
+    )
+    got = pareto_onoff_trace(rng=np.random.default_rng(seed), **kwargs)
+
+    # The old implementation, verbatim draw-for-draw.
+    rng = np.random.default_rng(seed)
+    duty = kwargs["mean_on_s"] / (kwargs["mean_on_s"] + kwargs["mean_off_s"])
+    rate_per_source = kwargs["mean_rate_per_s"] / (kwargs["n_sources"] * duty)
+
+    def pareto_lengths(alpha, mean, size):
+        x_m = mean * (alpha - 1) / alpha
+        return x_m * (1 + rng.pareto(alpha, size=size))
+
+    pieces = []
+    for _ in range(kwargs["n_sources"]):
+        t = float(rng.uniform(0, kwargs["mean_on_s"] + kwargs["mean_off_s"]))
+        on = bool(rng.random() < duty)
+        while t < kwargs["duration_s"]:
+            length = float(
+                pareto_lengths(
+                    kwargs["alpha_on"] if on else kwargs["alpha_off"],
+                    kwargs["mean_on_s"] if on else kwargs["mean_off_s"],
+                    1,
+                )[0]
+            )
+            end = min(t + length, kwargs["duration_s"])
+            if on and end > t:
+                k = rng.poisson(rate_per_source * (end - t))
+                if k:
+                    pieces.append(rng.uniform(t, end, size=k))
+            t = end
+            on = not on
+    want = np.sort(np.concatenate(pieces)) if pieces else np.empty(0)
+    assert got.times.tolist() == want.tolist()
+
+
 def test_burstier_than_poisson_at_coarse_scales():
     """The self-similar signature: burstiness survives aggregation."""
     ss = pareto_onoff_trace(2000.0, 30.0, rng(2))

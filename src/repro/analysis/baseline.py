@@ -1,0 +1,154 @@
+"""Checked-in lint baseline: grandfathered findings outside the kernel.
+
+``repro lint --baseline results/lint-baseline.json`` subtracts known
+findings so new rules can land strict without a flag day for the
+non-kernel layers. Two deliberate asymmetries keep the baseline from
+rotting into a mute button:
+
+* entries under the kernel directories (``src/repro/{sim,buffers,core,
+  cpu,power}/``) are **rejected at load time** (exit 2) — the
+  deterministic heart is never grandfathered, it is fixed or pragma'd
+  with a justification in-line;
+* entries that no longer match anything are reported as stale so the
+  file shrinks monotonically.
+
+Match key: ``(path, code, blake2b(message)[:12])`` — line numbers are
+excluded on purpose so unrelated edits above a grandfathered finding
+don't resurrect it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Set, Tuple
+
+BASELINE_SCHEMA = "repro.lint-baseline/1"
+
+#: No baseline entry may point into these trees (matched on the
+#: ``repro/<layer>/`` path segment so the check holds wherever the
+#: package root sits — ``src/repro/...`` in this repo).
+KERNEL_DIRS = (
+    "repro/sim/",
+    "repro/buffers/",
+    "repro/core/",
+    "repro/cpu/",
+    "repro/power/",
+)
+
+
+class BaselineError(Exception):
+    """Unusable baseline file (malformed, or kernel entries present)."""
+
+
+def _key(path: str, code: str, message: str) -> Tuple[str, str, str]:
+    digest = hashlib.blake2b(
+        message.encode("utf-8"), digest_size=6
+    ).hexdigest()
+    return (path.replace("\\", "/"), code, digest)
+
+
+def finding_key(finding) -> Tuple[str, str, str]:
+    return _key(finding.path, finding.code, finding.message)
+
+
+def _in_kernel(path: str) -> bool:
+    norm = path.replace("\\", "/")
+    return any(d in norm for d in KERNEL_DIRS)
+
+
+def load_baseline(path: Path) -> Dict[Tuple[str, str, str], dict]:
+    try:
+        doc = json.loads(path.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}")
+    except ValueError as exc:
+        raise BaselineError(f"baseline {path} is not JSON: {exc}")
+    if not isinstance(doc, dict) or doc.get("schema") != BASELINE_SCHEMA:
+        raise BaselineError(
+            f"baseline {path} has wrong schema "
+            f"(want {BASELINE_SCHEMA!r})"
+        )
+    entries = doc.get("entries", [])
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path}: entries is not a list")
+    out: Dict[Tuple[str, str, str], dict] = {}
+    kernel: List[str] = []
+    for entry in entries:
+        if not isinstance(entry, dict):
+            raise BaselineError(f"baseline {path}: non-object entry")
+        p = str(entry.get("path", ""))
+        code = str(entry.get("code", ""))
+        digest = str(entry.get("message_hash", ""))
+        if not p or not code or not digest:
+            raise BaselineError(
+                f"baseline {path}: entry missing path/code/message_hash"
+            )
+        if _in_kernel(p):
+            kernel.append(f"{p} [{code}]")
+        out[(p.replace("\\", "/"), code, digest)] = entry
+    if kernel:
+        raise BaselineError(
+            f"baseline {path} grandfathers kernel findings — the kernel "
+            f"is never baselined, fix or pragma in-line: "
+            + ", ".join(sorted(kernel))
+        )
+    return out
+
+
+def split_findings(
+    findings: Sequence, baseline: Dict[Tuple[str, str, str], dict]
+) -> Tuple[List, List, List[dict]]:
+    """``(new, baselined, stale_entries)`` for a finding list."""
+    new: List = []
+    matched: Set[Tuple[str, str, str]] = set()
+    baselined: List = []
+    for f in findings:
+        key = finding_key(f)
+        if key in baseline:
+            matched.add(key)
+            baselined.append(f)
+        else:
+            new.append(f)
+    stale = [
+        entry for key, entry in baseline.items() if key not in matched
+    ]
+    return new, baselined, stale
+
+
+def write_baseline(path: Path, findings: Sequence) -> int:
+    """Write the baseline for the current finding set; returns the entry
+    count. Kernel findings are refused — they must be fixed, not filed."""
+    kernel = sorted(
+        f"{f.path}:{f.line} [{f.code}]"
+        for f in findings
+        if _in_kernel(f.path)
+    )
+    if kernel:
+        raise BaselineError(
+            "refusing to baseline kernel findings: " + ", ".join(kernel)
+        )
+    entries = []
+    seen = set()
+    for f in sorted(findings, key=lambda f: f.sort_key()):
+        key = finding_key(f)
+        if key in seen:
+            continue
+        seen.add(key)
+        entries.append(
+            {
+                "path": key[0],
+                "code": key[1],
+                "message_hash": key[2],
+                # informational only — not part of the match key
+                "message": f.message,
+                "line": f.line,
+            }
+        )
+    doc = {"schema": BASELINE_SCHEMA, "entries": entries}
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(doc, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(entries)

@@ -1,0 +1,99 @@
+"""Incremental lint cache under ``results/.lintcache``.
+
+One JSON document maps file paths to ``(blake2b digest, facts)``. A warm
+run hashes each input file (cheap — the whole tree is ~1 MB) and reuses
+the cached facts on a digest match, skipping the AST parse *and* every
+per-module rule: local findings, suppression pragmas and whole-program
+facts are all part of the stored record, so the project pass (taint
+propagation, SCHED/LAYER reachability) runs over cached facts alone.
+
+Invalidation is summary-based and automatic: changing a file changes its
+digest, so its facts are re-extracted; the project pass always
+recomputes from the full fact set, so a changed function summary
+propagates to every caller across the call graph without per-edge
+bookkeeping — the per-file extraction is the expensive part, not the
+propagation. The cache header pins the facts schema and the registered
+rule codes; either changing discards the whole cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+from typing import Dict, Optional
+
+from repro.analysis.callgraph import FACTS_SCHEMA
+
+CACHE_SCHEMA = "repro.lintcache/1"
+
+#: Default location, relative to the working directory (CI runs at the
+#: repository root; the directory is git-ignored).
+DEFAULT_CACHE_DIR = Path("results/.lintcache")
+
+
+def file_digest(data: bytes) -> str:
+    return hashlib.blake2b(data, digest_size=16).hexdigest()
+
+
+class LintCache:
+    """Load-once / save-once facts cache keyed by content digest."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = directory
+        self.path = directory / "facts.json"
+        self._entries: Dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        self._load()
+
+    def _load(self) -> None:
+        from repro.analysis.registry import rule_codes
+
+        try:
+            doc = json.loads(self.path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return
+        if (
+            doc.get("schema") != CACHE_SCHEMA
+            or doc.get("facts_schema") != FACTS_SCHEMA
+            or doc.get("rules") != rule_codes()
+        ):
+            return  # analyzer changed shape: start cold
+        entries = doc.get("files")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def get(self, key: str, digest: str) -> Optional[dict]:
+        entry = self._entries.get(key)
+        if entry is not None and entry.get("digest") == digest:
+            self.hits += 1
+            return entry["facts"]
+        self.misses += 1
+        return None
+
+    def put(self, key: str, digest: str, facts: dict) -> None:
+        self._entries[key] = {"digest": digest, "facts": facts}
+        self._dirty = True
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        from repro.analysis.registry import rule_codes
+
+        doc = {
+            "schema": CACHE_SCHEMA,
+            "facts_schema": FACTS_SCHEMA,
+            "rules": rule_codes(),
+            "files": self._entries,
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(".json.tmp")
+            tmp.write_text(
+                json.dumps(doc, sort_keys=True), encoding="utf-8"
+            )
+            tmp.replace(self.path)
+        except OSError:
+            pass  # a read-only checkout never fails the lint itself

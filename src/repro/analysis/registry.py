@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import ast
 import re
-from typing import TYPE_CHECKING, Dict, FrozenSet, List, Sequence
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Sequence, Set
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.analysis.engine import ModuleContext
@@ -50,7 +50,32 @@ class LintRule:
         )
 
 
+class ProjectRule:
+    """Base class for whole-program rules.
+
+    Unlike :class:`LintRule`, a project rule sees every file at once: it
+    runs over the :class:`~repro.analysis.callgraph.Project` built from
+    per-file facts (symbol table, call graph, import graph, taint
+    summaries) and may anchor findings in any file. A project rule may
+    share its code with a local rule (LAYER001's reachability upgrade
+    complements the direct-import check under the same code), so the two
+    registries are kept separate.
+    """
+
+    code: str = ""
+    summary: str = ""
+
+    def check_project(self, project) -> List["Finding"]:
+        raise NotImplementedError
+
+    def finding(self, path: str, line: int, col: int, message: str) -> "Finding":
+        from repro.analysis.findings import Finding
+
+        return Finding(path=path, line=line, col=col, code=self.code, message=message)
+
+
 _REGISTRY: Dict[str, LintRule] = {}
+_PROJECT_REGISTRY: Dict[str, ProjectRule] = {}
 
 
 def register(cls):
@@ -63,13 +88,36 @@ def register(cls):
     return cls
 
 
+def register_project(cls):
+    """Class decorator: register a whole-program rule by its code."""
+    if not cls.code:
+        raise ValueError(f"rule {cls.__name__} has no code")
+    if cls.code in _PROJECT_REGISTRY:
+        raise ValueError(f"duplicate project rule code {cls.code}")
+    _PROJECT_REGISTRY[cls.code] = cls()
+    return cls
+
+
 def all_rules() -> List[LintRule]:
-    """Registered rules in code order."""
+    """Registered per-module rules in code order."""
     return [_REGISTRY[code] for code in sorted(_REGISTRY)]
 
 
+def all_project_rules() -> List[ProjectRule]:
+    """Registered whole-program rules in code order."""
+    return [_PROJECT_REGISTRY[code] for code in sorted(_PROJECT_REGISTRY)]
+
+
 def rule_codes() -> List[str]:
-    return sorted(_REGISTRY)
+    return sorted(set(_REGISTRY) | set(_PROJECT_REGISTRY))
+
+
+def rule_summaries() -> Dict[str, str]:
+    """code -> one-line summary for every registered rule (SARIF metadata)."""
+    out = {code: rule.summary for code, rule in _REGISTRY.items()}
+    for code, rule in _PROJECT_REGISTRY.items():
+        out.setdefault(code, rule.summary)
+    return dict(sorted(out.items()))
 
 
 # ---------------------------------------------------------------------------
@@ -79,33 +127,81 @@ def rule_codes() -> List[str]:
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9_,\s]+)\]")
 
 
+def _comment_lines(lines: Sequence[str]) -> Set[int]:
+    """1-based line numbers that carry a real ``#`` comment token.
+
+    Tokenizing (rather than regex-scanning raw text) keeps pragma
+    *examples* inside docstrings from acting — or being reported — as
+    pragmas. Falls back to "every line" if tokenization fails (it
+    shouldn't: pragmas are only parsed after a successful ast.parse).
+    """
+    import io
+    import tokenize
+
+    out: Set[int] = set()
+    reader = io.StringIO("\n".join(lines) + "\n").readline
+    try:
+        for tok in tokenize.generate_tokens(reader):
+            if tok.type == tokenize.COMMENT:
+                out.add(tok.start[0])
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return set(range(1, len(lines) + 1))
+    return out
+
+
+def parse_pragmas(lines: Sequence[str]) -> List[dict]:
+    """Every ``# repro: allow[...]`` pragma as a record.
+
+    ``{"line": pragma line, "codes": sorted codes/families, "covers":
+    lines the pragma suppresses}`` — its own line, plus the next line
+    when the pragma stands alone on a comment line. Records (not just
+    the derived line map) are kept so the engine can report pragmas
+    that matched no finding.
+    """
+    commented = _comment_lines(lines)
+    out: List[dict] = []
+    for lineno, text in enumerate(lines, start=1):
+        if lineno not in commented:
+            continue
+        m = _ALLOW_RE.search(text)
+        if not m:
+            continue
+        codes = sorted(
+            {tok.strip().upper() for tok in m.group(1).split(",") if tok.strip()}
+        )
+        if not codes:
+            continue
+        covers = [lineno]
+        if text.lstrip().startswith("#"):
+            covers.append(lineno + 1)
+        out.append({"line": lineno, "codes": codes, "covers": covers})
+    return out
+
+
+def suppression_map(pragmas: Sequence[dict]) -> Dict[int, FrozenSet[str]]:
+    """Pragma records -> {1-based line: codes allowed on that line}."""
+    supp: Dict[int, FrozenSet[str]] = {}
+    for pragma in pragmas:
+        codes = frozenset(pragma["codes"])
+        for line in pragma["covers"]:
+            supp[line] = supp.get(line, frozenset()) | codes
+    return supp
+
+
 def parse_suppressions(lines: Sequence[str]) -> Dict[int, FrozenSet[str]]:
     """Map 1-based line number -> codes/families allowed on that line.
 
     A pragma applies to its own line; if the line holds nothing but the
     comment, it also applies to the next line.
     """
-    supp: Dict[int, FrozenSet[str]] = {}
-    for lineno, text in enumerate(lines, start=1):
-        m = _ALLOW_RE.search(text)
-        if not m:
-            continue
-        codes = frozenset(
-            tok.strip().upper() for tok in m.group(1).split(",") if tok.strip()
-        )
-        if not codes:
-            continue
-        supp[lineno] = supp.get(lineno, frozenset()) | codes
-        if text.lstrip().startswith("#"):
-            supp[lineno + 1] = supp.get(lineno + 1, frozenset()) | codes
-    return supp
+    return suppression_map(parse_pragmas(lines))
+
+
+def covers_code(code: str, allowed) -> bool:
+    """True if ``code`` matches any exact code or family prefix."""
+    return any(code == a or code.startswith(a) for a in allowed)
 
 
 def is_suppressed(finding: "Finding", supp: Dict[int, FrozenSet[str]]) -> bool:
     codes = supp.get(finding.line)
-    if not codes:
-        return False
-    for allowed in codes:
-        if finding.code == allowed or finding.code.startswith(allowed):
-            return True
-    return False
+    return bool(codes) and covers_code(finding.code, codes)

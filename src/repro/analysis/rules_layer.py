@@ -22,9 +22,15 @@ from __future__ import annotations
 import ast
 from typing import TYPE_CHECKING, Iterable, List, Tuple
 
-from repro.analysis.registry import LintRule, register
+from repro.analysis.registry import (
+    LintRule,
+    ProjectRule,
+    register,
+    register_project,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analysis.callgraph import Project
     from repro.analysis.engine import ModuleContext
     from repro.analysis.findings import Finding
 
@@ -218,4 +224,113 @@ class LayerBoundaryRule(LintRule):
                             f"(found `{module}`)",
                         )
                     )
+        return out
+
+
+# ---------------------------------------------------------------------------
+# reachability upgrades: the matrix over the *transitive* import graph
+# ---------------------------------------------------------------------------
+
+
+def _matrix_for(module: str, layer: str):
+    """(forbidden, allowed, role) for the module, or None if unrestricted.
+
+    The same matrix the direct rules enforce — factored so the
+    transitive project rules can't drift from it.
+    """
+    if layer in KERNEL_LAYERS:
+        return _KERNEL_FORBIDDEN, (), f"kernel layer `{layer}`"
+    if layer == "trace" and module != RECORDER_MODULE:
+        return _TRACE_FORBIDDEN, (), "trace core"
+    if layer == "telemetry":
+        return _TELEMETRY_FORBIDDEN, _TELEMETRY_ALLOWED, "telemetry core"
+    return None
+
+
+@register_project
+class TransitiveLayerRule(ProjectRule):
+    """LAYER001 upgraded from direct imports to reachability.
+
+    A kernel module that imports a clean-looking sibling which *itself*
+    (transitively) imports the harness has crossed the boundary just as
+    surely as a direct import — the interpreter loads the harness either
+    way. The finding anchors at the first hop's import statement and
+    spells out the witness path.
+    """
+
+    code = "LAYER001"
+    summary = "module transitively reaches a forbidden layer"
+
+    def check_project(self, project: "Project") -> List["Finding"]:
+        out: List["Finding"] = []
+        for facts in project.facts:
+            module, layer = facts["module"], facts["layer"]
+            if not module or not layer:
+                continue
+            matrix = _matrix_for(module, layer)
+            if matrix is None:
+                continue
+            forbidden, allowed, role = matrix
+            reached = project.reachable_imports(module, skip=allowed)
+            flagged = set()
+            for target in sorted(reached):
+                hit = _violates(target, forbidden)
+                if not hit:
+                    continue
+                path = reached[target]
+                first_hop = path[0]
+                if _violates(first_hop, forbidden):
+                    continue  # the direct rule already owns this one
+                if (first_hop, hit) in flagged:
+                    continue
+                flagged.add((first_hop, hit))
+                out.append(
+                    self.finding(
+                        facts["path"],
+                        project.direct_import_line(module, first_hop),
+                        1,
+                        f"{role} reaches `{hit}` via "
+                        f"{' -> '.join(path)} — the boundary matrix "
+                        f"holds transitively",
+                    )
+                )
+        return out
+
+
+@register_project
+class TransitiveNumpyRule(ProjectRule):
+    """LAYER002 upgraded to reachability: numpy must not leak into the
+    scalar DES core through a re-export or an intermediate module.
+    ``repro.sim.rng`` is the sanctioned numpy boundary, so paths through
+    it are not traversed."""
+
+    code = "LAYER002"
+    summary = "numpy transitively reaches the scalar DES core"
+
+    def check_project(self, project: "Project") -> List["Finding"]:
+        out: List["Finding"] = []
+        for facts in project.facts:
+            module, layer = facts["module"], facts["layer"]
+            if (
+                not module
+                or layer not in NUMPY_BANNED_LAYERS
+                or module in _NUMPY_EXEMPT_MODULES
+            ):
+                continue
+            reached = project.reachable_imports(
+                module, skip=_NUMPY_EXEMPT_MODULES
+            )
+            path = reached.get("numpy")
+            if path is None or len(path) < 2:
+                continue  # unreachable, or direct (LAYER002 local owns it)
+            out.append(
+                self.finding(
+                    facts["path"],
+                    project.direct_import_line(module, path[0]),
+                    1,
+                    f"the scalar DES core reaches numpy via "
+                    f"{' -> '.join(path)} — keep `sim` scalar "
+                    f"(sim.rng is the sanctioned boundary)",
+                )
+            )
         return out

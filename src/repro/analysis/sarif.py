@@ -1,0 +1,159 @@
+"""SARIF 2.1.0 rendering for ``repro lint --format sarif``.
+
+SARIF (Static Analysis Results Interchange Format) is the schema GitHub
+code scanning ingests; one ``run`` with a ``tool.driver`` carrying the
+rule metadata and one ``result`` per finding is all the upload needs.
+:func:`validate_sarif` is a structural self-check against the subset of
+the 2.1.0 schema we emit — CI asserts it on every artifact so a renderer
+regression fails the build before the upload endpoint rejects it.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import List, Sequence
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA_URI = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+TOOL_NAME = "repro-lint"
+
+
+def render_sarif(findings: Sequence, tool_version: str = "1.0.0") -> str:
+    """One SARIF 2.1.0 document for a list of findings."""
+    from repro.analysis.registry import rule_summaries
+
+    summaries = rule_summaries()
+    used_codes = sorted({f.code for f in findings} | set(summaries))
+    rules = [
+        {
+            "id": code,
+            "name": code,
+            "shortDescription": {
+                "text": summaries.get(code, code),
+            },
+            "defaultConfiguration": {"level": "error"},
+        }
+        for code in used_codes
+    ]
+    index = {code: i for i, code in enumerate(used_codes)}
+    results = [
+        {
+            "ruleId": f.code,
+            "ruleIndex": index[f.code],
+            "level": "error",
+            "message": {"text": f.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": f.path.replace("\\", "/"),
+                            "uriBaseId": "SRCROOT",
+                        },
+                        "region": {
+                            "startLine": f.line,
+                            "startColumn": max(f.col, 1),
+                        },
+                    }
+                }
+            ],
+        }
+        for f in findings
+    ]
+    doc = {
+        "$schema": SARIF_SCHEMA_URI,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": TOOL_NAME,
+                        "version": tool_version,
+                        "informationUri": "https://example.invalid/repro",
+                        "rules": rules,
+                    }
+                },
+                "originalUriBaseIds": {
+                    "SRCROOT": {"uri": "file:///"},
+                },
+                "columnKind": "utf16CodeUnits",
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def validate_sarif(text: str) -> List[str]:
+    """Structural 2.1.0 validation; returns problems (empty == valid).
+
+    Checks the invariants GitHub's ingestion actually enforces: version
+    string, runs array, driver name, rule table consistency
+    (``ruleIndex`` in range and agreeing with ``ruleId``), and that every
+    result has a message and a physical location with a positive
+    ``startLine``.
+    """
+    problems: List[str] = []
+    try:
+        doc = json.loads(text)
+    except ValueError as exc:
+        return [f"not JSON: {exc}"]
+    if not isinstance(doc, dict):
+        return ["top level is not an object"]
+    if doc.get("version") != SARIF_VERSION:
+        problems.append(f"version is {doc.get('version')!r}, not 2.1.0")
+    runs = doc.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return problems + ["runs is not a non-empty array"]
+    for ri, run in enumerate(runs):
+        where = f"runs[{ri}]"
+        driver = (
+            run.get("tool", {}).get("driver", {})
+            if isinstance(run, dict)
+            else {}
+        )
+        if not driver.get("name"):
+            problems.append(f"{where}: tool.driver.name missing")
+        rules = driver.get("rules", [])
+        if not isinstance(rules, list):
+            problems.append(f"{where}: tool.driver.rules is not an array")
+            rules = []
+        for i, rule in enumerate(rules):
+            if not isinstance(rule, dict) or not rule.get("id"):
+                problems.append(f"{where}: rules[{i}] has no id")
+        results = run.get("results", []) if isinstance(run, dict) else []
+        if not isinstance(results, list):
+            problems.append(f"{where}: results is not an array")
+            continue
+        for i, res in enumerate(results):
+            loc = f"{where}.results[{i}]"
+            if not isinstance(res, dict):
+                problems.append(f"{loc}: not an object")
+                continue
+            if not res.get("ruleId"):
+                problems.append(f"{loc}: ruleId missing")
+            if not res.get("message", {}).get("text"):
+                problems.append(f"{loc}: message.text missing")
+            idx = res.get("ruleIndex")
+            if idx is not None:
+                if not isinstance(idx, int) or not (0 <= idx < len(rules)):
+                    problems.append(f"{loc}: ruleIndex {idx!r} out of range")
+                elif rules[idx].get("id") != res.get("ruleId"):
+                    problems.append(
+                        f"{loc}: ruleIndex disagrees with ruleId"
+                    )
+            locations = res.get("locations")
+            if not isinstance(locations, list) or not locations:
+                problems.append(f"{loc}: locations missing")
+                continue
+            phys = locations[0].get("physicalLocation", {})
+            art = phys.get("artifactLocation", {})
+            if not art.get("uri"):
+                problems.append(f"{loc}: artifactLocation.uri missing")
+            region = phys.get("region", {})
+            start = region.get("startLine")
+            if not isinstance(start, int) or start < 1:
+                problems.append(f"{loc}: region.startLine invalid")
+    return problems

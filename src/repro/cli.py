@@ -317,8 +317,10 @@ def _chaos_sanitize_pass(scenarios, args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
-    """AST-based static analysis: determinism (DET), layer boundaries
-    (LAYER), kernel purity (PURE) and trace-name registration (TRACE).
+    """AST + whole-program static analysis: determinism (DET, including
+    the cross-function taint pass), scheduling-tie hazards (SCHED),
+    layer boundaries (LAYER, transitive), float-order (FLOAT), kernel
+    purity (PURE) and trace-name registration (TRACE).
     Exit 0 = clean, 1 = unsuppressed findings, 2 = unreadable input."""
     from repro.analysis.engine import main as lint_main
 
@@ -329,6 +331,16 @@ def cmd_lint(args: argparse.Namespace) -> int:
         argv += ["--names-out", str(args.names_out)]
     if args.metric_names_out is not None:
         argv += ["--metric-names-out", str(args.metric_names_out)]
+    if args.diff is not None:
+        argv += ["--diff", args.diff]
+    if args.baseline is not None:
+        argv += ["--baseline", str(args.baseline)]
+    if args.write_baseline is not None:
+        argv += ["--write-baseline", str(args.write_baseline)]
+    if args.no_cache:
+        argv.append("--no-cache")
+    if args.cache_dir is not None:
+        argv += ["--cache-dir", str(args.cache_dir)]
     return lint_main(argv)
 
 
@@ -670,6 +682,13 @@ GOLDEN_SPECS = {
     "pipeline_telemetry": dict(
         impl="PBPL",
         scenario="pipeline-clean",
+        duration_s=0.3,
+        n_consumers=3,  # overridden by the topology's consumer stages
+        seed=2014,
+    ),
+    "pipeline_burst": dict(
+        impl="PBPL",
+        scenario="pipeline-burst",
         duration_s=0.3,
         n_consumers=3,  # overridden by the topology's consumer stages
         seed=2014,
@@ -1598,8 +1617,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "lint",
-        help="static determinism/purity/layering analysis (DET/LAYER/"
-        "PURE/TRACE/METRIC rules)",
+        help="static determinism/purity/layering analysis (DET/SCHED/"
+        "FLOAT/LAYER/PURE/TRACE/METRIC rules, whole-program taint)",
     )
     p.add_argument(
         "paths",
@@ -1609,9 +1628,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
         help="output format (default: text)",
+    )
+    p.add_argument(
+        "--diff",
+        metavar="REF",
+        default=None,
+        help="only report findings in files changed since REF plus "
+        "their reverse-dependency cone",
+    )
+    p.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="subtract grandfathered findings from this JSON baseline "
+        "(kernel entries rejected)",
+    )
+    p.add_argument(
+        "--write-baseline",
+        type=Path,
+        metavar="PATH",
+        default=None,
+        help="write the current finding set as the new baseline and exit",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental facts cache",
+    )
+    p.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="override the cache location (default: results/.lintcache)",
     )
     p.add_argument(
         "--write-names",

@@ -73,6 +73,7 @@ class ClusterIdleModel(CoreListener):
         self.env = env
         self.cores = tuple(cores)
         self.params = params or ClusterParams()
+        # repro: allow[DET005] -- membership-only set; order never observed
         self._member_ids = {c.core_id for c in self.cores}
         self._all_idle_since: Optional[float] = None
         self._gateable = False

@@ -77,6 +77,9 @@ _LAZY = {"RecordedRun", "SCENARIOS", "record_run"}
 
 def __getattr__(name):
     if name in _LAZY:
+        # PEP 562 lazy boundary: the recorder (and through it the
+        # harness) loads only on attribute access, never at import time.
+        # repro: allow[LAYER001] -- sanctioned lazy recorder re-export
         from repro.trace import recorder
 
         return getattr(recorder, name)

@@ -22,5 +22,22 @@ def lint_snippet(tmp_path):
     return _lint
 
 
+@pytest.fixture
+def lint_tree(tmp_path):
+    """Whole-program variant: lint a dict of ``{rel: source}`` files laid
+    out under one ``repro`` root so cross-file rules see all of them."""
+
+    def _lint(files):
+        for rel, source in files.items():
+            path = tmp_path / "repro" / rel
+            path.parent.mkdir(parents=True, exist_ok=True)
+            path.write_text(source, encoding="utf-8")
+        findings, errors = lint_paths([tmp_path])
+        assert not errors, errors
+        return findings
+
+    return _lint
+
+
 def codes(findings):
     return [f.code for f in findings]

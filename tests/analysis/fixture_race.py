@@ -1,0 +1,60 @@
+"""Fixture shared by the static/dynamic agreement test.
+
+:func:`aim` carries the one scheduling hazard: a priority-less
+``schedule()`` whose delay subtracts ``env.now`` — it aims at the
+absolute :data:`BOUNDARY_S` timestamp, so every event routed through it
+lands on the same boundary and their mutual order is heap insertion
+order. The static analyzer flags the call site as SCHED001;
+:func:`run_race` drives the same code under the dynamic sanitizer until
+two boundary events from different dispatch origins mutate one buffer,
+producing a :class:`SimultaneityRace` that names the same line.
+"""
+
+from repro.buffers.bounded import BoundedBuffer
+from repro.sim.events import Event
+
+#: The absolute virtual timestamp every aimed event lands on.
+BOUNDARY_S = 0.5
+
+
+class _Tick(Event):
+    """A pre-succeeded event whose dispatch pushes into a shared buffer."""
+
+    def __init__(self, env, buffer) -> None:
+        super().__init__(env)
+        self._ok = True
+        self._value = None
+        assert self.callbacks is not None
+        self.callbacks.append(lambda _ev: buffer.try_push("tick"))
+
+    def describe(self) -> str:
+        return "boundary tick"
+
+
+def aim(env, event) -> None:
+    """Aim ``event`` at the epoch boundary (the SCHED001 hazard site)."""
+    env.schedule(event, delay=BOUNDARY_S - env.now)
+
+
+HAZARD_FUNC = "aim"
+
+
+def run_race():
+    """Run the hazard under the sanitizer; returns its report."""
+    from repro.analysis.sanitizer import SanitizingEnvironment, install_probes
+
+    install_probes()
+    env = SanitizingEnvironment()
+    buffer = BoundedBuffer(capacity=8)
+    # Two independent starters at distinct times: each dispatch is its
+    # own causal origin, and each routes a fresh tick through aim(), so
+    # both ticks tie at BOUNDARY_S with no ordering between them.
+    for start_s in (0.1, 0.2):
+        starter = Event(env)
+        starter._ok = True
+        starter._value = None
+        assert starter.callbacks is not None
+        starter.callbacks.append(lambda _ev: aim(env, _Tick(env, buffer)))
+        env.schedule(starter, delay=start_s)
+    env.run()
+    return env.sanitizer.finish()

@@ -1,0 +1,115 @@
+"""Incremental facts cache: hits skip the parse, edits invalidate,
+analyzer-version changes discard wholesale."""
+
+import ast
+
+from repro.analysis.cache import LintCache
+from repro.analysis.engine import analyze
+
+
+def _tree(tmp_path):
+    root = tmp_path / "repro" / "core"
+    root.mkdir(parents=True)
+    (root / "a.py").write_text(
+        "import time\nt = time.time()\n", encoding="utf-8"
+    )
+    (root / "b.py").write_text("x = 1\n", encoding="utf-8")
+    return tmp_path
+
+
+def test_warm_run_hits_every_file_with_identical_findings(tmp_path):
+    tree = _tree(tmp_path)
+    cdir = tmp_path / "cache"
+    cold = analyze([tree], cache=LintCache(cdir))
+    warm = analyze([tree], cache=LintCache(cdir))
+    assert cold.stats["cache_misses"] == 2 and cold.stats["cache_hits"] == 0
+    assert warm.stats["cache_hits"] == 2 and warm.stats["cache_misses"] == 0
+    assert warm.findings == cold.findings
+    assert [f.code for f in warm.findings] == ["DET001"]
+
+
+def test_warm_run_never_parses(tmp_path, monkeypatch):
+    """A full cache hit must not touch ast.parse at all."""
+    tree = _tree(tmp_path)
+    cdir = tmp_path / "cache"
+    analyze([tree], cache=LintCache(cdir))
+
+    def boom(*a, **k):
+        raise AssertionError("ast.parse called on a warm run")
+
+    monkeypatch.setattr(ast, "parse", boom)
+    warm = analyze([tree], cache=LintCache(cdir))
+    assert warm.stats["cache_hits"] == 2
+
+
+def test_edit_invalidates_only_that_file(tmp_path):
+    tree = _tree(tmp_path)
+    cdir = tmp_path / "cache"
+    analyze([tree], cache=LintCache(cdir))
+    (tree / "repro" / "core" / "b.py").write_text(
+        "import random\ny = random.random()\n", encoding="utf-8"
+    )
+    warm = analyze([tree], cache=LintCache(cdir))
+    assert warm.stats["cache_hits"] == 1
+    assert warm.stats["cache_misses"] == 1
+    assert sorted(f.code for f in warm.findings) == ["DET001", "DET003"]
+
+
+def test_cross_file_summary_invalidation(tmp_path):
+    """Editing a *callee* changes findings anchored in its caller — the
+    project pass recomputes over fresh facts even though the caller's
+    file is itself a cache hit."""
+    root = tmp_path / "repro"
+    (root / "core").mkdir(parents=True)
+    (root / "sim").mkdir(parents=True)
+    (root / "core" / "helper.py").write_text(
+        "def delta():\n    return 0.5\n", encoding="utf-8"
+    )
+    (root / "sim" / "user.py").write_text(
+        "from repro.core.helper import delta\n"
+        "\n"
+        "\n"
+        "def kick(env, event):\n"
+        "    env.schedule(event, delay=delta(), priority=1)\n",
+        encoding="utf-8",
+    )
+    cdir = tmp_path / "cache"
+    clean = analyze([tmp_path], cache=LintCache(cdir))
+    assert clean.findings == []
+    # the callee goes nondeterministic; the caller file is unchanged
+    (root / "core" / "helper.py").write_text(
+        "import time\n"
+        "\n"
+        "\n"
+        "def delta():\n"
+        "    return time.time()  # repro: allow[DET001] -- source\n",
+        encoding="utf-8",
+    )
+    dirty = analyze([tmp_path], cache=LintCache(cdir))
+    assert dirty.stats["cache_hits"] == 1  # user.py facts reused
+    det005 = [f for f in dirty.findings if f.code == "DET005"]
+    assert len(det005) == 1 and det005[0].path.endswith("sim/user.py")
+
+
+def test_rule_set_change_discards_cache(tmp_path, monkeypatch):
+    tree = _tree(tmp_path)
+    cdir = tmp_path / "cache"
+    analyze([tree], cache=LintCache(cdir))
+    import repro.analysis.registry as registry
+
+    monkeypatch.setattr(
+        registry, "rule_codes", lambda: ["SOMETHING_ELSE"]
+    )
+    cache = LintCache(cdir)
+    warm = analyze([tree], cache=cache)
+    assert warm.stats["cache_misses"] == 2
+
+
+def test_corrupt_cache_file_is_ignored(tmp_path):
+    tree = _tree(tmp_path)
+    cdir = tmp_path / "cache"
+    cdir.mkdir()
+    (cdir / "facts.json").write_text("{not json", encoding="utf-8")
+    result = analyze([tree], cache=LintCache(cdir))
+    assert result.stats["cache_misses"] == 2
+    assert [f.code for f in result.findings] == ["DET001"]

@@ -1,0 +1,134 @@
+"""--diff reverse-dependency cone scoping + pragma list/unused reports."""
+
+import json
+import subprocess
+
+from repro.analysis.engine import analyze, main
+from repro.analysis.registry import parse_pragmas, suppression_map
+
+
+def _git(cwd, *args):
+    subprocess.run(
+        ["git", "-c", "user.email=t@t", "-c", "user.name=t", *args],
+        cwd=cwd,
+        check=True,
+        capture_output=True,
+    )
+
+
+def test_diff_reports_dependents_of_changed_files(tmp_path, monkeypatch, capsys):
+    root = tmp_path / "repro"
+    (root / "core").mkdir(parents=True)
+    (root / "sim").mkdir(parents=True)
+    (root / "harness").mkdir(parents=True)
+    helper = root / "core" / "helper.py"
+    helper.write_text("def delta():\n    return 0.5\n", encoding="utf-8")
+    (root / "sim" / "user.py").write_text(
+        "from repro.core.helper import delta\n"
+        "\n"
+        "\n"
+        "def kick(env, event):\n"
+        "    env.schedule(event, delay=delta(), priority=1)\n",
+        encoding="utf-8",
+    )
+    # an unrelated file with its own finding — must NOT appear in --diff
+    (root / "harness" / "other.py").write_text(
+        "import time\nt = time.time()\n", encoding="utf-8"
+    )
+    monkeypatch.chdir(tmp_path)
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "add", "-A")
+    _git(tmp_path, "commit", "-qm", "base")
+    # change only the callee; the caller in sim/ gains a DET005
+    helper.write_text(
+        "import time\n"
+        "\n"
+        "\n"
+        "def delta():\n"
+        "    return time.time()  # repro: allow[DET001] -- source\n",
+        encoding="utf-8",
+    )
+    rc = main(["repro", "--no-cache", "--diff", "HEAD", "--format", "json"])
+    assert rc == 1
+    doc = json.loads(capsys.readouterr().out)
+    paths = {f["path"] for f in doc["findings"]}
+    assert any(p.endswith("sim/user.py") for p in paths)
+    assert not any(p.endswith("harness/other.py") for p in paths)
+
+
+def test_diff_bad_ref_exits_two(tmp_path, monkeypatch, capsys):
+    (tmp_path / "repro").mkdir()
+    (tmp_path / "repro" / "ok.py").write_text("x = 1\n", encoding="utf-8")
+    monkeypatch.chdir(tmp_path)
+    _git(tmp_path, "init", "-q")
+    assert main(["repro", "--no-cache", "--diff", "no-such-ref"]) == 2
+    assert "--diff" in capsys.readouterr().err
+
+
+def test_pragma_comma_list_suppresses_multiple_codes(lint_snippet):
+    findings = lint_snippet(
+        "import time\n"
+        "import random\n"
+        "t = time.time()  # repro: allow[DET001,DET003] -- both on one line\n"
+        "r = random.random()  # repro: allow[DET003, DET001] -- spaces fine\n"
+    )
+    assert findings == []
+
+
+def test_pragma_records_track_coverage():
+    pragmas = parse_pragmas(
+        [
+            "# repro: allow[DET001,LAYER001] -- own line",
+            "x = 1",
+            "y = 2  # repro: allow[DET003] -- trailing",
+        ]
+    )
+    assert pragmas[0]["codes"] == ["DET001", "LAYER001"]
+    assert pragmas[0]["covers"] == [1, 2]
+    assert pragmas[1]["covers"] == [3]
+    supp = suppression_map(pragmas)
+    assert supp[2] == frozenset({"DET001", "LAYER001"})
+
+
+def test_unused_suppressions_reported_in_json(tmp_path):
+    root = tmp_path / "repro" / "core"
+    root.mkdir(parents=True)
+    (root / "mixed.py").write_text(
+        "import time\n"
+        "t = time.time()  # repro: allow[DET001] -- used\n"
+        "# repro: allow[DET003,LAYER001] -- nothing here triggers these\n"
+        "x = 1\n",
+        encoding="utf-8",
+    )
+    result = analyze([tmp_path])
+    assert result.findings == []
+    assert len(result.unused_suppressions) == 1
+    entry = result.unused_suppressions[0]
+    assert entry["line"] == 3
+    assert entry["codes"] == ["DET003", "LAYER001"]
+
+
+def test_unused_suppressions_in_cli_json(tmp_path, capsys):
+    root = tmp_path / "repro" / "core"
+    root.mkdir(parents=True)
+    (root / "stale.py").write_text(
+        "# repro: allow[DET001] -- stale\nx = 1\n", encoding="utf-8"
+    )
+    assert main([str(tmp_path), "--no-cache", "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["unused_suppressions"] == [
+        {
+            "codes": ["DET001"],
+            "line": 1,
+            "path": str(root / "stale.py"),
+        }
+    ]
+
+
+def test_shipped_tree_has_no_unused_suppressions():
+    """Every pragma in src/ still earns its keep."""
+    from pathlib import Path
+
+    src = Path(__file__).resolve().parents[2] / "src"
+    result = analyze([src])
+    assert result.unused_suppressions == []

@@ -1,0 +1,80 @@
+"""Transitive LAYER001/LAYER002: the matrix over the import graph."""
+
+
+def _layer(findings, code):
+    return [f for f in findings if f.code == code]
+
+
+def test_kernel_reaches_harness_through_intermediate(lint_tree):
+    findings = lint_tree(
+        {
+            "harness/runner.py": "X = 1\n",
+            "util/shim.py": "import repro.harness.runner\n",
+            "sim/user.py": "import repro.util.shim\n",
+        }
+    )
+    hits = [
+        f
+        for f in _layer(findings, "LAYER001")
+        if f.path.endswith("sim/user.py")
+    ]
+    assert len(hits) == 1
+    assert hits[0].line == 1  # anchored at the first hop's import
+    assert "repro.util.shim -> repro.harness.runner" in hits[0].message
+
+
+def test_direct_violation_not_double_reported(lint_tree):
+    """A direct forbidden import is the local rule's finding; the
+    transitive rule must not re-report it."""
+    findings = lint_tree(
+        {
+            "harness/runner.py": "X = 1\n",
+            "sim/user.py": "import repro.harness.runner\n",
+        }
+    )
+    hits = _layer(findings, "LAYER001")
+    assert len(hits) == 1  # exactly one — from the direct rule
+    assert "must not import" in hits[0].message
+
+
+def test_numpy_reaches_sim_through_reexport(lint_tree):
+    findings = lint_tree(
+        {
+            "util/mathy.py": "import numpy\n",
+            "sim/disp.py": "import repro.util.mathy\n",
+        }
+    )
+    hits = [
+        f
+        for f in _layer(findings, "LAYER002")
+        if f.path.endswith("sim/disp.py")
+    ]
+    assert len(hits) == 1
+    assert "repro.util.mathy -> numpy" in hits[0].message
+
+
+def test_numpy_via_sim_rng_sanctioned(lint_tree):
+    findings = lint_tree(
+        {
+            "sim/rng.py": "import numpy\n",
+            "sim/disp.py": "import repro.sim.rng\n",
+        }
+    )
+    assert _layer(findings, "LAYER002") == []
+
+
+def test_telemetry_clock_shim_skip_holds_transitively(lint_tree):
+    """telemetry -> harness.clock is the sanctioned edge; reachability
+    must not traverse *through* it into the rest of the harness."""
+    findings = lint_tree(
+        {
+            "harness/clock.py": "import repro.harness.runner\n",
+            "harness/runner.py": "X = 1\n",
+            "telemetry/prof.py": "import repro.harness.clock\n",
+        }
+    )
+    assert [
+        f
+        for f in _layer(findings, "LAYER001")
+        if f.path.endswith("telemetry/prof.py")
+    ] == []

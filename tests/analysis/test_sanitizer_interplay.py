@@ -1,0 +1,54 @@
+"""Static SCHED001 and the dynamic sanitizer agree on the hazard site.
+
+The ISSUE's acceptance demo: one fixture whose priority-less
+absolute-boundary ``schedule()`` is (a) flagged statically as SCHED001
+and (b) produces a runtime :class:`SimultaneityRace` under the
+sanitizer — and both reports name the *same* file:line call site.
+"""
+
+from pathlib import Path
+
+from repro.analysis.engine import analyze
+
+from tests.analysis import fixture_race
+
+FIXTURE = Path(fixture_race.__file__)
+
+
+def _static_sched001():
+    result = analyze([FIXTURE])
+    assert result.errors == []
+    findings = [f for f in result.findings if f.code == "SCHED001"]
+    assert len(findings) == 1, findings
+    return findings[0]
+
+
+def test_static_flags_the_aim_site():
+    finding = _static_sched001()
+    source_line = FIXTURE.read_text(encoding="utf-8").splitlines()[
+        finding.line - 1
+    ]
+    assert "env.schedule" in source_line and "BOUNDARY_S - env.now" in source_line
+    assert "absolute" in finding.message
+
+
+def test_dynamic_race_fires_on_the_same_buffer():
+    report = fixture_race.run_race()
+    assert not report.ok
+    assert len(report.races) == 1
+    race = report.races[0]
+    assert race.time_s == fixture_race.BOUNDARY_S
+    assert race.state.startswith("BoundedBuffer")
+    assert race.site_a == race.site_b  # both ticks routed through aim()
+
+
+def test_static_and_dynamic_name_the_same_call_site():
+    finding = _static_sched001()
+    report = fixture_race.run_race()
+    assert not report.ok
+    expected = (
+        f"tests/analysis/fixture_race.py:{finding.line}"
+        f" in {fixture_race.HAZARD_FUNC}"
+    )
+    assert report.races[0].site_a == expected
+    assert report.races[0].site_b == expected

@@ -1,0 +1,83 @@
+"""SARIF 2.1.0 rendering + the structural validator CI gates on."""
+
+import json
+
+from repro.analysis.findings import Finding
+from repro.analysis.sarif import render_sarif, validate_sarif
+
+
+def _finding(**kw):
+    base = dict(
+        path="src/repro/core/x.py",
+        line=12,
+        col=5,
+        code="DET005",
+        message="nondeterministic value reaches schedule()",
+    )
+    base.update(kw)
+    return Finding(**base)
+
+
+def test_rendered_document_validates(lint_snippet):
+    doc = render_sarif([_finding(), _finding(line=40, code="SCHED001")])
+    assert validate_sarif(doc) == []
+
+
+def test_empty_finding_set_validates():
+    assert validate_sarif(render_sarif([])) == []
+
+
+def test_results_reference_the_rule_table():
+    doc = json.loads(render_sarif([_finding()]))
+    run = doc["runs"][0]
+    rules = run["tool"]["driver"]["rules"]
+    res = run["results"][0]
+    assert rules[res["ruleIndex"]]["id"] == res["ruleId"] == "DET005"
+    region = res["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 12 and region["startColumn"] == 5
+
+
+def test_rule_table_carries_registered_summaries():
+    doc = json.loads(render_sarif([]))
+    rules = {
+        r["id"]: r["shortDescription"]["text"]
+        for r in doc["runs"][0]["tool"]["driver"]["rules"]
+    }
+    assert "DET005" in rules and "SCHED001" in rules
+    assert rules["DET005"] != "DET005"  # a real summary, not a fallback
+
+
+def test_validator_rejects_structural_damage():
+    good = json.loads(render_sarif([_finding()]))
+    bad = json.loads(json.dumps(good))
+    bad["version"] = "2.0.0"
+    assert any("version" in p for p in validate_sarif(json.dumps(bad)))
+
+    bad = json.loads(json.dumps(good))
+    bad["runs"][0]["results"][0]["ruleIndex"] = 999
+    assert any("ruleIndex" in p for p in validate_sarif(json.dumps(bad)))
+
+    bad = json.loads(json.dumps(good))
+    del bad["runs"][0]["results"][0]["message"]
+    assert any("message" in p for p in validate_sarif(json.dumps(bad)))
+
+    bad = json.loads(json.dumps(good))
+    bad["runs"][0]["results"][0]["locations"] = []
+    assert any("locations" in p for p in validate_sarif(json.dumps(bad)))
+
+    assert validate_sarif("{nope") != []
+
+
+def test_cli_sarif_output_validates(tmp_path, capsys):
+    from repro.analysis.engine import main
+
+    target = tmp_path / "repro" / "core"
+    target.mkdir(parents=True)
+    (target / "bad.py").write_text(
+        "import time\nt = time.time()\n", encoding="utf-8"
+    )
+    assert main([str(tmp_path), "--no-cache", "--format", "sarif"]) == 1
+    out = capsys.readouterr().out
+    assert validate_sarif(out) == []
+    doc = json.loads(out)
+    assert doc["runs"][0]["results"][0]["ruleId"] == "DET001"
